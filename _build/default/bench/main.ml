@@ -1,0 +1,450 @@
+(* Regenerates every table and figure of the paper's evaluation
+   (section 4), plus the ablations DESIGN.md calls out, on the
+   simulated testbed: 30 MC68030-class machines on one 10 Mbit/s
+   Ethernet.  Absolute numbers are calibrated against the paper's
+   anchors; the shapes (who wins, crossovers, saturation points) come
+   out of the simulation.
+
+   Usage: main.exe [target ...]
+   Targets: headline fig1 table3 fig3 fig4 fig5 fig6 fig7 fig8
+            rpc_compare ablation_cm ablation_migrate ablation_pbbb
+            ablation_processing ablation_userspace ablation_history
+            ablation_flowcontrol load_latency micro
+   No arguments runs everything. *)
+
+open Amoeba_net
+open Amoeba_harness
+module T = Amoeba_core.Types
+module E = Experiments
+
+let line = String.make 72 '-'
+
+let header title paper_note =
+  Printf.printf "\n%s\n%s\n" line title;
+  if paper_note <> "" then Printf.printf "paper: %s\n" paper_note;
+  Printf.printf "%s\n%!" line
+
+let sizes_delay = [ 0; 1024; 4096; 8000 ]
+let member_counts = [ 2; 6; 10; 14; 18; 22; 26; 30 ]
+
+let delay_figure ~send_method =
+  Printf.printf "%8s |" "members";
+  List.iter (fun s -> Printf.printf " %7dB" s) sizes_delay;
+  Printf.printf "   (delay in ms)\n";
+  List.iter
+    (fun n ->
+      Printf.printf "%8d |" n;
+      List.iter
+        (fun size ->
+          let r = E.broadcast_delay ~samples:12 ~n ~size ~send_method () in
+          Printf.printf " %8.2f" r.E.mean_ms)
+        sizes_delay;
+      print_newline ())
+    member_counts
+
+let fig1 () =
+  header "Figure 1: delay for 1 sender, PB method (r = 0)"
+    "0B: 2.7 ms at n=2, 2.8 ms at n=30; 8000B adds ~20 ms";
+  delay_figure ~send_method:T.Pb
+
+let fig3 () =
+  header "Figure 3: delay for 1 sender, BB method (r = 0)"
+    "0B similar to PB; large messages dramatically better (one wire crossing)";
+  delay_figure ~send_method:T.Bb
+
+let table3 () =
+  header "Figure 2 / Table 3: critical path of one 0-byte SendToGroup (group of 2, PB)"
+    "total 2740 us, of which the group protocol costs 740 us";
+  let layers, total = E.critical_path () in
+  let sum = List.fold_left (fun a (_, v) -> a +. v) 0. layers in
+  List.iter (fun (l, us) -> Printf.printf "  %-8s %7.0f us\n" l us) layers;
+  Printf.printf "  %-8s %7.0f us (modelled layer sum)\n" "sum" sum;
+  Printf.printf "  %-8s %7.0f us (measured end-to-end; rest is queueing)\n"
+    "total" total
+
+let sizes_tput = [ 0; 1024; 2048; 4096; 8000 ]
+let sender_counts = [ 1; 2; 4; 8; 12; 16 ]
+
+let tput_figure ~send_method =
+  Printf.printf "%8s |" "senders";
+  List.iter (fun s -> Printf.printf " %7dB" s) sizes_tput;
+  Printf.printf "   (messages/second; * = ring overflow, not meaningful)\n";
+  List.iter
+    (fun n ->
+      Printf.printf "%8d |" n;
+      List.iter
+        (fun size ->
+          let r = E.group_throughput ~duration_ms:1_200 ~n:(max n 2) ~size ~send_method () in
+          Printf.printf " %7.0f%s" r.E.msgs_per_sec
+            (if not r.E.meaningful then "*"
+             else if r.E.rx_dropped > 0 then "!"
+             else " "))
+        sizes_tput;
+      print_newline ())
+    sender_counts
+
+let fig4 () =
+  header "Figure 4: throughput, PB method (group size = senders)"
+    "815 msg/s max at 0B; >=4KB configurations overflow the Lance ring";
+  tput_figure ~send_method:T.Pb
+
+let fig5 () =
+  header "Figure 5: throughput, BB method (group size = senders)"
+    "0B similar to PB; large messages sustain higher rates (half the bandwidth)";
+  tput_figure ~send_method:T.Bb
+
+let fig6 () =
+  header "Figure 6: aggregate throughput of disjoint parallel groups (0B, PB)"
+    "3175 msg/s max with 5 groups of 2; Ethernet saturation beyond (61% util)";
+  Printf.printf "%8s | %10s %10s %10s   (total msg/s; util%% for 2-member groups)\n"
+    "groups" "2 members" "4 members" "8 members";
+  List.iter
+    (fun groups ->
+      Printf.printf "%8d |" groups;
+      let util = ref 0. in
+      List.iter
+        (fun members ->
+          (* The paper's testbed had 30 machines; it could not run >3
+             groups of 8 and we inherit the limit for comparability. *)
+          if groups * members <= 30 then begin
+            let r = E.multigroup_throughput ~duration_ms:1_200 ~groups ~members () in
+            if members = 2 then util := r.E.ether_utilisation;
+            Printf.printf " %10.0f" r.E.total_msgs_per_sec
+          end
+          else Printf.printf " %10s" "-")
+        [ 2; 4; 8 ];
+      Printf.printf "   util %.0f%%\n%!" (100. *. !util))
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let fig7 () =
+  header "Figure 7: delay for 1 sender vs resilience degree (group size = r+1, PB)"
+    "4.2 ms at r=1 (n=2); 12.9 ms at r=15 (n=16); ~600 us per acknowledgement";
+  Printf.printf "%8s %8s %12s\n" "r" "members" "delay (ms)";
+  List.iter
+    (fun r ->
+      let d =
+        E.broadcast_delay ~samples:10 ~resilience:r ~n:(r + 1) ~size:0
+          ~send_method:T.Pb ()
+      in
+      Printf.printf "%8d %8d %12.2f\n%!" r (r + 1) d.E.mean_ms)
+    [ 1; 2; 4; 6; 8; 10; 12; 15 ]
+
+let fig8 () =
+  header "Figure 8: throughput under resilience (group size = senders, r = n-1, PB)"
+    "resilient sends cost 3+r messages each; throughput falls as r grows";
+  Printf.printf "%8s %8s %14s   (maximum resilience, r = n-1)\n" "members" "r"
+    "msgs/second";
+  List.iter
+    (fun n ->
+      let r =
+        E.group_throughput ~duration_ms:1_200 ~resilience:(n - 1) ~n ~size:0
+          ~send_method:T.Pb ()
+      in
+      Printf.printf "%8d %8d %14.0f\n%!" n (n - 1) r.E.msgs_per_sec)
+    [ 2; 4; 8; 12; 16 ];
+  Printf.printf "\n%8s %8s %14s   (fixed group of 8, varying r)\n" "members" "r"
+    "msgs/second";
+  List.iter
+    (fun r ->
+      let t =
+        E.group_throughput ~duration_ms:1_200 ~resilience:r ~n:8 ~size:0
+          ~send_method:T.Pb ()
+      in
+      Printf.printf "%8d %8d %14.0f\n%!" 8 r t.E.msgs_per_sec)
+    [ 0; 1; 2; 4; 7 ]
+
+let rpc_compare () =
+  header "Section 4: group communication vs Amoeba RPC"
+    "null broadcast to a group of 2 is 0.1 ms faster than a null RPC (2.7 vs 2.8)";
+  let grp = (E.broadcast_delay ~samples:12 ~n:2 ~size:0 ~send_method:T.Pb ()).E.mean_ms in
+  let rpc = E.null_rpc_delay_ms () in
+  Printf.printf "  null broadcast (group of 2): %5.2f ms\n" grp;
+  Printf.printf "  null RPC:                    %5.2f ms\n" rpc;
+  Printf.printf "  broadcast is %.2f ms %s\n" (Float.abs (rpc -. grp))
+    (if grp < rpc then "faster" else "slower")
+
+let ablation_cm () =
+  header "Section 6 ablation: Amoeba vs comparison protocols (group of 8, 0B)"
+    "CM: 2-3 broadcasts and 2(n-1) interrupts per message vs Amoeba's 2 msgs / n interrupts;\n\
+     positive acks implode at the sequencer";
+  Printf.printf "%-18s %10s %10s %12s %14s\n" "protocol" "delay ms" "msgs/s"
+    "frames/msg" "interrupts/msg";
+  List.iter
+    (fun proto ->
+      let r = E.baseline_compare ~n:8 proto in
+      Printf.printf "%-18s %10.2f %10.0f %12.1f %14.1f\n%!"
+        (E.baseline_name proto) r.E.delay_ms r.E.tput_per_sec r.E.frames_per_msg
+        r.E.interrupts_per_msg)
+    [ E.Amoeba_pb; E.Amoeba_bb; E.Cm_token; E.Pos_ack; E.Migrating ]
+
+let ablation_migrate () =
+  header "Section 5 ablation: static vs migrating sequencer on bursty senders"
+    "\"the performance gained by migrating the sequencer may be worth the complexity\"";
+  let stat = E.burst_delay ~n:8 `Static in
+  let mig = E.burst_delay ~n:8 `Migrating in
+  Printf.printf "  static sequencer:    %5.2f ms per message in a burst\n" stat;
+  Printf.printf "  migrating sequencer: %5.2f ms per message in a burst\n" mig;
+  Printf.printf "  migrating wins by %.1fx once the token is local\n" (stat /. mig)
+
+let ablation_pbbb () =
+  header "Section 3.1 ablation: the PB/BB switch (group of 8, 1 sender)"
+    "PB spends 2n bytes of bandwidth but interrupts receivers once;\n\
+     BB spends n bytes but interrupts twice; Amoeba switches on size";
+  Printf.printf "%8s | %10s %10s %10s   (delay ms; Auto should track the winner)\n"
+    "size" "PB" "BB" "Auto";
+  List.iter
+    (fun size ->
+      let d m = (E.broadcast_delay ~samples:8 ~n:8 ~size ~send_method:m ()).E.mean_ms in
+      Printf.printf "%8d | %10.2f %10.2f %10.2f\n%!" size (d T.Pb) (d T.Bb) (d T.Auto))
+    [ 0; 256; 1024; 2048; 4096; 8000 ]
+
+let ablation_processing () =
+  header "Conclusion 1 ablation: throughput vs. message-processing cost (group of 8, 0B)"
+    "\"the scalability of our sequencer-based protocols is limited by message\n\
+     processing time\" - halving software costs should raise throughput well\n\
+     before the 10 Mbit/s wire matters";
+  Printf.printf "%12s %14s %12s\n" "cpu factor" "msgs/second" "delay (ms)";
+  List.iter
+    (fun factor ->
+      let cost = E.scaled_processing factor in
+      let tput =
+        (E.group_throughput ~cost ~duration_ms:1_200 ~n:8 ~size:0
+           ~send_method:T.Pb ())
+          .E.msgs_per_sec
+      in
+      let d =
+        (E.broadcast_delay ~cost ~samples:8 ~n:8 ~size:0 ~send_method:T.Pb ())
+          .E.mean_ms
+      in
+      Printf.printf "%12.2f %14.0f %12.2f\n%!" factor tput d)
+    [ 2.0; 1.5; 1.0; 0.5; 0.25; 0.1 ]
+
+let ablation_userspace () =
+  header "Section 5 ablation: in-kernel vs user-space protocol implementation"
+    "Oey et al. measured a 32% slowdown for a user-space implementation on\n\
+     synthetic benchmarks (paper cites [23])";
+  let kernel_d =
+    (E.broadcast_delay ~samples:10 ~n:8 ~size:0 ~send_method:T.Pb ()).E.mean_ms
+  in
+  let user_d =
+    (E.broadcast_delay ~cost:E.user_space_costs ~samples:10 ~n:8 ~size:0
+       ~send_method:T.Pb ())
+      .E.mean_ms
+  in
+  let kernel_t =
+    (E.group_throughput ~duration_ms:1_200 ~n:8 ~size:0 ~send_method:T.Pb ())
+      .E.msgs_per_sec
+  in
+  let user_t =
+    (E.group_throughput ~cost:E.user_space_costs ~duration_ms:1_200 ~n:8 ~size:0
+       ~send_method:T.Pb ())
+      .E.msgs_per_sec
+  in
+  Printf.printf "  delay:      kernel %5.2f ms   user space %5.2f ms  (+%.0f%%)\n"
+    kernel_d user_d
+    (100. *. ((user_d /. kernel_d) -. 1.));
+  Printf.printf "  throughput: kernel %5.0f /s   user space %5.0f /s  (-%.0f%%)\n"
+    kernel_t user_t
+    (100. *. (1. -. (user_t /. kernel_t)))
+
+let ablation_flowcontrol () =
+  header "Section 4 extension: multicast flow control for multi-packet messages"
+    "\"it is not immediately clear how [flow control] should be extended to\n\
+     multicast communication\" - rate-pacing the fragments (BB, 8 senders);\n\
+     * marks retransmission-bound runs, the paper's unmeasurable configs";
+  Printf.printf "%10s | %12s %12s %12s   (msg/s by inter-fragment gap)\n" "size"
+    "no pacing" "300 us" "600 us";
+  List.iter
+    (fun size ->
+      Printf.printf "%10d |" size;
+      List.iter
+        (fun gap_us ->
+          let cost =
+            { Cost_model.default with multicast_frag_gap_ns = gap_us * 1_000 }
+          in
+          let r =
+            E.group_throughput ~cost ~duration_ms:1_500 ~n:8 ~size
+              ~send_method:T.Bb ()
+          in
+          Printf.printf " %11.0f%s" r.E.msgs_per_sec
+            (if not r.E.meaningful then "*" else " "))
+        [ 0; 300; 600 ];
+      print_newline ())
+    [ 2048; 4096; 8000 ];
+  print_endline
+    "2 KB stabilises with a paced sender plus byte-bounded repair; 4 KB only\n\
+     at a well-matched rate; 8 KB with 8 senders exceeds what a 10 Mbit/s\n\
+     Ethernet can carry, pacing or not - receiver-driven credits (Transis,\n\
+     the paper's ref [1]) would be the next step."
+
+let fig_load_latency () =
+  header "Conclusion 1, queueing view: delay vs offered load (group of 8, 0B, Poisson)"
+    "open-loop arrivals show the knee at the sequencer's processing ceiling\n\
+     (~740 msg/s closed-loop); past it the queue and the delay blow up";
+  Printf.printf "%12s %12s %14s\n" "offered/s" "completed/s" "mean delay ms";
+  List.iter
+    (fun rate ->
+      let p = E.open_loop_load ~duration_ms:2_000 ~n:8 ~rate_per_sec:rate () in
+      Printf.printf "%12.0f %12.0f %14.2f\n%!" p.E.offered_per_sec
+        p.E.completed_per_sec p.E.mean_delay_ms)
+    [ 100.; 300.; 500.; 650.; 720.; 800. ]
+
+let ablation_history () =
+  header "Section 3.1 ablation: history-buffer size (group of 3, 0B, one idle member)"
+    "the measurements used 128 messages; a small buffer fills, parks requests\n\
+     and solicits member status, throttling the sequencer";
+  Printf.printf "%12s %14s\n" "history" "msgs/second";
+  List.iter
+    (fun history ->
+      (* One member never sends, so only solicitation (not piggybacked
+         traffic) can advance the pruning frontier. *)
+      let cl = Amoeba_harness.Cluster.create ~n:3 () in
+      let rate = ref 0. in
+      Amoeba_harness.Cluster.spawn cl (fun () ->
+          let open Amoeba_core in
+          let creator =
+            Api.create_group (Amoeba_harness.Cluster.flip cl 0) ~history ()
+          in
+          let addr = Api.group_address creator in
+          let g1 =
+            Result.get_ok
+              (Api.join_group (Amoeba_harness.Cluster.flip cl 1) ~history addr)
+          in
+          let idle =
+            Result.get_ok
+              (Api.join_group (Amoeba_harness.Cluster.flip cl 2) ~history addr)
+          in
+          List.iter
+            (fun g ->
+              Amoeba_harness.Cluster.spawn cl (fun () ->
+                  let rec loop () =
+                    ignore (Api.receive_from_group g);
+                    loop ()
+                  in
+                  loop ()))
+            [ creator; g1; idle ];
+          let deadline = Amoeba_sim.Time.ms 1_500 in
+          Amoeba_harness.Cluster.spawn cl (fun () ->
+              let rec loop () =
+                if Amoeba_harness.Cluster.now cl < deadline then begin
+                  ignore (Api.send_to_group g1 Bytes.empty);
+                  loop ()
+                end
+              in
+              loop ());
+          let warmup = deadline / 4 in
+          Amoeba_sim.Engine.sleep cl.Amoeba_harness.Cluster.engine warmup;
+          let c0 = Kernel.next_expected (Api.kernel creator) in
+          Amoeba_sim.Engine.sleep cl.Amoeba_harness.Cluster.engine
+            (deadline - warmup);
+          let c1 = Kernel.next_expected (Api.kernel creator) in
+          rate :=
+            float_of_int (c1 - c0) /. Amoeba_sim.Time.to_sec (deadline - warmup));
+      Amoeba_harness.Cluster.run ~until:(Amoeba_sim.Time.sec 3) cl;
+      Printf.printf "%12d %14.0f\n%!" history !rate)
+    [ 4; 8; 16; 32; 64; 128 ]
+
+let headline () =
+  header "Headline numbers" "abstract: 2.8 ms null broadcast to 30; 815 msg/s; 3175 msg/s multi-group";
+  let d30 = (E.broadcast_delay ~samples:12 ~n:30 ~size:0 ~send_method:T.Pb ()).E.mean_ms in
+  let tput = (E.group_throughput ~duration_ms:1_500 ~n:16 ~size:0 ~send_method:T.Pb ()).E.msgs_per_sec in
+  let mg = (E.multigroup_throughput ~duration_ms:1_500 ~groups:5 ~members:2 ()).E.total_msgs_per_sec in
+  Printf.printf "  null broadcast to a group of 30: %6.2f ms   (paper: 2.8)\n" d30;
+  Printf.printf "  max throughput per group:        %6.0f /s    (paper: 815)\n" tput;
+  Printf.printf "  max multi-group throughput:      %6.0f /s    (paper: 3175)\n" mg
+
+(* Bechamel microbenchmarks: host-time cost of the core data
+   structures and of one simulated experiment step per table/figure. *)
+let micro () =
+  header "Bechamel microbenchmarks (host time)" "";
+  let open Bechamel in
+  let open Toolkit in
+  let history_ops =
+    Test.make ~name:"history add+prune (Table 3 substrate)"
+      (Staged.stage (fun () ->
+           let h = Amoeba_core.History.create ~capacity:128 in
+           for s = 0 to 511 do
+             Amoeba_core.History.add_evicting h
+               { Amoeba_core.History.seq = s; sender = 0; msgid = s;
+                 payload = T.User Bytes.empty }
+           done))
+  in
+  let pqueue_ops =
+    Test.make ~name:"event queue push+pop x1024 (simulator core)"
+      (Staged.stage (fun () ->
+           let q = Amoeba_sim.Pqueue.create ~cmp:compare in
+           for i = 0 to 1023 do
+             Amoeba_sim.Pqueue.push q ((i * 7919) mod 1024)
+           done;
+           while not (Amoeba_sim.Pqueue.is_empty q) do
+             ignore (Amoeba_sim.Pqueue.pop q)
+           done))
+  in
+  let one_broadcast =
+    Test.make ~name:"one 0B broadcast, group of 2 (Fig 1 inner loop)"
+      (Staged.stage (fun () ->
+           ignore (E.broadcast_delay ~samples:1 ~n:2 ~size:0 ~send_method:T.Pb ())))
+  in
+  let one_rpc =
+    Test.make ~name:"one null RPC (Sec. 4 baseline inner loop)"
+      (Staged.stage (fun () -> ignore (E.null_rpc_delay_ms ())))
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let tests =
+    Test.make_grouped ~name:"amoeba"
+      [ history_ops; pqueue_ops; one_broadcast; one_rpc ]
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _clock tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-52s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-52s (no estimate)\n" name)
+        tbl)
+    results
+
+let targets : (string * (unit -> unit)) list =
+  [
+    ("headline", headline);
+    ("fig1", fig1);
+    ("table3", table3);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("rpc_compare", rpc_compare);
+    ("ablation_cm", ablation_cm);
+    ("ablation_migrate", ablation_migrate);
+    ("ablation_pbbb", ablation_pbbb);
+    ("ablation_processing", ablation_processing);
+    ("ablation_userspace", ablation_userspace);
+    ("ablation_history", ablation_history);
+    ("ablation_flowcontrol", ablation_flowcontrol);
+    ("load_latency", fig_load_latency);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst targets
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown target %S; available: %s\n" name
+            (String.concat " " (List.map fst targets));
+          exit 1)
+    requested

@@ -1,0 +1,136 @@
+(* A command-line explorer for the simulated Amoeba group system:
+   point measurements, protocol traces and the cost model, without
+   editing any benchmark code.
+
+     amoeba delay --members 8 --size 1024 --method bb
+     amoeba throughput --senders 16 --resilience 2
+     amoeba multigroup --groups 5 --members 2
+     amoeba trace
+     amoeba costs *)
+
+open Cmdliner
+open Amoeba_harness
+module T = Amoeba_core.Types
+module E = Experiments
+
+let method_conv =
+  let parse = function
+    | "pb" -> Ok T.Pb
+    | "bb" -> Ok T.Bb
+    | "auto" -> Ok T.Auto
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (pb|bb|auto)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+  in
+  Arg.conv (parse, print)
+
+let members_t =
+  Arg.(value & opt int 8 & info [ "m"; "members" ] ~doc:"Group size.")
+
+let size_t =
+  Arg.(value & opt int 0 & info [ "s"; "size" ] ~doc:"Message size in bytes.")
+
+let method_t =
+  Arg.(value & opt method_conv T.Pb & info [ "method" ] ~doc:"pb, bb or auto.")
+
+let resilience_t =
+  Arg.(value & opt int 0 & info [ "r"; "resilience" ] ~doc:"Resilience degree.")
+
+let delay_cmd =
+  let run members size method_ r =
+    let d =
+      E.broadcast_delay ~samples:20 ~resilience:r ~n:members ~size
+        ~send_method:method_ ()
+    in
+    Printf.printf
+      "SendToGroup delay, %d members, %d bytes, r=%d: mean %.2f ms (min %.2f, max %.2f, %d samples)\n"
+      members size r d.E.mean_ms d.E.min_ms d.E.max_ms d.E.samples
+  in
+  Cmd.v (Cmd.info "delay" ~doc:"Measure broadcast delay (paper Figs 1/3/7).")
+    Term.(const run $ members_t $ size_t $ method_t $ resilience_t)
+
+let throughput_cmd =
+  let senders_t =
+    Arg.(value & opt int 8 & info [ "senders" ] ~doc:"Senders (= group size).")
+  in
+  let duration_t =
+    Arg.(value & opt int 2000 & info [ "duration" ] ~doc:"Simulated ms.")
+  in
+  let run senders size method_ r duration =
+    let t =
+      E.group_throughput ~duration_ms:duration ~resilience:r ~n:senders ~size
+        ~send_method:method_ ()
+    in
+    Printf.printf
+      "throughput, %d senders, %d bytes, r=%d: %.0f msg/s (%d ring drops, %d retransmissions)%s\n"
+      senders size r t.E.msgs_per_sec t.E.rx_dropped t.E.retransmissions
+      (if t.E.meaningful then "" else "  [NOT MEANINGFUL: retransmission-bound]")
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Measure group throughput (paper Figs 4/5/8).")
+    Term.(const run $ senders_t $ size_t $ method_t $ resilience_t $ duration_t)
+
+let multigroup_cmd =
+  let groups_t = Arg.(value & opt int 5 & info [ "groups" ] ~doc:"Groups.") in
+  let run groups members =
+    let r = E.multigroup_throughput ~groups ~members () in
+    Printf.printf
+      "%d groups x %d members: %.0f msg/s total, %.0f%% Ethernet utilisation, %d collisions\n"
+      groups members r.E.total_msgs_per_sec
+      (100. *. r.E.ether_utilisation)
+      r.E.collisions
+  in
+  Cmd.v
+    (Cmd.info "multigroup" ~doc:"Disjoint groups on one Ethernet (paper Fig 6).")
+    Term.(const run $ groups_t $ members_t)
+
+let trace_cmd =
+  let run () =
+    let layers, total = E.critical_path () in
+    print_endline "critical path of one 0-byte SendToGroup (group of 2, PB):";
+    List.iter (fun (l, us) -> Printf.printf "  %-8s %7.0f us\n" l us) layers;
+    Printf.printf "  %-8s %7.0f us (measured end to end)\n" "total" total;
+    Printf.printf "  (paper Table 3: total 2740 us, group layer 740 us)\n"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Per-layer critical path (paper Fig 2 / Table 3).")
+    Term.(const run $ const ())
+
+let costs_cmd =
+  let run () =
+    let c = Amoeba_net.Cost_model.default in
+    print_endline "simulated testbed (20-MHz MC68030, Lance, 10 Mbit/s Ethernet):";
+    let row name v = Printf.printf "  %-22s %8d ns\n" name v in
+    row "interrupt" c.interrupt_ns;
+    row "driver tx / rx" c.driver_tx_ns;
+    row "copy (per byte)" c.copy_ns_per_byte;
+    row "context switch" c.context_switch_ns;
+    row "flip tx / rx" c.flip_tx_ns;
+    row "group send" c.group_send_ns;
+    row "group sequencer" c.group_seq_ns;
+    row "  + per member" c.group_seq_member_ns;
+    row "group deliver" c.group_deliver_ns;
+    Printf.printf "  %-22s %8d bytes\n" "header stack"
+      (Amoeba_net.Cost_model.headers_total c);
+    Printf.printf "  %-22s %8d frames\n" "lance rx ring" c.rx_ring_frames;
+    Printf.printf "  %-22s %8d messages\n" "history buffer" c.history_buffer
+  in
+  Cmd.v (Cmd.info "costs" ~doc:"Print the calibrated cost model.")
+    Term.(const run $ const ())
+
+let rpc_cmd =
+  let run () =
+    Printf.printf "null RPC: %.2f ms (paper: 2.8)\n" (E.null_rpc_delay_ms ())
+  in
+  Cmd.v (Cmd.info "rpc" ~doc:"Measure the null RPC baseline.")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "amoeba" ~version:"1.0"
+       ~doc:"Explore the reproduced Amoeba group communication system.")
+    [ delay_cmd; throughput_cmd; multigroup_cmd; trace_cmd; costs_cmd; rpc_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/directory_service.ml: Amoeba_core Amoeba_flip Amoeba_harness Amoeba_net Amoeba_rpc Amoeba_sim Api Bytes Cluster Engine Hashtbl List Machine Printf Result Rpc String Time Types Types_rpc

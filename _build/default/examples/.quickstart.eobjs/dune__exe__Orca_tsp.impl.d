@@ -1,0 +1,1 @@
+examples/orca_tsp.ml: Amoeba_harness Amoeba_net Amoeba_orca Amoeba_sim Array Bytes Cluster Engine Fun List Option Orca Printf Result String Time

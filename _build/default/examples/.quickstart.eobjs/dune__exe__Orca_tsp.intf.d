@@ -1,0 +1,1 @@
+examples/orca_tsp.mli:

@@ -1,0 +1,1 @@
+examples/parallel_sum.ml: Amoeba_core Amoeba_harness Amoeba_net Amoeba_sim Api Array Bytes Cluster List Printf Result String Time Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amoeba_core Amoeba_harness Amoeba_sim Api Bytes Cluster Engine Format List Printf Result Time Types

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Amoeba_core Amoeba_harness Amoeba_net Amoeba_sim Api Bytes Cluster Engine Hashtbl List Machine Printf Result String Time Types

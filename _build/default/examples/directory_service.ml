@@ -1,0 +1,115 @@
+(* A fault-tolerant directory service, after Kaashoek, Tanenbaum and
+   Verstoep, "Using group communication to implement a fault-tolerant
+   directory service" (the paper's reference [18]).
+
+   Three directory servers replicate a name -> address mapping through
+   totally-ordered group communication (updates, r = 1) and answer
+   client lookups over plain RPC.  A server that does not own a fresh
+   enough copy can pass a request on with ForwardRequest.  We crash
+   one server and show the directory keeps answering.
+
+   Run with: dune exec examples/directory_service.exe *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_core
+open Amoeba_rpc
+open Amoeba_harness
+module T = Types
+
+let n_servers = 3
+
+type server = {
+  name : string;
+  group : Api.group;
+  table : (string, string) Hashtbl.t;
+  rpc_addr : Amoeba_flip.Addr.t;
+}
+
+(* Directory updates ride the group; every server applies them in the
+   same order. *)
+let apply_updates cl s =
+  Cluster.spawn cl (fun () ->
+      let rec loop () =
+        (match Api.receive_from_group s.group with
+        | T.Message { body; _ } -> (
+            match String.split_on_char ' ' (Bytes.to_string body) with
+            | [ "reg"; name; addr ] -> Hashtbl.replace s.table name addr
+            | [ "unreg"; name ] -> Hashtbl.remove s.table name
+            | _ -> ())
+        | _ -> ());
+        loop ()
+      in
+      loop ())
+
+(* Lookups are cheap local reads over RPC; registrations go through
+   the group so all replicas stay consistent. *)
+let serve_rpc flip s =
+  let handler req =
+    match String.split_on_char ' ' (Bytes.to_string req) with
+    | [ "lookup"; name ] ->
+        Types_rpc.Reply
+          (Bytes.of_string
+             (match Hashtbl.find_opt s.table name with
+             | Some a -> "found " ^ a
+             | None -> "unknown"))
+    | "reg" :: _ | "unreg" :: _ ->
+        ignore (Api.send_to_group s.group req);
+        Types_rpc.Reply (Bytes.of_string "ok")
+    | _ -> Types_rpc.Reply (Bytes.of_string "bad request")
+  in
+  ignore (Rpc.serve flip ~addr:s.rpc_addr handler)
+
+let () =
+  let cl = Cluster.create ~n:(n_servers + 1) () in
+  let client_machine = n_servers in
+  Cluster.spawn cl (fun () ->
+      let g0 = Api.create_group (Cluster.flip cl 0) ~resilience:1 () in
+      let gaddr = Api.group_address g0 in
+      let servers =
+        List.init n_servers (fun i ->
+            let flip = Cluster.flip cl i in
+            let group =
+              if i = 0 then g0
+              else Result.get_ok (Api.join_group flip ~resilience:1 gaddr)
+            in
+            let s =
+              {
+                name = Printf.sprintf "dir%d" i;
+                group;
+                table = Hashtbl.create 32;
+                rpc_addr = Amoeba_flip.Flip.fresh_addr flip;
+              }
+            in
+            apply_updates cl s;
+            serve_rpc flip s;
+            s)
+      in
+      let client = Rpc.client (Cluster.flip cl client_machine) in
+      let ask i msg =
+        match
+          Rpc.call client ~dst:(List.nth servers i).rpc_addr (Bytes.of_string msg)
+        with
+        | Ok r -> Bytes.to_string r
+        | Error `Timeout -> "<timeout>"
+        | Error `No_route -> "<no route>"
+      in
+      Printf.printf "register printer via dir0: %s\n" (ask 0 "reg printer cap:0xbeef");
+      Printf.printf "register filesvr via dir1: %s\n" (ask 1 "reg filesvr cap:0xcafe");
+      Engine.sleep cl.Cluster.engine (Time.ms 50);
+      Printf.printf "lookup printer at dir2: %s\n" (ask 2 "lookup printer");
+      Printf.printf "lookup filesvr at dir0: %s\n" (ask 0 "lookup filesvr");
+
+      print_endline "crashing dir0 (the sequencer)...";
+      Machine.crash (Cluster.machine cl 0);
+      (match Api.reset_group (List.nth servers 1).group ~min_members:2 with
+      | Ok survivors -> Printf.printf "directory group rebuilt with %d servers\n" survivors
+      | Error e -> Printf.printf "reset failed: %s\n" (T.error_to_string e));
+
+      Printf.printf "register plotter via dir2: %s\n" (ask 2 "reg plotter cap:0xf00d");
+      Engine.sleep cl.Cluster.engine (Time.ms 50);
+      Printf.printf "lookup plotter at dir1: %s\n" (ask 1 "lookup plotter");
+      Printf.printf "lookup printer at dir1 (pre-crash data): %s\n"
+        (ask 1 "lookup printer"));
+  Cluster.run ~until:(Time.sec 30) cl;
+  print_endline "directory_service done"

@@ -1,0 +1,215 @@
+(* Parallel branch-and-bound TSP on Orca-style shared objects — the
+   canonical application of the Amoeba group system (the paper's
+   reference [30], "Parallel programming using shared objects and
+   broadcasting").
+
+   Three shared objects drive the computation:
+   - "bound":   the best tour length found so far.  Workers read it
+                locally on every node expansion (reads are free) and
+                broadcast an update only when they improve it.
+   - "jobs":    a work queue of partial tours, fed by the master,
+                consumed by guarded pops.
+   - "credits": an outstanding-work counter for distributed
+                termination detection.
+
+   Run with: dune exec examples/orca_tsp.exe *)
+
+open Amoeba_sim
+open Amoeba_orca
+open Amoeba_harness
+
+let n_workers = 6
+let n_cities = 9
+
+(* A deterministic asymmetric distance matrix. *)
+let dist =
+  Array.init n_cities (fun i ->
+      Array.init n_cities (fun j ->
+          if i = j then 0 else 10 + ((i * 37) + (j * 61) + (i * j * 13)) mod 90))
+
+let encode_ints l = Bytes.of_string (String.concat "," (List.map string_of_int l))
+
+let decode_ints b =
+  let s = Bytes.to_string b in
+  if s = "" then Some []
+  else
+    try Some (List.map int_of_string (String.split_on_char ',' s))
+    with Failure _ -> None
+
+(* The global bound: minimised under broadcast; the result tells the
+   writer whether its candidate won. *)
+module Bound_obj = struct
+  type state = int
+  type op = Propose of int
+  type result = bool
+
+  let apply st (Propose v) = if v < st then (v, true) else (st, false)
+  let encode_op (Propose v) = encode_ints [ v ]
+  let decode_op b =
+    match decode_ints b with Some [ v ] -> Some (Propose v) | _ -> None
+end
+
+(* Jobs are partial tours (city prefixes). *)
+module Jobs_obj = struct
+  type state = int list list
+  type op = Push of int list | Pop
+  type result = int list option
+
+  let apply st = function
+    | Push j -> (j :: st, None)
+    | Pop -> ( match st with [] -> ([], None) | j :: rest -> (rest, Some j))
+
+  let encode_op = function
+    | Push j -> Bytes.cat (Bytes.of_string "+") (encode_ints j)
+    | Pop -> Bytes.of_string "-"
+
+  let decode_op b =
+    if Bytes.length b = 0 then None
+    else if Bytes.get b 0 = '-' then Some Pop
+    else
+      Option.map (fun j -> Push j)
+        (decode_ints (Bytes.sub b 1 (Bytes.length b - 1)))
+end
+
+module Credits_obj = struct
+  type state = int
+  type op = Delta of int
+  type result = int
+
+  let apply st (Delta d) = (st + d, st + d)
+  let encode_op (Delta d) = encode_ints [ d ]
+  let decode_op b =
+    match decode_ints b with Some [ d ] -> Some (Delta d) | _ -> None
+end
+
+module Bound = Orca.Make (Bound_obj)
+module Jobs = Orca.Make (Jobs_obj)
+module Credits = Orca.Make (Credits_obj)
+
+(* Sequential depth-first expansion of one partial tour, pruning
+   against the shared bound. *)
+let expand machine bound partial =
+  let visited = Array.make n_cities false in
+  List.iter (fun c -> visited.(c) <- true) partial;
+  let best_local = ref max_int in
+  let rec go tour len count =
+    (* charge a little simulated CPU per node *)
+    Amoeba_net.Machine.work machine ~layer:"user" (Time.us 2);
+    if len < Bound.read bound Fun.id then begin
+      if count = n_cities then begin
+        let total = len + dist.(List.hd tour).(0) in
+        if total < !best_local then best_local := total
+      end
+      else
+        for c = 0 to n_cities - 1 do
+          if not visited.(c) then begin
+            visited.(c) <- true;
+            go (c :: tour) (len + dist.(List.hd tour).(c)) (count + 1);
+            visited.(c) <- false
+          end
+        done
+    end
+  in
+  let len =
+    let rec path_len = function
+      | a :: (b :: _ as rest) -> dist.(b).(a) + path_len rest
+      | _ -> 0
+    in
+    path_len partial
+  in
+  go partial len (List.length partial);
+  !best_local
+
+(* Reference answer, computed sequentially on the host. *)
+let sequential_optimum () =
+  let visited = Array.make n_cities false in
+  visited.(0) <- true;
+  let best = ref max_int in
+  let rec go last len count =
+    if len < !best then begin
+      if count = n_cities then best := min !best (len + dist.(last).(0))
+      else
+        for c = 0 to n_cities - 1 do
+          if not visited.(c) then begin
+            visited.(c) <- true;
+            go c (len + dist.(last).(c)) (count + 1);
+            visited.(c) <- false
+          end
+        done
+    end
+  in
+  go 0 0 1;
+  !best
+
+let () =
+  let cl = Cluster.create ~n:n_workers () in
+  let answer = ref max_int in
+  Cluster.spawn cl (fun () ->
+      let rt0 = Orca.Runtime.create (Cluster.flip cl 0) in
+      let rts =
+        rt0
+        :: List.init (n_workers - 1) (fun i ->
+               Result.get_ok
+                 (Orca.Runtime.join (Cluster.flip cl (i + 1))
+                    (Orca.Runtime.address rt0)))
+      in
+      let objs =
+        List.map
+          (fun rt ->
+            ( Bound.declare rt ~name:"bound" ~init:max_int,
+              Jobs.declare rt ~name:"jobs" ~init:[],
+              Credits.declare rt ~name:"credits" ~init:0 ))
+          rts
+      in
+      (* Master: one job per (first hop, second hop) prefix. *)
+      let bound0, jobs0, credits0 = List.hd objs in
+      let jobs =
+        List.concat_map
+          (fun a ->
+            if a = 0 then []
+            else
+              List.filter_map
+                (fun b -> if b <> 0 && b <> a then Some [ b; a; 0 ] else None)
+                (List.init n_cities Fun.id))
+          (List.init n_cities Fun.id)
+      in
+      ignore (Credits.write credits0 (Credits_obj.Delta (List.length jobs)));
+      List.iter (fun j -> ignore (Jobs.write jobs0 (Jobs_obj.Push j))) jobs;
+      Printf.printf "master seeded %d jobs for %d workers\n%!" (List.length jobs)
+        n_workers;
+      (* Workers. *)
+      List.iteri
+        (fun w (bound, jobs_h, credits) ->
+          Cluster.spawn cl (fun () ->
+              let machine = Cluster.machine cl w in
+              let rec work () =
+                Jobs.await jobs_h (fun q -> q <> []);
+                match Result.get_ok (Jobs.write jobs_h Jobs_obj.Pop) with
+                | None ->
+                    (* Someone stole the job between guard and pop. *)
+                    if Credits.read credits Fun.id > 0 then work ()
+                | Some job ->
+                    let local_best = expand machine bound job in
+                    if local_best < Bound.read bound Fun.id then begin
+                      match Bound.write bound (Bound_obj.Propose local_best) with
+                      | Ok true ->
+                          Printf.printf "worker %d improved the bound to %d\n%!"
+                            w local_best
+                      | Ok false | Error _ -> ()
+                    end;
+                    ignore (Credits.write credits (Credits_obj.Delta (-1)));
+                    if Credits.read credits Fun.id > 0 then work ()
+              in
+              work ()))
+        objs;
+      (* Termination: all credits consumed. *)
+      Credits.await credits0 (fun c -> c = 0);
+      (* Wait a moment for any in-flight bound update. *)
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      answer := Bound.read bound0 Fun.id;
+      Printf.printf "parallel optimum: %d (at t=%.1f ms simulated)\n%!" !answer
+        (Time.to_ms (Engine.now cl.Cluster.engine)));
+  Cluster.run ~until:(Time.sec 600) cl;
+  let seq = sequential_optimum () in
+  Printf.printf "sequential optimum: %d; agreement: %b\n" seq (!answer = seq);
+  print_endline "orca_tsp done"

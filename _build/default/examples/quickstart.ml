@@ -1,0 +1,67 @@
+(* Quickstart: create a group, join members, exchange totally-ordered
+   messages, observe that every member sees the same stream.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Amoeba_sim
+open Amoeba_core
+open Amoeba_harness
+module T = Types
+
+let () =
+  (* A simulated testbed: 3 machines on one Ethernet segment. *)
+  let cl = Cluster.create ~n:3 () in
+
+  Cluster.spawn cl (fun () ->
+      (* Machine 0 creates the group (and hosts the sequencer)... *)
+      let alice = Api.create_group (Cluster.flip cl 0) () in
+      let port = Api.group_address alice in
+
+      (* ...and the others join.  The group address is the "port" you
+         would distribute out of band (in Amoeba: as a capability). *)
+      let bob = Result.get_ok (Api.join_group (Cluster.flip cl 1) port) in
+      let carol = Result.get_ok (Api.join_group (Cluster.flip cl 2) port) in
+
+      let members = [ ("alice", alice); ("bob", bob); ("carol", carol) ] in
+
+      (* Every member prints its delivery stream: the streams are
+         identical, whatever the send interleaving. *)
+      List.iter
+        (fun (name, g) ->
+          Cluster.spawn cl (fun () ->
+              let rec loop () =
+                (match Api.receive_from_group g with
+                | T.Message { seq; sender; body } ->
+                    Printf.printf "  [%-5s] seq %2d from member %d: %s\n" name
+                      seq sender (Bytes.to_string body)
+                | T.Member_joined { mid; _ } ->
+                    Printf.printf "  [%-5s] member %d joined\n" name mid
+                | ev -> Format.printf "  [%-5s] %a@." name T.pp_event ev);
+                loop ()
+              in
+              loop ()))
+        members;
+
+      (* Two members send concurrently. *)
+      Cluster.spawn cl (fun () ->
+          for i = 1 to 3 do
+            ignore
+              (Api.send_to_group bob
+                 (Bytes.of_string (Printf.sprintf "bob #%d" i)))
+          done);
+      Cluster.spawn cl (fun () ->
+          for i = 1 to 3 do
+            ignore
+              (Api.send_to_group carol
+                 (Bytes.of_string (Printf.sprintf "carol #%d" i)))
+          done);
+
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      let info = Api.get_info_group alice in
+      Printf.printf
+        "group info: %d members, sequencer is member %d, next seq %d\n"
+        (List.length info.Api.members)
+        info.Api.sequencer info.Api.next_seq);
+
+  Cluster.run ~until:(Time.sec 5) cl;
+  print_endline "quickstart done"

@@ -1,0 +1,1 @@
+lib/baselines/cm.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Bytes Channel Cost_model Engine Flip Hashtbl Ivar List Machine Packet Printf Queue String Types_baseline

@@ -1,0 +1,1 @@
+lib/baselines/migrating.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Array Bytes Channel Cost_model Engine Flip Hashtbl Ivar List Machine Packet Printf String Types_baseline

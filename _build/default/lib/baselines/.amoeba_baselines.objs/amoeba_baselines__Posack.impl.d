@@ -1,0 +1,1 @@
+lib/baselines/posack.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Array Bytes Channel Cost_model Engine Flip Hashtbl Ivar List Machine Packet Types_baseline

@@ -1,0 +1,1 @@
+lib/baselines/posack.mli: Amoeba_flip Amoeba_sim Channel Flip Types_baseline

@@ -1,0 +1,1 @@
+lib/baselines/types_baseline.ml:

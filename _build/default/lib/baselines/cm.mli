@@ -1,0 +1,41 @@
+(** The Chang–Maxemchuk token-site reliable broadcast (paper §6).
+
+    The comparison baseline the Amoeba protocol was designed against:
+    every data message is {e broadcast}; a distinguished {e token
+    site} broadcasts an acknowledgement carrying the sequence number,
+    and the token-site role rotates to the next member on every
+    acknowledgement.  Consequences measured in the benches:
+
+    - 2 broadcasts per message (sometimes 3 with an explicit token
+      transfer), versus Amoeba-PB's 1 point-to-point + 1 multicast;
+    - every broadcast interrupts all other members, so each message
+      costs at least 2(n-1) interrupts versus Amoeba's n.
+
+    Failure handling (token-site regeneration) is out of scope — the
+    paper compares failure-free performance; lost messages are
+    repaired with negative acknowledgements against the previous token
+    sites' histories. *)
+
+open Amoeba_sim
+open Amoeba_flip
+open Types_baseline
+
+type node
+
+val make_group : Flip.t list -> node list
+(** One node per FLIP stack; membership is fixed at creation.  The
+    initial token site is node 0. *)
+
+val send : node -> bytes -> unit
+(** Blocking totally-ordered broadcast: returns once the message has
+    been sequenced and delivered locally. *)
+
+val events : node -> delivery Channel.t
+
+val delivered : node -> int
+
+val node_index : node -> int
+
+(** {1 Introspection for tests} *)
+
+val debug_state : node -> string

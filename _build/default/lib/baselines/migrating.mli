@@ -1,0 +1,33 @@
+(** A dynamic (migrating) sequencer, as adopted by Horus and Transis
+    (paper §2.2/§5).
+
+    The sequencer role follows the senders: when member X's request is
+    sequenced, the token moves to X, so X's subsequent messages are
+    sequenced locally and cost a single multicast with no remote round
+    trip.  The paper concludes in retrospect that "the performance
+    gained by migrating the sequencer may be worth the additional
+    complexity"; the ablation bench quantifies that trade-off on
+    bursty senders.  Fixed membership, failure-free comparison
+    protocol. *)
+
+open Amoeba_sim
+open Amoeba_flip
+open Types_baseline
+
+type node
+
+val make_group : Flip.t list -> node list
+(** Node 0 holds the token initially. *)
+
+val send : node -> bytes -> unit
+
+val events : node -> delivery Channel.t
+
+val delivered : node -> int
+
+val token_moves : node -> int
+(** Times the token arrived at this node. *)
+
+(** {1 Introspection for tests} *)
+
+val debug_state : node -> string

@@ -1,0 +1,29 @@
+(** A positive-acknowledgement variant of the sequencer protocol
+    (the design §2.2 argues against).
+
+    Identical to Amoeba-PB except that every member immediately sends
+    an acknowledgement for every sequenced broadcast back to the
+    sequencer.  With n members each broadcast costs the sequencer n-1
+    extra interrupts, and the near-simultaneous acknowledgements of a
+    large group overflow its fixed-size receive ring — the "ack
+    implosion" the paper's negative-acknowledgement scheme avoids.
+    Fixed membership, failure-free: this is a benchmark foil, not a
+    production protocol. *)
+
+open Amoeba_sim
+open Amoeba_flip
+open Types_baseline
+
+type node
+
+val make_group : Flip.t list -> node list
+(** Node 0 hosts the sequencer. *)
+
+val send : node -> bytes -> unit
+
+val events : node -> delivery Channel.t
+
+val delivered : node -> int
+
+val acks_received : node -> int
+(** Positive acknowledgements processed by the sequencer (node 0). *)

@@ -1,0 +1,5 @@
+type delivery = {
+  seq : int;
+  sender : int;
+  body : bytes;
+}

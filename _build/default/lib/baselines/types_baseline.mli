@@ -1,0 +1,7 @@
+(** Shared types for the baseline broadcast protocols. *)
+
+type delivery = {
+  seq : int;
+  sender : int;
+  body : bytes;
+}

@@ -1,0 +1,1 @@
+lib/core/api.ml: Amoeba_flip Amoeba_net Amoeba_sim Bytes Channel Cost_model Engine Flip Kernel List Machine Types

@@ -1,0 +1,1 @@
+lib/core/failure_detector.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Array Channel Cost_model Engine Flip Hashtbl List Machine Option Packet Time

@@ -1,0 +1,1 @@
+lib/core/failure_detector.mli: Addr Amoeba_flip Amoeba_sim Flip

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Bytes Channel Cost_model Engine Flip Hashtbl History Ivar List Machine Option Packet Queue Random Types Wire

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Addr Amoeba_flip Amoeba_sim Channel Flip Types

@@ -1,0 +1,1 @@
+lib/core/types.ml: Amoeba_flip Bytes Format List

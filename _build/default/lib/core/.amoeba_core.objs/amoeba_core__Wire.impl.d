@@ -1,0 +1,1 @@
+lib/core/wire.ml: Amoeba_flip Amoeba_net History List Types

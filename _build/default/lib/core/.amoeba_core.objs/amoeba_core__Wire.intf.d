@@ -1,0 +1,1 @@
+lib/core/wire.mli: Amoeba_flip Amoeba_net History Types

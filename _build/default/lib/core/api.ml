@@ -1,0 +1,90 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+open Types
+
+type group = {
+  k : Kernel.t;
+  machine : Machine.t;
+  engine : Engine.t;
+  cost : Cost_model.t;
+}
+
+type info = {
+  my_mid : mid;
+  sequencer : mid;
+  incarnation : int;
+  members : mid list;
+  resilience : int;
+  send_method : send_method;
+  next_seq : seqno;
+}
+
+let wrap flip k =
+  let machine = Flip.machine flip in
+  { k; machine; engine = Machine.engine machine; cost = Machine.cost machine }
+
+let config ~resilience ~send_method ~history ~auto_heal =
+  {
+    Kernel.resilience;
+    method_ = send_method;
+    history_capacity =
+      (match history with Some h -> h | None -> Cost_model.default.history_buffer);
+    auto_heal;
+  }
+
+let create_group flip ?(resilience = 0) ?(send_method = Pb) ?history
+    ?(auto_heal = false) () =
+  let cfg = config ~resilience ~send_method ~history ~auto_heal in
+  wrap flip (Kernel.create_group flip ~config:cfg ())
+
+let group_address g = Kernel.group_addr g.k
+
+let join_group flip ?(resilience = 0) ?(send_method = Pb) ?history
+    ?(auto_heal = false) addr =
+  let cfg = config ~resilience ~send_method ~history ~auto_heal in
+  match Kernel.join_group flip ~config:cfg ~group_addr:addr () with
+  | Ok k -> Ok (wrap flip k)
+  | Error e -> Error e
+
+let leave_group g = Kernel.leave g.k
+
+(* The user-layer cost on either side of a primitive is dominated by
+   the thread context switch (paper Figure 2 / Table 3). *)
+let user_cost g = Machine.work g.machine ~layer:"user" g.cost.context_switch_ns
+
+let send_to_group g body =
+  user_cost g;
+  (* The message is taken at call time: the caller may reuse its
+     buffer immediately (Amoeba copies into the kernel too). *)
+  let result = Kernel.send g.k (Bytes.copy body) in
+  (* Waking the blocked sending thread costs a second switch. *)
+  user_cost g;
+  result
+
+let receive_from_group g =
+  let ev = Channel.recv g.engine (Kernel.events g.k) in
+  user_cost g;
+  ev
+
+let receive_opt g =
+  match Channel.try_recv (Kernel.events g.k) with
+  | Some ev ->
+      user_cost g;
+      Some ev
+  | None -> None
+
+let reset_group g ~min_members = Kernel.reset g.k ~min_members
+
+let get_info_group g =
+  {
+    my_mid = Kernel.my_mid g.k;
+    sequencer = Kernel.sequencer_mid g.k;
+    incarnation = Kernel.incarnation g.k;
+    members = List.map fst (Kernel.member_list g.k);
+    resilience = (Kernel.config g.k).Kernel.resilience;
+    send_method = (Kernel.config g.k).Kernel.method_;
+    next_seq = Kernel.next_expected g.k;
+  }
+
+let kernel g = g.k

@@ -1,0 +1,78 @@
+(** The Amoeba group communication primitives (paper Table 1).
+
+    {v
+    CreateGroup       Create a group and join it.
+    JoinGroup         Join a given group.
+    LeaveGroup        Leave a given group.
+    SendToGroup       Atomically send a message to a group.
+    ReceiveFromGroup  Receive a message from a group.
+    ResetGroup        Reform the group after a processor failure.
+    GetInfoGroup      Return state information about a group.
+    ForwardRequest    Forward an RPC request to another group member
+                      (provided by the companion Amoeba_rpc library).
+    v}
+
+    All primitives are blocking, as in Amoeba; concurrency is obtained
+    by calling them from multiple simulated threads
+    ({!Amoeba_sim.Engine.spawn}). *)
+
+open Amoeba_flip
+open Types
+
+type group
+
+type info = {
+  my_mid : mid;
+  sequencer : mid;
+  incarnation : int;
+  members : mid list;
+  resilience : int;
+  send_method : send_method;
+  next_seq : seqno;
+}
+
+val create_group :
+  Flip.t ->
+  ?resilience:int ->
+  ?send_method:send_method ->
+  ?history:int ->
+  ?auto_heal:bool ->
+  unit ->
+  group
+(** Creates a group; the creator is member 0 and its machine hosts the
+    sequencer.  [resilience] is the paper's [r]: [SendToGroup] returns
+    only once at least [r] other kernels hold the message, and the
+    group survives any [r] simultaneous processor failures without
+    losing delivered messages. *)
+
+val group_address : group -> Addr.t
+(** The group's FLIP address — the "port" a joiner needs.  Distributed
+    out of band (in Amoeba, as a capability via the directory
+    service). *)
+
+val join_group :
+  Flip.t ->
+  ?resilience:int ->
+  ?send_method:send_method ->
+  ?history:int ->
+  ?auto_heal:bool ->
+  Addr.t ->
+  (group, error) result
+
+val leave_group : group -> (unit, error) result
+
+val send_to_group : group -> bytes -> (seqno, error) result
+
+val receive_from_group : group -> event
+(** Blocks until the next totally-ordered event (message, membership
+    change or reset notice). *)
+
+val receive_opt : group -> event option
+(** Non-blocking variant. *)
+
+val reset_group : group -> min_members:int -> (int, error) result
+
+val get_info_group : group -> info
+
+val kernel : group -> Kernel.t
+(** Escape hatch for tests and benchmarks. *)

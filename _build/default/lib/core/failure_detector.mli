@@ -1,0 +1,41 @@
+(** A standalone unreliable failure detector.
+
+    The paper's section 5, on lessons learned: "the failure detection
+    in the current system is intertwined with the protocol code for
+    sending and receiving messages...  We should have put this
+    functionality in a separate module so that we could have reasoned
+    about it independently of the rest of the system."  This is that
+    module.
+
+    Semantics are the paper's (section 2.1): probe with retries; a
+    process that does not respond within the budget is declared dead —
+    which may be wrong ("some processes may be declared dead although
+    they are functioning fine"), and that is accepted: the recovery
+    protocol expels them so they cannot disturb the survivors. *)
+
+open Amoeba_flip
+
+type t
+
+val create : Flip.t -> t
+(** Registers a responder endpoint on this machine. *)
+
+val address : t -> Addr.t
+(** What other detectors probe. *)
+
+val probe :
+  t -> ?retries:int -> ?timeout:Amoeba_sim.Time.t -> Addr.t -> bool
+(** [probe t addr] sends up to [retries] probes (default: the cost
+    model's) and waits [timeout] for each reply; [false] means
+    "declared dead".  Blocking; call from a process. *)
+
+val probe_many :
+  t -> ?retries:int -> ?timeout:Amoeba_sim.Time.t -> Addr.t list ->
+  (Addr.t * bool) list
+(** Probes concurrently; returns verdicts in the input order. *)
+
+val probes_answered : t -> int
+(** How many probes this endpoint has answered (for tests). *)
+
+val stop : t -> unit
+(** Stops answering (makes this endpoint look dead). *)

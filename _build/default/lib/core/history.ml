@@ -1,0 +1,73 @@
+open Types
+
+type entry = {
+  seq : seqno;
+  sender : mid;
+  msgid : int;
+  payload : payload;
+}
+
+type t = {
+  cap : int;
+  table : (seqno, entry) Hashtbl.t;
+  mutable low : seqno;  (** lowest buffered seq; [high + 1] when empty *)
+  mutable high : seqno;  (** highest buffered seq; [low - 1] when empty *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "History.create: capacity must be positive";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); low = 0; high = -1 }
+
+let capacity t = t.cap
+let length t = t.high - t.low + 1
+let is_empty t = length t = 0
+let is_full t = length t >= t.cap
+let lo t = t.low
+let hi t = t.high
+
+let add t entry =
+  if is_full t then Error `Full
+  else if (not (is_empty t)) && entry.seq <> t.high + 1 then Error `Out_of_order
+  else begin
+    if is_empty t then begin
+      t.low <- entry.seq;
+      t.high <- entry.seq
+    end
+    else t.high <- entry.seq;
+    Hashtbl.replace t.table entry.seq entry;
+    Ok ()
+  end
+
+let drop_lowest t =
+  Hashtbl.remove t.table t.low;
+  t.low <- t.low + 1
+
+let add_evicting t entry =
+  if is_full t then drop_lowest t;
+  match add t entry with
+  | Ok () -> ()
+  | Error `Full -> assert false
+  | Error `Out_of_order ->
+      (* A member that skipped ahead (e.g. fresh joiner) restarts its
+         window at the new sequence number. *)
+      Hashtbl.reset t.table;
+      t.low <- entry.seq;
+      t.high <- entry.seq;
+      Hashtbl.replace t.table entry.seq entry
+
+let find t seq = Hashtbl.find_opt t.table seq
+
+let prune_below t bound =
+  while (not (is_empty t)) && t.low < bound do
+    drop_lowest t
+  done
+
+let range t ~lo ~hi =
+  let rec collect seq acc =
+    if seq < lo then acc
+    else
+      match find t seq with
+      | Some e -> collect (seq - 1) (e :: acc)
+      | None -> collect (seq - 1) acc
+  in
+  collect hi []

@@ -1,0 +1,54 @@
+(** The history buffer.
+
+    The sequencer keeps every message it has sequenced until it knows
+    (from sequence numbers piggybacked on incoming traffic) that all
+    members have received it; members keep their recent deliveries so
+    a survivor can reconstruct the stream during recovery.  The buffer
+    is bounded (128 messages in the paper's experiments): the
+    sequencer refuses to sequence new messages while full, which
+    back-pressures senders until laggards catch up. *)
+
+open Types
+
+type entry = {
+  seq : seqno;
+  sender : mid;
+  msgid : int;
+  payload : payload;
+}
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+val length : t -> int
+
+val lo : t -> seqno
+(** Lowest sequence number still buffered; meaningless when empty. *)
+
+val hi : t -> seqno
+(** Highest sequence number buffered; meaningless when empty. *)
+
+val add : t -> entry -> (unit, [ `Full | `Out_of_order ]) result
+(** Entries must arrive in strictly increasing, contiguous [seq]
+    order (the sequencer assigns them that way). *)
+
+val add_evicting : t -> entry -> unit
+(** Like {!add} but evicts the oldest entry when full — the member
+    side, which only keeps a recent window. *)
+
+val find : t -> seqno -> entry option
+
+val prune_below : t -> seqno -> unit
+(** Drops all entries with [seq < bound]: everything every member has
+    acknowledged. *)
+
+val range : t -> lo:seqno -> hi:seqno -> entry list
+(** Buffered entries within [lo..hi], ascending; silently skips
+    missing ones. *)

@@ -1,0 +1,50 @@
+type mid = int
+type seqno = int
+type send_method = Pb | Bb | Auto
+
+type control =
+  | Join of { mid : mid; kaddr : Amoeba_flip.Addr.t }
+  | Leave of { mid : mid }
+  | Reset of { incarnation : int; members : mid list }
+
+type payload =
+  | User of bytes
+  | Ctrl of control
+
+type event =
+  | Message of { seq : seqno; sender : mid; body : bytes }
+  | Member_joined of { seq : seqno; mid : mid }
+  | Member_left of { seq : seqno; mid : mid }
+  | Group_reset of { seq : seqno; incarnation : int; members : mid list }
+  | Expelled
+
+type error =
+  | Sequencer_unreachable
+  | Not_enough_members
+  | Not_a_member
+  | Send_aborted
+
+let payload_bytes = function
+  | User b -> Bytes.length b
+  | Ctrl _ -> 8
+
+let incarnation_era inc = inc lsr 20
+
+let pp_event fmt = function
+  | Message { seq; sender; body } ->
+      Format.fprintf fmt "msg[%d] from %d (%d bytes)" seq sender
+        (Bytes.length body)
+  | Member_joined { seq; mid } -> Format.fprintf fmt "join[%d] member %d" seq mid
+  | Member_left { seq; mid } -> Format.fprintf fmt "leave[%d] member %d" seq mid
+  | Group_reset { seq; incarnation; members } ->
+      Format.fprintf fmt "reset[%d] incarnation %d, %d members" seq incarnation
+        (List.length members)
+  | Expelled -> Format.fprintf fmt "expelled"
+
+let error_to_string = function
+  | Sequencer_unreachable -> "sequencer unreachable"
+  | Not_enough_members -> "not enough members"
+  | Not_a_member -> "not a member"
+  | Send_aborted -> "send aborted by recovery"
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)

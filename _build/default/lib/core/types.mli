@@ -1,0 +1,53 @@
+(** Common types of the group communication system. *)
+
+type mid = int
+(** Member identifier.  Identifiers are assigned in join order and
+    never reused within a group incarnation; the resilience protocol
+    picks "the r lowest-numbered" members by this ordering. *)
+
+type seqno = int
+(** Global sequence number assigned by the sequencer; delivery is in
+    strictly increasing contiguous [seqno] order at every member. *)
+
+type send_method = Pb | Bb | Auto
+(** The wire method: point-to-point then broadcast (PB), broadcast
+    then broadcast (BB), or dynamic switching by message size. *)
+
+type control =
+  | Join of { mid : mid; kaddr : Amoeba_flip.Addr.t }
+  | Leave of { mid : mid }
+  | Reset of { incarnation : int; members : mid list }
+      (** The first message of a new incarnation after recovery. *)
+
+type payload =
+  | User of bytes
+  | Ctrl of control
+
+type event =
+  | Message of { seq : seqno; sender : mid; body : bytes }
+  | Member_joined of { seq : seqno; mid : mid }
+  | Member_left of { seq : seqno; mid : mid }
+  | Group_reset of { seq : seqno; incarnation : int; members : mid list }
+  | Expelled
+      (** This member was declared dead by a recovery it did not take
+          part in; it must re-join to continue. *)
+
+type error =
+  | Sequencer_unreachable
+  | Not_enough_members
+  | Not_a_member
+  | Send_aborted  (** a recovery discarded this unstable send *)
+
+val payload_bytes : payload -> int
+
+val incarnation_era : int -> int
+(** Incarnation numbers encode (recovery era, coordinating member) so
+    concurrent recovery proposals are never equal; this extracts the
+    human-readable era — 0 before any recovery, 1 after the first,
+    and so on. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string

@@ -1,0 +1,92 @@
+open Types
+
+type msg =
+  | Req of {
+      sender : mid;
+      msgid : int;
+      piggy : seqno;
+      inc : int;
+      payload : payload;
+    }
+  | Data of {
+      seq : seqno;
+      sender : mid;
+      msgid : int;
+      inc : int;
+      payload : payload;
+      needs_accept : bool;
+    }
+  | Bb_data of {
+      sender : mid;
+      msgid : int;
+      piggy : seqno;
+      inc : int;
+      payload : payload;
+    }
+  | Accept of { seq : seqno; sender : mid; msgid : int; inc : int }
+  | Ack_tent of { seq : seqno; from : mid; inc : int }
+  | Nack of { from : mid; expected : seqno; piggy : seqno; inc : int }
+  | Status_req of { inc : int }
+  | Status of { from : mid; piggy : seqno; inc : int }
+  | Ping of { nonce : int }
+  | Pong of { nonce : int }
+  | Join_req of { kaddr : Amoeba_flip.Addr.t }
+  | Join_reply of {
+      mid : mid;
+      inc : int;
+      next_seq : seqno;
+      members : (mid * Amoeba_flip.Addr.t) list;
+      seq_mid : mid;
+    }
+  | Leave_req of { mid : mid }
+  | Invite of { inc : int; coord : mid; coord_addr : Amoeba_flip.Addr.t }
+  | Invite_ack of { mid : mid; last_stable : seqno; inc : int }
+  | Fetch of { from_seq : seqno; upto : seqno }
+  | Fetch_reply of { entries : History.entry list }
+  | New_config of {
+      inc : int;
+      members : (mid * Amoeba_flip.Addr.t) list;
+      seq_mid : mid;
+      last_seq : seqno;
+    }
+
+type Amoeba_flip.Packet.body += Group of msg
+
+let payload_size (c : Amoeba_net.Cost_model.t) p =
+  c.header_user + payload_bytes p
+
+let size (c : Amoeba_net.Cost_model.t) msg =
+  let body =
+    match msg with
+    | Req { payload; _ } | Data { payload; _ } | Bb_data { payload; _ } ->
+        payload_size c payload
+    | Accept _ | Ack_tent _ | Nack _ | Status_req _ | Status _ | Ping _
+    | Pong _ | Leave_req _ | Invite _ | Invite_ack _ | Fetch _ ->
+        0
+    | Join_req _ -> 8
+    | Join_reply { members; _ } | New_config { members; _ } ->
+        8 + (List.length members * 12)
+    | Fetch_reply { entries } ->
+        List.fold_left (fun acc e -> acc + 8 + payload_size c e.History.payload) 0 entries
+  in
+  c.header_group + body
+
+let describe = function
+  | Req _ -> "req"
+  | Data _ -> "data"
+  | Bb_data _ -> "bb_data"
+  | Accept _ -> "accept"
+  | Ack_tent _ -> "ack_tent"
+  | Nack _ -> "nack"
+  | Status_req _ -> "status_req"
+  | Status _ -> "status"
+  | Ping _ -> "ping"
+  | Pong _ -> "pong"
+  | Join_req _ -> "join_req"
+  | Join_reply _ -> "join_reply"
+  | Leave_req _ -> "leave_req"
+  | Invite _ -> "invite"
+  | Invite_ack _ -> "invite_ack"
+  | Fetch _ -> "fetch"
+  | Fetch_reply _ -> "fetch_reply"
+  | New_config _ -> "new_config"

@@ -1,0 +1,74 @@
+(** Wire messages of the group protocol.
+
+    Messages are FLIP packet bodies; [size] gives the byte count above
+    the FLIP header (28-byte group header, plus the 32-byte user
+    header and the user data for payload-bearing messages), which is
+    what the simulated wire and copy costs are computed from. *)
+
+open Types
+
+type msg =
+  (* Broadcast data path *)
+  | Req of {
+      sender : mid;
+      msgid : int;
+      piggy : seqno;  (** highest seq the sender has delivered *)
+      inc : int;
+      payload : payload;
+    }  (** PB: point-to-point from sender to sequencer *)
+  | Data of {
+      seq : seqno;
+      sender : mid;
+      msgid : int;
+      inc : int;
+      payload : payload;
+      needs_accept : bool;  (** true = tentative (resilient send) *)
+    }  (** multicast (or retransmitted point-to-point) by the sequencer *)
+  | Bb_data of {
+      sender : mid;
+      msgid : int;
+      piggy : seqno;
+      inc : int;
+      payload : payload;
+    }  (** BB: multicast of the full message by the sender *)
+  | Accept of { seq : seqno; sender : mid; msgid : int; inc : int }
+      (** short multicast making a BB or tentative message official *)
+  | Ack_tent of { seq : seqno; from : mid; inc : int }
+      (** resilience acknowledgement, member to sequencer *)
+  | Nack of { from : mid; expected : seqno; piggy : seqno; inc : int }
+      (** negative acknowledgement: retransmit from [expected] *)
+  | Status_req of { inc : int }
+      (** sequencer solicits member state when its history fills *)
+  | Status of { from : mid; piggy : seqno; inc : int }
+  | Ping of { nonce : int }
+      (** liveness probe (auto-heal heartbeat); any kernel answers *)
+  | Pong of { nonce : int }
+  (* Membership *)
+  | Join_req of { kaddr : Amoeba_flip.Addr.t }
+  | Join_reply of {
+      mid : mid;
+      inc : int;
+      next_seq : seqno;
+      members : (mid * Amoeba_flip.Addr.t) list;
+      seq_mid : mid;
+    }
+  | Leave_req of { mid : mid }
+  (* Recovery *)
+  | Invite of { inc : int; coord : mid; coord_addr : Amoeba_flip.Addr.t }
+  | Invite_ack of { mid : mid; last_stable : seqno; inc : int }
+  | Fetch of { from_seq : seqno; upto : seqno }
+  | Fetch_reply of { entries : History.entry list }
+  | New_config of {
+      inc : int;
+      members : (mid * Amoeba_flip.Addr.t) list;
+      seq_mid : mid;
+      last_seq : seqno;  (** highest stable seq of the old incarnation *)
+    }
+
+type Amoeba_flip.Packet.body += Group of msg
+
+val size : Amoeba_net.Cost_model.t -> msg -> int
+(** Bytes above the FLIP header. *)
+
+val describe : msg -> string
+(** Constructor name, for logs and tests. *)

@@ -1,0 +1,1 @@
+lib/flip/addr.ml: Format Int Random

@@ -1,0 +1,1 @@
+lib/flip/addr.mli: Format Random

@@ -1,0 +1,1 @@
+lib/flip/flip.ml: Addr Amoeba_net Amoeba_sim Channel Cost_model Engine Frame Hashtbl List Machine Nic Packet Time

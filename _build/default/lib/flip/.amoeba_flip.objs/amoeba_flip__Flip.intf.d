@@ -1,0 +1,1 @@
+lib/flip/flip.mli: Addr Amoeba_net Machine Packet

@@ -1,0 +1,1 @@
+lib/flip/packet.ml: Addr

@@ -1,0 +1,10 @@
+type t = int
+
+let fresh rng = Random.State.int rng 0x3FFFFFFF
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let multicast_id t = t
+let to_int t = t
+let of_int i = i
+let pp fmt t = Format.fprintf fmt "flip:%06x" t

@@ -1,0 +1,29 @@
+(** FLIP addresses.
+
+    Unlike IP, a FLIP address identifies a {e process or a group of
+    processes}, not a host: the same address keeps working after a
+    process migrates, and group addresses map onto hardware multicast.
+    Addresses are drawn at random from a large space, as in the real
+    protocol. *)
+
+type t
+
+val fresh : Random.State.t -> t
+(** A new (with overwhelming probability unique) address. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val multicast_id : t -> int
+(** Stable mapping of an address onto an Ethernet multicast group id. *)
+
+val to_int : t -> int
+(** For embedding an address in an application payload (FLIP addresses
+    are plain bit strings in the real protocol too). *)
+
+val of_int : int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type body = ..
+type body += Empty
+
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;
+  body : body;
+}
+
+let make ~src ~dst ~size body = { src; dst; size; body }

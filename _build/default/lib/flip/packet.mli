@@ -1,0 +1,20 @@
+(** FLIP datagrams.
+
+    The body is an extensible variant so that the layers above (group
+    communication, RPC) define their own message constructors without
+    the FLIP layer depending on them.  [size] is the number of bytes
+    above the FLIP header (the paper's group + user headers plus user
+    data); it drives fragmentation and wire timing. *)
+
+type body = ..
+
+type body += Empty
+
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  size : int;  (** bytes above the FLIP header *)
+  body : body;
+}
+
+val make : src:Addr.t -> dst:Addr.t -> size:int -> body -> t

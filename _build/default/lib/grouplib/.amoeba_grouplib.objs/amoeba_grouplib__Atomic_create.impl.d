@@ -1,0 +1,1 @@
+lib/grouplib/atomic_create.ml: Amoeba_core Amoeba_flip Amoeba_net Amoeba_sim Api Array Engine Flip List Machine Time Types

@@ -1,0 +1,1 @@
+lib/grouplib/atomic_create.mli: Amoeba_core Amoeba_flip Amoeba_sim Api Flip Time Types

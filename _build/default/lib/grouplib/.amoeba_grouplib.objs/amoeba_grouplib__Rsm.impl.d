@@ -1,0 +1,1 @@
+lib/grouplib/rsm.ml: Addr Amoeba_core Amoeba_flip Amoeba_net Amoeba_rpc Amoeba_sim Api Bytes Channel Engine Flip List Machine Option Printf Random Stable_store String Time Types

@@ -1,0 +1,1 @@
+lib/grouplib/rsm.mli: Addr Amoeba_core Amoeba_flip Api Flip Stable_store Types

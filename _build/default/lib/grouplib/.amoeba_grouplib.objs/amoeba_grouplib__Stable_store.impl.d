@@ -1,0 +1,1 @@
+lib/grouplib/stable_store.ml: Amoeba_net Amoeba_sim Bytes Engine Hashtbl List Machine Option Resource Time

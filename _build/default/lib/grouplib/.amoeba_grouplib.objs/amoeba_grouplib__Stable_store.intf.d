@@ -1,0 +1,1 @@
+lib/grouplib/stable_store.mli: Amoeba_net Machine

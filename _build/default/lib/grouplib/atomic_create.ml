@@ -1,0 +1,47 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+open Amoeba_core
+module T = Types
+
+let create_gathered ?(resilience = 0) ?(send_method = T.Pb)
+    ?(timeout = Time.sec 2) flips =
+  match flips with
+  | [] -> Error T.Not_enough_members
+  | first :: rest ->
+      let engine = Machine.engine (Flip.machine first) in
+      let creator = Api.create_group first ~resilience ~send_method () in
+      let addr = Api.group_address creator in
+      let n = List.length flips in
+      let results = Array.make (n - 1) None in
+      List.iteri
+        (fun i flip ->
+          Engine.spawn engine (fun () ->
+              results.(i) <- Some (Api.join_group flip ~resilience ~send_method addr)))
+        rest;
+      let deadline = Engine.now engine + timeout in
+      let rec wait () =
+        let done_ = Array.for_all (fun r -> r <> None) results in
+        if done_ then ()
+        else if Engine.now engine >= deadline then ()
+        else begin
+          Engine.sleep engine (Time.ms 5);
+          wait ()
+        end
+      in
+      wait ();
+      let joined =
+        Array.to_list results
+        |> List.filter_map (function Some (Ok g) -> Some g | _ -> None)
+      in
+      let complete =
+        List.length joined = n - 1
+        && List.length (Api.get_info_group creator).Api.members = n
+      in
+      if complete then Ok (creator :: joined)
+      else begin
+        (* Best-effort atomicity: no partial group survives. *)
+        List.iter (fun g -> ignore (Api.leave_group g)) joined;
+        ignore (Api.leave_group creator);
+        Error T.Not_enough_members
+      end

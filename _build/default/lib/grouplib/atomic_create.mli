@@ -1,0 +1,26 @@
+(** Best-effort atomic group creation.
+
+    The paper's section 5: "the system did not provide any support for
+    the atomic creation of a group.  In a system with unreliable
+    communication and failures, atomic group creation is theoretically
+    impossible to achieve, but a heuristic library procedure that does
+    a best-effort attempt would have simplified building some of
+    the early fault-tolerant programs."  This is that library
+    procedure: either every listed machine is a member when it
+    returns, or the group is torn down and an error returned. *)
+
+open Amoeba_sim
+open Amoeba_flip
+open Amoeba_core
+
+val create_gathered :
+  ?resilience:int ->
+  ?send_method:Types.send_method ->
+  ?timeout:Time.t ->
+  Flip.t list ->
+  (Api.group list, Types.error) result
+(** [create_gathered flips] creates a group on the first machine and
+    joins all the others.  Returns the members in the order given, or
+    — if any join fails to complete within [timeout] (default 2 s) —
+    dissolves whatever partial group exists and returns an error.
+    Must be called from a simulated process. *)

@@ -1,0 +1,261 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+open Amoeba_core
+module T = Types
+
+module type APP = sig
+  type state
+  type update
+
+  val initial : state
+  val apply : state -> update -> state
+  val encode_update : update -> bytes
+  val decode_update : bytes -> update option
+  val encode_state : state -> bytes
+  val decode_state : bytes -> state option
+end
+
+(* On-stream message format: one tag byte, then the payload.
+   'U' <update>                       ordinary update
+   'Q' <reply-addr> ' ' <nonce>       a joiner requests state transfer *)
+let tag_update = 'U'
+let tag_query = 'Q'
+
+module Make (App : APP) = struct
+  type mode =
+    | Normal
+    | Syncing of {
+        nonce : int;
+        mutable buffer : (T.seqno * App.update) list;  (** newest first *)
+        mutable query_seq : T.seqno option;
+      }
+
+  type t = {
+    flip : Flip.t;
+    g : Api.group;
+    machine : Machine.t;
+    engine : Engine.t;
+    mutable st : App.state;
+    mutable n_applied : int;
+    mutable mode : mode;
+    checkpoint : (Stable_store.t * int) option;
+    snapshots : (int * bytes) Channel.t;  (** applied count, state *)
+    snap_addr : Addr.t;
+  }
+
+  let ckpt_key g = Printf.sprintf "rsm:%d" (Addr.to_int (Api.group_address g))
+
+  let write_checkpoint t =
+    match t.checkpoint with
+    | Some (store, every) when t.n_applied mod every = 0 && t.n_applied > 0 ->
+        let payload =
+          Bytes.cat
+            (Bytes.of_string (Printf.sprintf "%d " t.n_applied))
+            (App.encode_state t.st)
+        in
+        let key = ckpt_key t.g in
+        (* The write happens "in the background" (a disk DMA), so the
+           replica keeps applying while it runs. *)
+        Engine.spawn t.engine (fun () ->
+            Stable_store.write store t.machine ~key payload)
+    | Some _ | None -> ()
+
+  let apply_update t seq u =
+    match t.mode with
+    | Normal ->
+        t.st <- App.apply t.st u;
+        t.n_applied <- t.n_applied + 1;
+        write_checkpoint t
+    | Syncing s -> s.buffer <- (seq, u) :: s.buffer
+
+  (* Atomic state transfer, responder side: the lowest-numbered member
+     other than the joiner pushes its state as of the query's position
+     in the stream. *)
+  let serve_query t ~seq ~sender ~reply_to =
+    ignore seq;
+    match t.mode with
+    | Syncing _ -> ()
+    | Normal ->
+        let info = Api.get_info_group t.g in
+        let responder =
+          List.filter (fun m -> m <> sender) info.Api.members
+          |> function [] -> -1 | m :: _ -> m
+        in
+        if info.Api.my_mid = responder then begin
+          let payload =
+            Bytes.cat
+              (Bytes.of_string (Printf.sprintf "%d " t.n_applied))
+              (App.encode_state t.st)
+          in
+          Engine.spawn t.engine (fun () ->
+              let client = Amoeba_rpc.Rpc.client t.flip in
+              ignore (Amoeba_rpc.Rpc.call client ~dst:reply_to payload))
+        end
+
+  let parse_counted payload =
+    match String.index_opt (Bytes.to_string payload) ' ' with
+    | None -> None
+    | Some i ->
+        let count = int_of_string (Bytes.sub_string payload 0 i) in
+        let rest = Bytes.sub payload (i + 1) (Bytes.length payload - i - 1) in
+        Some (count, rest)
+
+  let handle_message t ~seq ~sender body =
+    if Bytes.length body > 0 then begin
+      match Bytes.get body 0 with
+      | c when c = tag_update -> (
+          match App.decode_update (Bytes.sub body 1 (Bytes.length body - 1)) with
+          | Some u -> apply_update t seq u
+          | None -> ())
+      | c when c = tag_query -> (
+          match
+            String.split_on_char ' '
+              (Bytes.sub_string body 1 (Bytes.length body - 1))
+          with
+          | [ addr; nonce ] -> (
+              let reply_to = Addr.of_int (int_of_string addr) in
+              let nonce = int_of_string nonce in
+              serve_query t ~seq ~sender ~reply_to;
+              (* Our own query marks the cut-off point: the snapshot
+                 covers everything before it. *)
+              match t.mode with
+              | Syncing s when s.nonce = nonce -> s.query_seq <- Some seq
+              | Syncing _ | Normal -> ())
+          | _ -> ())
+      | _ -> ()
+    end
+
+  let applier t () =
+    let rec loop () =
+      (match Api.receive_from_group t.g with
+      | T.Message { seq; sender; body } -> handle_message t ~seq ~sender body
+      | T.Member_joined _ | T.Member_left _ | T.Group_reset _ -> ()
+      | T.Expelled -> ());
+      loop ()
+    in
+    loop ()
+
+  let make flip g ~checkpoint ~seed =
+    let machine = Flip.machine flip in
+    let st, n_applied = Option.value seed ~default:(App.initial, 0) in
+    let t =
+      {
+        flip;
+        g;
+        machine;
+        engine = Machine.engine machine;
+        st;
+        n_applied;
+        mode = Normal;
+        checkpoint;
+        snapshots = Channel.create ();
+        snap_addr = Flip.fresh_addr flip;
+      }
+    in
+    (* Snapshots for state transfer arrive over RPC. *)
+    let _server =
+      Amoeba_rpc.Rpc.serve flip ~addr:t.snap_addr (fun payload ->
+          (match parse_counted payload with
+          | Some (count, state_bytes) ->
+              Channel.send t.snapshots (count, state_bytes)
+          | None -> ());
+          Amoeba_rpc.Types_rpc.Reply Bytes.empty)
+    in
+    Engine.spawn t.engine (applier t);
+    t
+
+  let create flip ?(resilience = 0) ?(send_method = T.Pb) ?checkpoint ?seed () =
+    let g = Api.create_group flip ~resilience ~send_method () in
+    make flip g ~checkpoint ~seed
+
+  let address t = Api.group_address t.g
+  let group t = t.g
+
+  let submit t u =
+    Api.send_to_group t.g
+      (Bytes.cat (Bytes.make 1 tag_update) (App.encode_update u))
+
+  let state t = t.st
+  let applied t = t.n_applied
+  let leave t = Api.leave_group t.g
+  let reset t ~min_members = Api.reset_group t.g ~min_members
+
+  (* Atomic state transfer, joiner side. *)
+  let sync t =
+    let rec attempt tries =
+      if tries > 4 then Error T.Sequencer_unreachable
+      else begin
+        let nonce = Random.State.int (Engine.rng t.engine) 1_000_000 in
+        let sync_state = Syncing { nonce; buffer = []; query_seq = None } in
+        t.mode <- sync_state;
+        let q =
+          Bytes.of_string
+            (Printf.sprintf "%c%d %d" tag_query (Addr.to_int t.snap_addr) nonce)
+        in
+        match Api.send_to_group t.g q with
+        | Error e -> Error e
+        | Ok _ -> (
+            match
+              Channel.recv_timeout t.engine t.snapshots ~timeout:(Time.ms 500)
+            with
+            | None -> attempt (tries + 1)
+            | Some (count, state_bytes) -> (
+                match App.decode_state state_bytes with
+                | None -> attempt (tries + 1)
+                | Some st -> (
+                    match t.mode with
+                    | Normal -> Ok ()  (* concurrent success *)
+                    | Syncing s ->
+                        let cut = Option.value s.query_seq ~default:max_int in
+                        t.st <- st;
+                        t.n_applied <- count;
+                        (* Apply what was sequenced after our query. *)
+                        List.iter
+                          (fun (seq, u) ->
+                            if seq > cut then begin
+                              t.st <- App.apply t.st u;
+                              t.n_applied <- t.n_applied + 1
+                            end)
+                          (List.rev s.buffer);
+                        t.mode <- Normal;
+                        Ok ())))
+      end
+    in
+    attempt 1
+
+  let join flip ?(resilience = 0) ?(send_method = T.Pb) ?checkpoint addr =
+    match Api.join_group flip ~resilience ~send_method addr with
+    | Error e -> Error e
+    | Ok g -> (
+        let t = make flip g ~checkpoint ~seed:None in
+        (* Alone in the group?  Then there is nothing to transfer. *)
+        let info = Api.get_info_group g in
+        if List.length info.Api.members <= 1 then Ok t
+        else
+          match sync t with
+          | Ok () -> Ok t
+          | Error e -> Error e)
+
+  (* Scans this machine's rsm:* checkpoints and returns the most
+     advanced one. *)
+  let checkpointed store ~machine_name =
+    let best = ref None in
+    List.iter
+      (fun key ->
+        if String.length key > 4 && String.sub key 0 4 = "rsm:" then
+          match Stable_store.read store ~machine_name ~key with
+          | None -> ()
+          | Some payload -> (
+              match parse_counted payload with
+              | Some (count, state_bytes) -> (
+                  match App.decode_state state_bytes with
+                  | Some st -> (
+                      match !best with
+                      | Some (_, c) when c >= count -> ()
+                      | _ -> best := Some (st, count))
+                  | None -> ())
+              | None -> ()))
+      (Stable_store.keys store ~machine_name);
+    !best
+end

@@ -1,0 +1,93 @@
+(** Replicated state machines over totally-ordered broadcast, with the
+    two pieces of library support the paper's section 5 found missing:
+
+    - {b atomic state transfer} for joiners (as Isis provided): a new
+      replica obtains a snapshot positioned exactly in the message
+      stream, so it observes the same state sequence as everyone else;
+    - {b consistent checkpointing} (reference [15]): because updates
+      are totally ordered, a snapshot taken every k-th update is a
+      consistent cut; written to stable storage it survives even a
+      whole-group failure.
+
+    This is the state-machine approach the paper cites (Schneider
+    [28]): keep replicas identical by feeding every replica the same
+    totally-ordered update stream. *)
+
+open Amoeba_flip
+open Amoeba_core
+
+(** The application plugged into the state machine. *)
+module type APP = sig
+  type state
+
+  type update
+
+  val initial : state
+
+  val apply : state -> update -> state
+  (** Must be deterministic: replicas apply the same stream. *)
+
+  val encode_update : update -> bytes
+
+  val decode_update : bytes -> update option
+
+  val encode_state : state -> bytes
+
+  val decode_state : bytes -> state option
+end
+
+module Make (App : APP) : sig
+  type t
+
+  val create :
+    Flip.t ->
+    ?resilience:int ->
+    ?send_method:Types.send_method ->
+    ?checkpoint:Stable_store.t * int ->
+    ?seed:App.state * int ->
+    unit ->
+    t
+  (** Creates the group with this machine as first replica.
+      [?checkpoint:(store, k)] writes a consistent snapshot to stable
+      storage every [k] applied updates.  [?seed] starts from a
+      recovered checkpoint (state and its update count) instead of
+      [App.initial]. *)
+
+  val join :
+    Flip.t ->
+    ?resilience:int ->
+    ?send_method:Types.send_method ->
+    ?checkpoint:Stable_store.t * int ->
+    Addr.t ->
+    (t, Types.error) result
+  (** Joins and performs atomic state transfer: blocks until this
+      replica holds a snapshot consistent with its position in the
+      stream.  The transferred state reflects every update sequenced
+      before the transfer point; updates after it are applied
+      normally. *)
+
+  val address : t -> Addr.t
+
+  val group : t -> Api.group
+
+  val submit : t -> App.update -> (Types.seqno, Types.error) result
+  (** Blocking totally-ordered update. *)
+
+  val state : t -> App.state
+  (** This replica's current state (reads are local, as in the
+      paper's replicated servers). *)
+
+  val applied : t -> int
+  (** Number of updates applied so far (identical at any two replicas
+      whenever they have delivered the same prefix). *)
+
+  val leave : t -> (unit, Types.error) result
+
+  val reset : t -> min_members:int -> (int, Types.error) result
+
+  val checkpointed : Stable_store.t -> machine_name:string ->
+    (App.state * int) option
+  (** Reads this machine's last consistent checkpoint back from
+      stable storage (usable after a crash, or even after the whole
+      group failed — pass it to [create ~seed]). *)
+end

@@ -1,0 +1,29 @@
+open Amoeba_sim
+open Amoeba_net
+
+(* 1996-era disk: ~10 ms seek+rotate plus ~1 MB/s transfer. *)
+let seek_ns = Time.ms 10
+let transfer_ns_per_byte = 1_000
+
+type t = (string * string, bytes) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let write t machine ~key value =
+  if Machine.is_alive machine then begin
+    let io = seek_ns + (Bytes.length value * transfer_ns_per_byte) in
+    Resource.consume (Machine.cpu machine) (io / 10);
+    (* The transfer itself is DMA; only a slice costs CPU, but the
+       caller blocks for the full I/O. *)
+    Engine.sleep (Machine.engine machine) io;
+    Hashtbl.replace t (Machine.name machine, key) (Bytes.copy value)
+  end
+
+let read t ~machine_name ~key =
+  Option.map Bytes.copy (Hashtbl.find_opt t (machine_name, key))
+
+let keys t ~machine_name =
+  Hashtbl.fold
+    (fun (m, k) _ acc -> if m = machine_name then k :: acc else acc)
+    t []
+  |> List.sort_uniq compare

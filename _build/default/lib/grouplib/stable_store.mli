@@ -1,0 +1,25 @@
+(** Simulated stable storage (a disk).
+
+    Section 5's consistent checkpointing scheme (reference [15]) needs
+    state that survives a processor crash.  A {!t} is keyed by machine
+    name and, unlike the machine itself, remains readable after
+    {!Amoeba_net.Machine.crash} — exactly like a disk that a restarted
+    machine remounts.  Writes charge the machine a simulated I/O
+    cost. *)
+
+open Amoeba_net
+
+type t
+
+val create : unit -> t
+(** One store per simulated world (a disk array, one spindle per
+    machine). *)
+
+val write : t -> Machine.t -> key:string -> bytes -> unit
+(** Blocking write (costs simulated I/O time).  No-op if the machine
+    is already crashed — a dead machine cannot write its disk. *)
+
+val read : t -> machine_name:string -> key:string -> bytes option
+(** Reads survive the owner's crash (the disk is intact). *)
+
+val keys : t -> machine_name:string -> string list

@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Amoeba_flip Amoeba_net Amoeba_sim Array Cost_model Engine Ether Flip Machine Printf Trace

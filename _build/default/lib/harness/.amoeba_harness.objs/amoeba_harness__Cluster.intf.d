@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Amoeba_flip Amoeba_net Amoeba_sim Cost_model Engine Ether Flip Machine Time Trace

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Amoeba_core Amoeba_net Types

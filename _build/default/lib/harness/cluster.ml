@@ -1,0 +1,31 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  trace : Trace.t;
+  ether : Ether.t;
+  machines : Machine.t array;
+  flips : Flip.t array;
+}
+
+let create ?(cost = Cost_model.default) ?(seed = 1) ~n () =
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create () in
+  let ether = Ether.create engine cost in
+  let machines =
+    Array.init n (fun i ->
+        Machine.create engine cost trace ether ~name:(Printf.sprintf "m%d" i)
+          ~id:i)
+  in
+  let flips = Array.map Flip.create machines in
+  { engine; cost; trace; ether; machines; flips }
+
+let size t = Array.length t.machines
+let machine t i = t.machines.(i)
+let flip t i = t.flips.(i)
+let spawn t f = Engine.spawn t.engine f
+let run ?until t = Engine.run ?until t.engine
+let now t = Engine.now t.engine

@@ -1,0 +1,32 @@
+(** A simulated testbed: engine + shared Ethernet + n machines, each
+    with a FLIP stack — the fixture every test, example and benchmark
+    builds on. *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  trace : Trace.t;
+  ether : Ether.t;
+  machines : Machine.t array;
+  flips : Flip.t array;
+}
+
+val create : ?cost:Cost_model.t -> ?seed:int -> n:int -> unit -> t
+(** [create ~n ()] builds [n] machines named m0..m(n-1) on one
+    Ethernet segment, mirroring the paper's single-LAN testbed. *)
+
+val size : t -> int
+
+val machine : t -> int -> Machine.t
+
+val flip : t -> int -> Flip.t
+
+val spawn : t -> (unit -> unit) -> unit
+
+val run : ?until:Time.t -> t -> unit
+
+val now : t -> Time.t

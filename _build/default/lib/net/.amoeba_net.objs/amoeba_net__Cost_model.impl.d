@@ -1,0 +1,1 @@
+lib/net/cost_model.ml: Random

@@ -1,0 +1,1 @@
+lib/net/ether.ml: Amoeba_sim Cost_model Engine Frame Ivar List Queue Random Time

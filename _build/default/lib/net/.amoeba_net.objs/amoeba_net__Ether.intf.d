@@ -1,0 +1,1 @@
+lib/net/ether.mli: Amoeba_sim Cost_model Engine Frame

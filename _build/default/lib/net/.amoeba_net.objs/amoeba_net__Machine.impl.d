@@ -1,0 +1,1 @@
+lib/net/machine.ml: Amoeba_sim Cost_model Engine Nic Resource Trace

@@ -1,0 +1,1 @@
+lib/net/machine.mli: Amoeba_sim Cost_model Engine Ether Nic Resource Time Trace

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Amoeba_sim Channel Cost_model Engine Ether Frame Int Option Resource Set Trace

@@ -1,0 +1,1 @@
+lib/net/nic.mli: Amoeba_sim Cost_model Engine Ether Frame Resource Trace

@@ -1,0 +1,92 @@
+type t = {
+  wire_ns_per_byte : int;
+  preamble_bytes : int;
+  crc_bytes : int;
+  min_frame_bytes : int;
+  max_frame_bytes : int;
+  interframe_gap_ns : int;
+  slot_time_ns : int;
+  jam_ns : int;
+  max_backoff_exp : int;
+  max_attempts : int;
+  interrupt_ns : int;
+  driver_tx_ns : int;
+  driver_rx_ns : int;
+  copy_ns_per_byte : int;
+  context_switch_ns : int;
+  flip_tx_ns : int;
+  flip_rx_ns : int;
+  group_send_ns : int;
+  group_seq_ns : int;
+  group_seq_member_ns : int;
+  group_deliver_ns : int;
+  rx_ring_frames : int;
+  header_ether : int;
+  header_flow_control : int;
+  header_flip : int;
+  header_group : int;
+  header_user : int;
+  history_buffer : int;
+  retrans_timeout_ns : int;
+  nack_timeout_ns : int;
+  probe_timeout_ns : int;
+  probe_retries : int;
+  bb_threshold_bytes : int;
+  multicast_frag_gap_ns : int;
+}
+
+let default =
+  {
+    wire_ns_per_byte = 800;
+    preamble_bytes = 8;
+    crc_bytes = 4;
+    min_frame_bytes = 64;
+    max_frame_bytes = 1514;
+    interframe_gap_ns = 9_600;
+    slot_time_ns = 51_200;
+    jam_ns = 3_200;
+    max_backoff_exp = 10;
+    max_attempts = 16;
+    interrupt_ns = 100_000;
+    driver_tx_ns = 100_000;
+    driver_rx_ns = 100_000;
+    copy_ns_per_byte = 250;
+    context_switch_ns = 170_000;
+    flip_tx_ns = 110_000;
+    flip_rx_ns = 110_000;
+    group_send_ns = 250_000;
+    group_seq_ns = 240_000;
+    group_seq_member_ns = 4_000;
+    group_deliver_ns = 250_000;
+    rx_ring_frames = 32;
+    header_ether = 14;
+    header_flow_control = 2;
+    header_flip = 40;
+    header_group = 28;
+    header_user = 32;
+    history_buffer = 128;
+    retrans_timeout_ns = 100_000_000;
+    nack_timeout_ns = 15_000_000;
+    probe_timeout_ns = 100_000_000;
+    probe_retries = 3;
+    bb_threshold_bytes = 1_024;
+    multicast_frag_gap_ns = 0;
+  }
+
+let mc68030 = default
+
+let headers_total t =
+  t.header_ether + t.header_flow_control + t.header_flip + t.header_group
+  + t.header_user
+
+let jitter rng d =
+  if d = 0 then 0
+  else begin
+    let r = Random.State.float rng 0.1 -. 0.05 in
+    d + int_of_float (r *. float_of_int d)
+  end
+
+let frame_time t ~bytes_on_wire =
+  let padded = max bytes_on_wire t.min_frame_bytes in
+  let total = padded + t.preamble_bytes + t.crc_bytes in
+  (total * t.wire_ns_per_byte) + t.interframe_gap_ns

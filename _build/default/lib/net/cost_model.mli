@@ -1,0 +1,74 @@
+(** All calibrated timing constants of the simulated testbed.
+
+    The defaults model the paper's hardware: 20-MHz MC68030s with AMD
+    Lance interfaces on a shared 10 Mbit/s Ethernet.  They are
+    calibrated so the anchor measurements in DESIGN.md (2.7 ms 0-byte
+    broadcast to a group of 2; 740 us group-layer share; ~800 us
+    sequencer processing per message; ~600 us per resilience
+    acknowledgement) land near the paper's numbers.  Everything else
+    in the reproduced figures follows from the simulation. *)
+
+type t = {
+  (* Wire *)
+  wire_ns_per_byte : int;  (** 10 Mbit/s = 800 ns/byte *)
+  preamble_bytes : int;  (** Ethernet preamble + SFD *)
+  crc_bytes : int;
+  min_frame_bytes : int;  (** minimum payload-bearing frame size *)
+  max_frame_bytes : int;  (** MTU incl. 14-byte Ethernet header *)
+  interframe_gap_ns : int;
+  slot_time_ns : int;  (** collision window, 512 bit times *)
+  jam_ns : int;
+  max_backoff_exp : int;
+  max_attempts : int;  (** excessive-collision drop threshold *)
+  (* Host *)
+  interrupt_ns : int;  (** taking one interrupt *)
+  driver_tx_ns : int;  (** driver work per transmitted packet *)
+  driver_rx_ns : int;  (** driver work per received packet *)
+  copy_ns_per_byte : int;  (** one memory-to-memory copy *)
+  context_switch_ns : int;  (** thread switch in user space *)
+  (* Protocol layers (per packet) *)
+  flip_tx_ns : int;
+  flip_rx_ns : int;
+  group_send_ns : int;  (** group layer, SendToGroup path *)
+  group_seq_ns : int;  (** group layer at the sequencer *)
+  group_seq_member_ns : int;  (** sequencer cost per group member *)
+  group_deliver_ns : int;  (** group layer, delivery path *)
+  (* Device *)
+  rx_ring_frames : int;  (** Lance buffering: 32 packets *)
+  (* Protocol parameters *)
+  header_ether : int;
+  header_flow_control : int;
+  header_flip : int;
+  header_group : int;
+  header_user : int;
+  history_buffer : int;  (** sequencer history size, messages *)
+  retrans_timeout_ns : int;  (** sender timeout awaiting sequencing *)
+  nack_timeout_ns : int;  (** member timeout awaiting a retransmit *)
+  probe_timeout_ns : int;  (** failure-detector probe timeout *)
+  probe_retries : int;
+  bb_threshold_bytes : int;  (** auto method: BB for messages >= this *)
+  multicast_frag_gap_ns : int;
+      (** multicast flow control (0 = off, the paper's configuration):
+          pause between the fragments of a multi-packet multicast so a
+          slow receiver's ring can drain — the open problem of section
+          4, solved crudely by rate pacing *)
+}
+
+val default : t
+
+val mc68030 : t
+(** Alias of {!default}: the paper's testbed. *)
+
+val headers_total : t -> int
+(** 116 bytes in the paper: Ethernet 14 + flow control 2 + FLIP 40 +
+    group 28 + user 32. *)
+
+val frame_time : t -> bytes_on_wire:int -> Amoeba_sim.Time.t
+(** Time to clock one frame onto the wire, including preamble, CRC,
+    minimum-frame padding and the interframe gap. *)
+
+val jitter : Random.State.t -> int -> int
+(** +/-5% perturbation of a host cost: real machines are not in
+    lockstep, and perfect symmetry would make e.g. all resilience
+    acknowledgements hit the wire at the same nanosecond and collide
+    indefinitely. *)

@@ -1,0 +1,167 @@
+open Amoeba_sim
+
+type outcome = Won | Collided
+
+type intent = {
+  result : outcome Ivar.t;
+  frame : Frame.t;
+}
+
+type state =
+  | Idle
+  | Contending of { since : Time.t; mutable intents : intent list }
+  | Busy
+
+type port = {
+  id : int;
+  rx : Frame.t -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  mutable state : state;
+  mutable ports : port list;  (** newest first; delivery iterates all *)
+  mutable next_port : int;
+  waiters : (unit -> unit) Queue.t;  (** carrier-sense blocked stations *)
+  mutable n_collisions : int;
+  mutable n_frames : int;
+  mutable n_bytes : int;
+  mutable n_excessive : int;
+  mutable busy_ns : Time.t;
+  mutable drop_fun : (Frame.t -> bool) option;
+  mutable loss_rate : float;
+  mutable n_lost : int;
+}
+
+let create engine cost =
+  {
+    engine;
+    cost;
+    state = Idle;
+    ports = [];
+    next_port = 0;
+    waiters = Queue.create ();
+    n_collisions = 0;
+    n_frames = 0;
+    n_bytes = 0;
+    n_excessive = 0;
+    busy_ns = Time.zero;
+    drop_fun = None;
+    loss_rate = 0.;
+    n_lost = 0;
+  }
+
+let attach t ~rx =
+  let port = { id = t.next_port; rx } in
+  t.next_port <- t.next_port + 1;
+  t.ports <- port :: t.ports;
+  port
+
+let port_id p = p.id
+
+let wake_all t =
+  Queue.iter (fun resume -> resume ()) t.waiters;
+  Queue.clear t.waiters
+
+let injected_drop t frame =
+  (match t.drop_fun with Some f -> f frame | None -> false)
+  || (t.loss_rate > 0.
+     && Random.State.float (Engine.rng t.engine) 1.0 < t.loss_rate)
+
+let deliver t frame =
+  if injected_drop t frame then t.n_lost <- t.n_lost + 1
+  else begin
+    t.n_frames <- t.n_frames + 1;
+    t.n_bytes <- t.n_bytes + frame.Frame.size_on_wire;
+    let each port = if port.id <> frame.Frame.src then port.rx frame in
+    (* Oldest port first, for deterministic delivery order. *)
+    List.iter each (List.rev t.ports)
+  end
+
+(* The contention window closes one slot time after the first station
+   began transmitting.  A single contender wins the medium; several
+   contenders collide and back off. *)
+let commit t since =
+  match t.state with
+  | Idle | Busy -> assert false
+  | Contending c ->
+      assert (c.since = since);
+      (match c.intents with
+      | [] -> assert false
+      | [ winner ] ->
+          t.state <- Busy;
+          let duration =
+            Cost_model.frame_time t.cost
+              ~bytes_on_wire:winner.frame.Frame.size_on_wire
+          in
+          t.busy_ns <- t.busy_ns + duration;
+          ignore
+            (Engine.schedule t.engine
+               ~after:(since + duration - Engine.now t.engine)
+               (fun () ->
+                 t.state <- Idle;
+                 deliver t winner.frame;
+                 Ivar.fill winner.result Won;
+                 wake_all t))
+      | losers ->
+          t.n_collisions <- t.n_collisions + 1;
+          t.state <- Busy;
+          t.busy_ns <- t.busy_ns + t.cost.jam_ns;
+          ignore
+            (Engine.schedule t.engine ~after:t.cost.jam_ns (fun () ->
+                 t.state <- Idle;
+                 List.iter (fun i -> Ivar.fill i.result Collided) losers;
+                 wake_all t)))
+
+let backoff_slots t ~attempt =
+  let exp = min attempt t.cost.max_backoff_exp in
+  Random.State.int (Engine.rng t.engine) (1 lsl exp)
+
+let transmit t port frame =
+  let rec attempt n =
+    if n > t.cost.max_attempts then begin
+      t.n_excessive <- t.n_excessive + 1;
+      `Dropped
+    end
+    else begin
+      match t.state with
+      | Busy ->
+          Engine.suspend t.engine ~register:(fun resume ->
+              Queue.push resume t.waiters);
+          attempt n
+      | Contending c ->
+          let intent = { result = Ivar.create (); frame } in
+          c.intents <- intent :: c.intents;
+          await intent n
+      | Idle ->
+          let intent = { result = Ivar.create (); frame } in
+          let since = Engine.now t.engine in
+          t.state <- Contending { since; intents = [ intent ] };
+          ignore
+            (Engine.schedule t.engine ~after:t.cost.slot_time_ns (fun () ->
+                 commit t since));
+          await intent n
+    end
+  and await intent n =
+    match Ivar.read t.engine intent.result with
+    | Won -> `Sent
+    | Collided ->
+        let slots = backoff_slots t ~attempt:n in
+        Engine.sleep t.engine (slots * t.cost.slot_time_ns);
+        attempt (n + 1)
+  in
+  ignore port;
+  attempt 1
+
+let set_drop_fun t f = t.drop_fun <- f
+let set_loss_rate t r = t.loss_rate <- r
+let frames_lost t = t.n_lost
+let collisions t = t.n_collisions
+let frames_delivered t = t.n_frames
+let bytes_delivered t = t.n_bytes
+let excessive_collision_drops t = t.n_excessive
+
+let utilisation t =
+  let elapsed = Engine.now t.engine in
+  if elapsed = 0 then 0. else float_of_int t.busy_ns /. float_of_int elapsed

@@ -1,0 +1,60 @@
+(** Shared 10 Mbit/s Ethernet segment with CSMA/CD.
+
+    Stations that begin transmitting within one slot time of each
+    other collide, jam, and retry after binary exponential backoff —
+    the mechanism behind Figure 6's throughput collapse when many
+    uncoordinated groups share the wire.  Transmission is modelled at
+    frame granularity; propagation delay within the segment is folded
+    into the slot time. *)
+
+open Amoeba_sim
+
+type t
+
+type port
+
+val create : Engine.t -> Cost_model.t -> t
+
+val attach : t -> rx:(Frame.t -> unit) -> port
+(** [attach t ~rx] connects a station.  [rx] is invoked (outside any
+    process; it must not block) for every frame another station
+    finishes transmitting. *)
+
+val port_id : port -> int
+
+val transmit : t -> port -> Frame.t -> [ `Sent | `Dropped ]
+(** Blocking send with carrier sense, collision detection and
+    exponential backoff.  Returns [`Dropped] after 16 failed attempts
+    (excessive collisions); reliability above that is the protocols'
+    job.  Must be called from a process. *)
+
+(** {1 Fault injection} *)
+
+val set_drop_fun : t -> (Frame.t -> bool) option -> unit
+(** [set_drop_fun t (Some f)] silently discards every successfully
+    transmitted frame for which [f] returns true — the "lost message"
+    case the negative-acknowledgement machinery exists for.  The
+    sender still observes [`Sent].  [None] disables injection. *)
+
+val set_loss_rate : t -> float -> unit
+(** Random independent frame loss with the given probability, drawn
+    from the engine's deterministic RNG.  Composes with
+    {!set_drop_fun}. *)
+
+val frames_lost : t -> int
+(** Frames discarded by fault injection. *)
+
+(** {1 Statistics} *)
+
+val collisions : t -> int
+
+val frames_delivered : t -> int
+
+val bytes_delivered : t -> int
+(** Wire bytes (including headers, excluding preamble/CRC) of
+    successfully transmitted frames. *)
+
+val excessive_collision_drops : t -> int
+
+val utilisation : t -> float
+(** Fraction of elapsed simulated time the medium was carrying bits. *)

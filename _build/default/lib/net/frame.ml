@@ -1,0 +1,16 @@
+type body = ..
+type body += Empty
+
+type dest = Unicast of int | Multicast of int | Broadcast
+
+type t = {
+  src : int;
+  dest : dest;
+  size_on_wire : int;
+  body : body;
+}
+
+let pp_dest fmt = function
+  | Unicast id -> Format.fprintf fmt "uni:%d" id
+  | Multicast id -> Format.fprintf fmt "mc:%d" id
+  | Broadcast -> Format.fprintf fmt "bcast"

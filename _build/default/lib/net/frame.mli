@@ -1,0 +1,25 @@
+(** Ethernet frames.
+
+    The body is an extensible variant: upper layers (FLIP) add their
+    own packet constructors, so the network layer stays independent of
+    what it carries.  [size_on_wire] is what timing is computed from;
+    it must include all headers (the payload never needs to be
+    serialised in the simulation). *)
+
+type body = ..
+
+type body += Empty
+
+type dest =
+  | Unicast of int  (** station id *)
+  | Multicast of int  (** multicast group id *)
+  | Broadcast
+
+type t = {
+  src : int;  (** sending station id *)
+  dest : dest;
+  size_on_wire : int;  (** bytes incl. the 14-byte Ethernet header *)
+  body : body;
+}
+
+val pp_dest : Format.formatter -> dest -> unit

@@ -1,0 +1,45 @@
+open Amoeba_sim
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  trace : Trace.t;
+  name : string;
+  id : int;
+  cpu : Resource.t;
+  nic : Nic.t;
+  alive : bool ref;  (** shared with the nic's alive closure *)
+}
+
+let create engine cost trace ether ~name ~id =
+  let cpu = Resource.create engine ~name:(name ^ ":cpu") in
+  let alive = ref true in
+  let nic =
+    Nic.create engine cost trace ether ~station:id ~host:name ~cpu
+      ~alive:(fun () -> !alive)
+  in
+  { engine; cost; trace; name; id; cpu; nic; alive }
+
+let engine t = t.engine
+let cost t = t.cost
+let trace t = t.trace
+let name t = t.name
+let id t = t.id
+let cpu t = t.cpu
+let nic t = t.nic
+let is_alive t = !(t.alive)
+let crash t = t.alive := false
+
+let jitter engine d = Cost_model.jitter (Engine.rng engine) d
+
+let work t ~layer d =
+  if !(t.alive) then begin
+    let d = jitter t.engine d in
+    Resource.consume t.cpu d;
+    Trace.record t.trace t.engine ~layer ~host:t.name d
+  end
+
+let cpu_utilisation t =
+  let elapsed = Engine.now t.engine in
+  if elapsed = 0 then 0.
+  else float_of_int (Resource.busy_time t.cpu) /. float_of_int elapsed

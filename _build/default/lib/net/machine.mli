@@ -1,0 +1,46 @@
+(** A simulated host: one CPU, one network interface, an alive flag.
+
+    All protocol-layer work is charged to the machine's CPU via
+    {!work}; CPU contention between the interrupt path, the protocol
+    layers and application threads is what limits the sequencer's
+    throughput in the reproduced experiments. *)
+
+open Amoeba_sim
+
+type t
+
+val create :
+  Engine.t -> Cost_model.t -> Trace.t -> Ether.t -> name:string -> id:int -> t
+
+val engine : t -> Engine.t
+
+val cost : t -> Cost_model.t
+
+val trace : t -> Trace.t
+
+val name : t -> string
+
+val id : t -> int
+(** Station id on the Ethernet. *)
+
+val cpu : t -> Resource.t
+
+val nic : t -> Nic.t
+
+val is_alive : t -> bool
+
+val crash : t -> unit
+(** Crash failure: the machine stops sending, receiving and
+    processing.  There is no un-crash; recovery means the group
+    rebuilds without it. *)
+
+val work : t -> layer:string -> Time.t -> unit
+(** [work t ~layer d] occupies the CPU for [d] (+/-5% deterministic
+    jitter — real machines are not in lockstep) and records a trace
+    span.  Must be called from a process.  No-op on a crashed
+    machine. *)
+
+val jitter : Engine.t -> Time.t -> Time.t
+(** The +/-5% cost perturbation, exposed for the NIC model. *)
+
+val cpu_utilisation : t -> float

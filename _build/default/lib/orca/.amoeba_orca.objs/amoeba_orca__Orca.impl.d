@@ -1,0 +1,1 @@
+lib/orca/orca.ml: Amoeba_core Amoeba_flip Amoeba_net Amoeba_sim Api Bytes Engine Flip Hashtbl Ivar List Machine Printf String Types

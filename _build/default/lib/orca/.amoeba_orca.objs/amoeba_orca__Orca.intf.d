@@ -1,0 +1,1 @@
+lib/orca/orca.mli: Addr Amoeba_core Amoeba_flip Api Flip Types

@@ -1,0 +1,147 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+open Amoeba_core
+module T = Types
+
+module Runtime = struct
+  type t = {
+    flip : Flip.t;
+    g : Api.group;
+    engine : Engine.t;
+    registry : (string, sender:int -> op_id:int -> bytes -> unit) Hashtbl.t;
+    mutable next_op : int;
+  }
+
+  (* Wire format inside a group message: the object name, the writer's
+     operation id, then the raw operation bytes. *)
+  let encode ~name ~op_id op =
+    Bytes.cat (Bytes.of_string (Printf.sprintf "%s\n%d\n" name op_id)) op
+
+  let decode body =
+    let s = Bytes.to_string body in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i -> (
+        match String.index_from_opt s (i + 1) '\n' with
+        | None -> None
+        | Some j ->
+            let name = String.sub s 0 i in
+            let op_id = int_of_string (String.sub s (i + 1) (j - i - 1)) in
+            let op = Bytes.sub body (j + 1) (Bytes.length body - j - 1) in
+            Some (name, op_id, op))
+
+  let applier t () =
+    let rec loop () =
+      (match Api.receive_from_group t.g with
+      | T.Message { sender; body; _ } -> (
+          match decode body with
+          | Some (name, op_id, op) -> (
+              match Hashtbl.find_opt t.registry name with
+              | Some handler -> handler ~sender ~op_id op
+              | None -> ())
+          | None -> ())
+      | T.Member_joined _ | T.Member_left _ | T.Group_reset _ | T.Expelled -> ());
+      loop ()
+    in
+    loop ()
+
+  let make flip g =
+    let t =
+      {
+        flip;
+        g;
+        engine = Machine.engine (Flip.machine flip);
+        registry = Hashtbl.create 16;
+        next_op = 0;
+      }
+    in
+    Engine.spawn t.engine (applier t);
+    t
+
+  let create flip = make flip (Api.create_group flip ())
+
+  let join flip addr =
+    match Api.join_group flip addr with
+    | Ok g -> Ok (make flip g)
+    | Error e -> Error e
+
+  let address t = Api.group_address t.g
+  let group t = t.g
+end
+
+module type OBJ = sig
+  type state
+  type op
+  type result
+
+  val apply : state -> op -> state * result
+  val encode_op : op -> bytes
+  val decode_op : bytes -> op option
+end
+
+module Make (O : OBJ) = struct
+  type handle = {
+    rt : Runtime.t;
+    name : string;
+    mutable st : O.state;
+    pending : (int, (O.result, T.error) result Ivar.t) Hashtbl.t;
+    mutable guards : ((O.state -> bool) * (unit -> unit)) list;
+  }
+
+  let run_guards h =
+    let ready, blocked =
+      List.partition (fun (pred, _) -> pred h.st) h.guards
+    in
+    h.guards <- blocked;
+    List.iter (fun (_, resume) -> resume ()) ready
+
+  let declare rt ~name ~init =
+    if Hashtbl.mem rt.Runtime.registry name then
+      invalid_arg ("Orca.declare: duplicate object name " ^ name);
+    let h = { rt; name; st = init; pending = Hashtbl.create 8; guards = [] } in
+    let my_mid () = (Api.get_info_group rt.Runtime.g).Api.my_mid in
+    let handler ~sender ~op_id op =
+      match O.decode_op op with
+      | None -> ()
+      | Some o ->
+          let st', result = O.apply h.st o in
+          h.st <- st';
+          (if sender = my_mid () then
+             match Hashtbl.find_opt h.pending op_id with
+             | Some iv ->
+                 Hashtbl.remove h.pending op_id;
+                 ignore (Ivar.try_fill iv (Ok result))
+             | None -> ());
+          run_guards h
+    in
+    Hashtbl.replace rt.Runtime.registry name handler;
+    h
+
+  let write h op =
+    let rt = h.rt in
+    rt.Runtime.next_op <- rt.Runtime.next_op + 1;
+    let op_id = rt.Runtime.next_op in
+    let iv = Ivar.create () in
+    Hashtbl.replace h.pending op_id iv;
+    match
+      Api.send_to_group rt.Runtime.g
+        (Runtime.encode ~name:h.name ~op_id (O.encode_op op))
+    with
+    | Error e ->
+        Hashtbl.remove h.pending op_id;
+        Error e
+    | Ok _ -> Ivar.read rt.Runtime.engine iv
+
+  let read h f = f h.st
+
+  let await h pred =
+    let rec wait () =
+      if not (pred h.st) then begin
+        Engine.suspend h.rt.Runtime.engine ~register:(fun resume ->
+            h.guards <- (pred, resume) :: h.guards);
+        wait ()
+      end
+    in
+    wait ()
+end

@@ -1,0 +1,71 @@
+(** Orca-style shared data-objects over totally-ordered broadcast.
+
+    The group system's flagship client (the paper's reference [30],
+    "Parallel programming using shared objects and broadcasting"): an
+    object is replicated on every processor of a parallel program;
+    {e write} operations are broadcast and applied in the same total
+    order everywhere, {e read} operations touch only the local
+    replica, and {e guards} block a thread until the object satisfies
+    a predicate — Orca's condition synchronisation.
+
+    Programs are SPMD: every worker declares the same objects against
+    its own runtime, then operates on them as if they were shared
+    memory. *)
+
+open Amoeba_flip
+open Amoeba_core
+
+module Runtime : sig
+  type t
+  (** One per machine taking part in the program; wraps a group
+      member. *)
+
+  val create : Flip.t -> t
+
+  val join : Flip.t -> Addr.t -> (t, Types.error) result
+
+  val address : t -> Addr.t
+
+  val group : t -> Api.group
+end
+
+(** The replicated abstract data type. *)
+module type OBJ = sig
+  type state
+
+  type op
+  (** A write operation. *)
+
+  type result
+  (** What a write returns (computed deterministically from the state
+      at the operation's position in the total order). *)
+
+  val apply : state -> op -> state * result
+
+  val encode_op : op -> bytes
+
+  val decode_op : bytes -> op option
+end
+
+module Make (O : OBJ) : sig
+  type handle
+
+  val declare : Runtime.t -> name:string -> init:O.state -> handle
+  (** Declares the object on this runtime.  Every participant must
+      declare the same name with the same initial state (SPMD); names
+      are unique per runtime across all object types. *)
+
+  val write : handle -> O.op -> (O.result, Types.error) result
+  (** Broadcasts the operation and blocks until it is applied locally;
+      returns what [O.apply] produced at this operation's place in the
+      total order (the same value every replica computed). *)
+
+  val read : handle -> (O.state -> 'a) -> 'a
+  (** Local, immediate: the fast path that makes shared objects cheap
+      (reads vastly outnumber writes in the paper's applications). *)
+
+  val await : handle -> (O.state -> bool) -> unit
+  (** Orca's guard: blocks until the predicate holds for the local
+      replica (re-evaluated after every applied write).  Returns
+      immediately if it already holds. *)
+end

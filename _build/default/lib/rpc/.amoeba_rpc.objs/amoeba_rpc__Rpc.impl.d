@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Addr Amoeba_flip Amoeba_net Amoeba_sim Bytes Channel Cost_model Engine Flip Hashtbl Machine Packet Time Types_rpc

@@ -1,0 +1,1 @@
+lib/rpc/rpc.mli: Addr Amoeba_flip Amoeba_sim Flip Types_rpc

@@ -1,0 +1,1 @@
+lib/rpc/types_rpc.ml: Amoeba_flip

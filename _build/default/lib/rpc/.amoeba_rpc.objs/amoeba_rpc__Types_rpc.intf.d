@@ -1,0 +1,1 @@
+lib/rpc/types_rpc.mli: Amoeba_flip

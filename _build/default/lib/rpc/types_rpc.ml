@@ -1,0 +1,3 @@
+type outcome =
+  | Reply of bytes
+  | Forward of Amoeba_flip.Addr.t

@@ -1,0 +1,7 @@
+(** Types shared by RPC servers and clients. *)
+
+type outcome =
+  | Reply of bytes
+  | Forward of Amoeba_flip.Addr.t
+      (** ForwardRequest: pass the request to another member; the
+          client receives that member's reply transparently. *)

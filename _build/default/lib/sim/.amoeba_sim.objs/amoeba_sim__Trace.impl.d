@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Engine Hashtbl List Option Time

@@ -1,0 +1,59 @@
+type entry = {
+  mutable active : bool;
+  resume : unit -> unit;
+}
+
+type 'a t = {
+  items : 'a Queue.t;
+  readers : entry Queue.t;
+}
+
+let create () = { items = Queue.create (); readers = Queue.create () }
+
+(* Skip entries deactivated by a receive timeout, otherwise a stale
+   entry would swallow the wakeup meant for a live reader. *)
+let rec wake_one t =
+  match Queue.take_opt t.readers with
+  | None -> ()
+  | Some e -> if e.active then e.resume () else wake_one t
+
+let send t v =
+  Queue.push v t.items;
+  wake_one t
+
+(* A woken reader may find the queue empty again if another process
+   consumed the item first, so receive loops until it wins an item. *)
+let rec recv eng t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+      Engine.suspend eng ~register:(fun resume ->
+          Queue.push { active = true; resume } t.readers);
+      recv eng t
+
+let try_recv t = Queue.take_opt t.items
+
+let recv_timeout eng t ~timeout =
+  let deadline = Engine.now eng + timeout in
+  let rec wait () =
+    match Queue.take_opt t.items with
+    | Some v -> Some v
+    | None ->
+        if Engine.now eng >= deadline then None
+        else begin
+          Engine.suspend eng ~register:(fun resume ->
+              let entry = { active = true; resume } in
+              Queue.push entry t.readers;
+              ignore
+                (Engine.schedule eng ~after:(deadline - Engine.now eng)
+                   (fun () ->
+                     if entry.active then begin
+                       entry.active <- false;
+                       resume ()
+                     end)));
+          wait ()
+        end
+  in
+  wait ()
+
+let length t = Queue.length t.items

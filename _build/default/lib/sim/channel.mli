@@ -1,0 +1,21 @@
+(** Unbounded FIFO channels.
+
+    [send] never blocks; [recv] blocks until an item is available.
+    Multiple readers are served in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+
+val recv : Engine.t -> 'a t -> 'a
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val recv_timeout : Engine.t -> 'a t -> timeout:Time.t -> 'a option
+(** Blocking receive that gives up after [timeout] and returns [None]. *)
+
+val length : 'a t -> int
+(** Number of queued items (not counting blocked readers). *)

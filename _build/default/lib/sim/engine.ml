@@ -1,0 +1,107 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Time.t;
+  mutable next_seq : int;
+  queue : event Pqueue.t;
+  random : Random.State.t;
+  mutable error : exn option;
+  mutable steps : int;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create ?(seed = 0xA0EBA) () =
+  {
+    clock = Time.zero;
+    next_seq = 0;
+    queue = Pqueue.create ~cmp:compare_event;
+    random = Random.State.make [| seed |];
+    error = None;
+    steps = 0;
+  }
+
+let now t = t.clock
+let rng t = t.random
+let step_count t = t.steps
+
+let schedule t ~after run =
+  assert (after >= 0);
+  let ev = { time = t.clock + after; seq = t.next_seq; run; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  Pqueue.push t.queue ev;
+  ev
+
+let cancel ev = ev.cancelled <- true
+
+(* The single effect from which all blocking operations are built.  A
+   process performs [Suspend register]; the handler captures the
+   continuation and hands [register] a one-shot resume function that
+   re-schedules the continuation on the event queue. *)
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let run_fiber t f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> if t.error = None then t.error <- Some e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let fired = ref false in
+                  let resume () =
+                    if not !fired then begin
+                      fired := true;
+                      ignore (schedule t ~after:0 (fun () -> continue k ()))
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+  in
+  match_with f () handler
+
+let spawn t ?(after = 0) f = ignore (schedule t ~after (fun () -> run_fiber t f))
+
+let run ?until t =
+  let stop_after = match until with None -> max_int | Some u -> u in
+  let rec loop () =
+    match t.error with
+    | Some e ->
+        t.error <- None;
+        raise e
+    | None -> (
+        match Pqueue.peek t.queue with
+        | None -> ()
+        | Some ev when ev.time > stop_after -> t.clock <- stop_after
+        | Some _ -> (
+            match Pqueue.pop t.queue with
+            | None -> ()
+            | Some ev ->
+                if not ev.cancelled then begin
+                  t.clock <- ev.time;
+                  t.steps <- t.steps + 1;
+                  ev.run ()
+                end;
+                loop ()))
+  in
+  loop ()
+
+let suspend _t ~register = Effect.perform (Suspend register)
+
+let sleep t d =
+  Effect.perform (Suspend (fun resume -> ignore (schedule t ~after:d resume)))
+
+let yield t = sleep t 0

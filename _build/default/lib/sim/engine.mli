@@ -1,0 +1,59 @@
+(** Discrete-event simulation engine with effects-based processes.
+
+    The engine maintains a clock and a priority queue of events.
+    Protocol code is written in direct (blocking) style inside
+    processes spawned with {!spawn}; blocking operations ({!sleep},
+    {!Ivar.read}, {!Channel.recv}, ...) are implemented with OCaml 5
+    effect handlers, so there is no monadic plumbing.
+
+    Determinism: events scheduled for the same instant fire in the
+    order they were scheduled, and all randomness flows through the
+    engine's seeded {!rng}. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh engine whose clock reads 0. *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val rng : t -> Random.State.t
+(** The engine's deterministic random state. *)
+
+val schedule : t -> after:Time.t -> (unit -> unit) -> handle
+(** [schedule t ~after f] arranges for [f] to run at [now t + after].
+    [f] runs outside any process; it must not block. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val spawn : t -> ?after:Time.t -> (unit -> unit) -> unit
+(** [spawn t f] starts a new process running [f].  [f] may block.  An
+    exception escaping [f] aborts the simulation: {!run} re-raises it. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Runs events until the queue is empty, or until the clock would
+    pass [until].  Re-raises the first exception that escaped a
+    process or event callback. *)
+
+val step_count : t -> int
+(** Number of events processed so far (for tests and diagnostics). *)
+
+(** {1 Blocking operations (only valid inside a process)} *)
+
+val sleep : t -> Time.t -> unit
+(** Suspends the calling process for the given duration. *)
+
+val yield : t -> unit
+(** Re-schedules the calling process behind events already due now. *)
+
+val suspend : t -> register:((unit -> unit) -> unit) -> unit
+(** [suspend t ~register] parks the calling process.  [register] is
+    called immediately with a [resume] function; invoking [resume]
+    (at most once is honoured; later calls are ignored) schedules the
+    process to continue at the then-current simulated time.  This is
+    the primitive from which ivars, channels and resources are built. *)

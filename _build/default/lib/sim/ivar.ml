@@ -1,0 +1,33 @@
+type 'a t = {
+  mutable value : 'a option;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create () = { value = None; waiters = Queue.create () }
+
+let fill t v =
+  match t.value with
+  | Some _ -> invalid_arg "Ivar.fill: already filled"
+  | None ->
+      t.value <- Some v;
+      Queue.iter (fun resume -> resume ()) t.waiters;
+      Queue.clear t.waiters
+
+let try_fill t v =
+  match t.value with
+  | Some _ -> false
+  | None ->
+      fill t v;
+      true
+
+let peek t = t.value
+let is_full t = t.value <> None
+
+let read eng t =
+  match t.value with
+  | Some v -> v
+  | None -> (
+      Engine.suspend eng ~register:(fun resume -> Queue.push resume t.waiters);
+      match t.value with
+      | Some v -> v
+      | None -> assert false)

@@ -1,0 +1,20 @@
+(** Write-once synchronisation variables. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Fills the ivar and wakes all readers, in registration order.
+    @raise Invalid_argument if already filled. *)
+
+val try_fill : 'a t -> 'a -> bool
+(** Like {!fill} but returns [false] instead of raising when the ivar
+    is already full. *)
+
+val peek : 'a t -> 'a option
+
+val is_full : 'a t -> bool
+
+val read : Engine.t -> 'a t -> 'a
+(** Blocks the calling process until the ivar is filled. *)

@@ -1,0 +1,65 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable elems : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; elems = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.elems in
+  if h.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let elems = Array.make ncap x in
+    Array.blit h.elems 0 elems 0 h.size;
+    h.elems <- elems
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.elems.(i) h.elems.(parent) < 0 then begin
+      let tmp = h.elems.(i) in
+      h.elems.(i) <- h.elems.(parent);
+      h.elems.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let push h x =
+  grow h x;
+  h.elems.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.elems.(0)
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.elems.(l) h.elems.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.elems.(r) h.elems.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.elems.(i) in
+    h.elems.(i) <- h.elems.(!smallest);
+    h.elems.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.elems.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.elems.(0) <- h.elems.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let clear h =
+  h.elems <- [||];
+  h.size <- 0

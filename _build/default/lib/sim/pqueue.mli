@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap.
+
+    Used as the simulator's event queue.  Elements are ordered by a
+    caller-supplied total order; ties must be broken by the caller
+    (the engine orders events by [(time, sequence number)]). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  engine : Engine.t;
+  label : string;
+  waiters : (unit -> unit) Queue.t;
+  mutable held : bool;
+  mutable held_since : Time.t;
+  mutable busy_total : Time.t;
+}
+
+let create engine ~name =
+  {
+    engine;
+    label = name;
+    waiters = Queue.create ();
+    held = false;
+    held_since = Time.zero;
+    busy_total = Time.zero;
+  }
+
+let name t = t.label
+
+let acquire t =
+  if not t.held then begin
+    t.held <- true;
+    t.held_since <- Engine.now t.engine
+  end
+  else
+    (* Ownership is handed off directly by [release], so once resumed
+       the caller owns the resource. *)
+    Engine.suspend t.engine ~register:(fun resume -> Queue.push resume t.waiters)
+
+let release t =
+  if not t.held then invalid_arg "Resource.release: not held";
+  t.busy_total <- t.busy_total + (Engine.now t.engine - t.held_since);
+  t.held_since <- Engine.now t.engine;
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None -> t.held <- false
+
+let consume t d =
+  acquire t;
+  Engine.sleep t.engine d;
+  release t
+
+let busy_time t =
+  if t.held then t.busy_total + (Engine.now t.engine - t.held_since)
+  else t.busy_total
+
+let queue_length t = Queue.length t.waiters

@@ -1,0 +1,29 @@
+(** An exclusive resource with FIFO queueing, used to model a CPU.
+
+    Every piece of simulated work (interrupt handling, protocol layer
+    processing, memory copies) occupies its machine's CPU for a cost
+    given by the cost model; contention for the CPU is what limits
+    throughput in the reproduced experiments. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+
+val name : t -> string
+
+val acquire : t -> unit
+(** Blocks the calling process until it owns the resource. *)
+
+val release : t -> unit
+(** Hands the resource to the next waiter, if any. *)
+
+val consume : t -> Time.t -> unit
+(** [consume r d] acquires [r], holds it for [d] of simulated time,
+    and releases it: the basic "spend CPU time" operation. *)
+
+val busy_time : t -> Time.t
+(** Total simulated time the resource has been held, for utilisation
+    reports. *)
+
+val queue_length : t -> int
+(** Number of processes currently waiting. *)

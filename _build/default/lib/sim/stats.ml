@@ -1,0 +1,61 @@
+type t = {
+  mutable data : float array;
+  mutable size : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable low : float;
+  mutable high : float;
+}
+
+let create () =
+  {
+    data = [||];
+    size = 0;
+    sum = 0.;
+    sum_sq = 0.;
+    low = infinity;
+    high = neg_infinity;
+  }
+
+let add t x =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let data = Array.make ncap 0. in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.low then t.low <- x;
+  if x > t.high then t.high <- x
+
+let count t = t.size
+let mean t = if t.size = 0 then 0. else t.sum /. float_of_int t.size
+
+let stddev t =
+  if t.size < 2 then 0.
+  else begin
+    let n = float_of_int t.size in
+    let m = t.sum /. n in
+    let v = (t.sum_sq /. n) -. (m *. m) in
+    if v <= 0. then 0. else sqrt v
+  end
+
+let min_value t = if t.size = 0 then 0. else t.low
+let max_value t = if t.size = 0 then 0. else t.high
+
+let percentile t p =
+  if t.size = 0 then 0.
+  else begin
+    let sorted = Array.sub t.data 0 t.size in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (Float.round (p /. 100. *. float_of_int (t.size - 1)))
+    in
+    sorted.(max 0 (min (t.size - 1) rank))
+  end
+
+let samples t = Array.sub t.data 0 t.size

@@ -1,0 +1,119 @@
+module Mutex = struct
+  type t = {
+    engine : Engine.t;
+    mutable held : bool;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create engine = { engine; held = false; waiters = Queue.create () }
+
+  let lock t =
+    if not t.held then t.held <- true
+    else
+      (* Ownership is handed off by unlock, so a woken waiter owns the
+         mutex when it resumes. *)
+      Engine.suspend t.engine ~register:(fun resume ->
+          Queue.push resume t.waiters)
+
+  let unlock t =
+    if not t.held then invalid_arg "Sync.Mutex.unlock: not held";
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume ()
+    | None -> t.held <- false
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+end
+
+module Semaphore = struct
+  type t = {
+    engine : Engine.t;
+    mutable n : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create engine n =
+    if n < 0 then invalid_arg "Sync.Semaphore.create: negative count";
+    { engine; n; waiters = Queue.create () }
+
+  let acquire t =
+    if t.n > 0 then t.n <- t.n - 1
+    else
+      (* The released unit is handed to the woken waiter directly. *)
+      Engine.suspend t.engine ~register:(fun resume ->
+          Queue.push resume t.waiters)
+
+  let try_acquire t =
+    if t.n > 0 then begin
+      t.n <- t.n - 1;
+      true
+    end
+    else false
+
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume ()
+    | None -> t.n <- t.n + 1
+
+  let count t = t.n
+end
+
+module Condition = struct
+  type t = {
+    engine : Engine.t;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create engine = { engine; waiters = Queue.create () }
+
+  let wait t mutex =
+    Engine.suspend t.engine ~register:(fun resume ->
+        Queue.push resume t.waiters;
+        (* Release only after registering, so a signal between unlock
+           and sleep cannot be lost. *)
+        Mutex.unlock mutex);
+    Mutex.lock mutex
+
+  let signal t =
+    match Queue.take_opt t.waiters with Some resume -> resume () | None -> ()
+
+  let broadcast t =
+    Queue.iter (fun resume -> resume ()) t.waiters;
+    Queue.clear t.waiters
+end
+
+module Barrier = struct
+  type t = {
+    engine : Engine.t;
+    parties : int;
+    mutable arrived : int;
+    mutable waiters : (unit -> unit) list;  (** newest first *)
+  }
+
+  let create engine ~parties =
+    if parties <= 0 then invalid_arg "Sync.Barrier.create: parties";
+    { engine; parties; arrived = 0; waiters = [] }
+
+  let wait t =
+    let index = t.arrived in
+    t.arrived <- t.arrived + 1;
+    if t.arrived = t.parties then begin
+      let wake = List.rev t.waiters in
+      t.waiters <- [];
+      t.arrived <- 0;
+      List.iter (fun resume -> resume ()) wake;
+      index
+    end
+    else begin
+      Engine.suspend t.engine ~register:(fun resume ->
+          t.waiters <- resume :: t.waiters);
+      index
+    end
+end

@@ -1,0 +1,61 @@
+(** Thread synchronisation for simulated processes.
+
+    The paper's programming model is blocking primitives plus multiple
+    threads per process (section 2, discussion in section 5); these
+    are the intra-process coordination tools that model needs.  All
+    operations are deterministic: waiters are served strictly in
+    arrival order. *)
+
+module Mutex : sig
+  type t
+
+  val create : Engine.t -> t
+
+  val lock : t -> unit
+
+  val unlock : t -> unit
+  (** @raise Invalid_argument if the mutex is not held. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Releases on exception too. *)
+end
+
+module Semaphore : sig
+  type t
+
+  val create : Engine.t -> int -> t
+  (** Initial (non-negative) count. *)
+
+  val acquire : t -> unit
+
+  val try_acquire : t -> bool
+
+  val release : t -> unit
+
+  val count : t -> int
+end
+
+module Condition : sig
+  type t
+
+  val create : Engine.t -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Atomically releases the mutex and blocks; re-acquires before
+      returning. *)
+
+  val signal : t -> unit
+  (** Wakes the longest-waiting thread, if any. *)
+
+  val broadcast : t -> unit
+end
+
+module Barrier : sig
+  type t
+
+  val create : Engine.t -> parties:int -> t
+
+  val wait : t -> int
+  (** Blocks until [parties] threads arrive; returns the arrival index
+      (0 is first).  The barrier then resets for reuse. *)
+end

@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_us_float x = int_of_float (Float.round (x *. 1_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.
+
+let pp fmt t =
+  if t >= 1_000_000_000 then Format.fprintf fmt "%.3f s" (to_sec t)
+  else if t >= 1_000_000 then Format.fprintf fmt "%.3f ms" (to_ms t)
+  else if t >= 1_000 then Format.fprintf fmt "%.1f us" (to_us t)
+  else Format.fprintf fmt "%d ns" t

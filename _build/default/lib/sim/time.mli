@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    Time is represented as an integer number of nanoseconds since the
+    start of the simulation.  Using integers keeps the event queue
+    deterministic: no floating-point rounding can reorder events. *)
+
+type t = int
+(** Nanoseconds. *)
+
+val zero : t
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val sec : int -> t
+(** [sec n] is [n] seconds. *)
+
+val of_us_float : float -> t
+(** [of_us_float x] rounds [x] microseconds to the nearest nanosecond. *)
+
+val to_us : t -> float
+(** [to_us t] is [t] expressed in microseconds. *)
+
+val to_ms : t -> float
+(** [to_ms t] is [t] expressed in milliseconds. *)
+
+val to_sec : t -> float
+(** [to_sec t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a human-readable duration with an adaptive unit. *)

@@ -1,0 +1,35 @@
+type span = {
+  layer : string;
+  host : string;
+  start : Time.t;
+  stop : Time.t;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable recorded : span list;  (** newest first *)
+}
+
+let create () = { enabled = false; recorded = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let clear t = t.recorded <- []
+
+let record t eng ~layer ~host d =
+  if t.enabled then begin
+    let stop = Engine.now eng in
+    t.recorded <- { layer; host; start = stop - d; stop } :: t.recorded
+  end
+
+let spans t = List.rev t.recorded
+
+let by_layer t =
+  let totals = Hashtbl.create 8 in
+  let order = ref [] in
+  let add { layer; start; stop; _ } =
+    if not (Hashtbl.mem totals layer) then order := layer :: !order;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt totals layer) in
+    Hashtbl.replace totals layer (prev + (stop - start))
+  in
+  List.iter add (spans t);
+  List.rev_map (fun layer -> (layer, Hashtbl.find totals layer)) !order

@@ -1,0 +1,33 @@
+(** Critical-path tracing.
+
+    Layers of the simulated communication stack record spans (who
+    spent how long where) when tracing is enabled.  The Table 3
+    reproduction sums the spans of a single SendToGroup by layer. *)
+
+type span = {
+  layer : string;  (** e.g. "user", "group", "flip", "ether" *)
+  host : string;  (** machine name *)
+  start : Time.t;
+  stop : Time.t;
+}
+
+type t
+
+val create : unit -> t
+(** Tracing starts disabled. *)
+
+val enable : t -> unit
+
+val disable : t -> unit
+
+val clear : t -> unit
+
+val record : t -> Engine.t -> layer:string -> host:string -> Time.t -> unit
+(** [record t eng ~layer ~host d] records a span of duration [d]
+    ending now.  No-op when disabled. *)
+
+val spans : t -> span list
+(** Recorded spans, oldest first. *)
+
+val by_layer : t -> (string * Time.t) list
+(** Total duration per layer, in first-seen order. *)

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Amoeba_core Amoeba_flip Amoeba_harness Amoeba_sim Api Bytes Char Cluster Engine Result Time Types

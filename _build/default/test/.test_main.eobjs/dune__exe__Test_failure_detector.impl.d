@@ -1,0 +1,1 @@
+test/test_failure_detector.ml: Alcotest Amoeba_core Amoeba_harness Amoeba_net Amoeba_sim Cluster Ether Failure_detector Frame List Machine Time

@@ -1,0 +1,1 @@
+test/test_flip.ml: Alcotest Amoeba_flip Amoeba_net Amoeba_sim Cost_model Engine Ether Flip List Machine Packet Printf QCheck QCheck_alcotest Time Trace

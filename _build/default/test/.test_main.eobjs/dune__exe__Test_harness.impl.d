@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Amoeba_core Amoeba_harness Amoeba_net Experiments List Printf

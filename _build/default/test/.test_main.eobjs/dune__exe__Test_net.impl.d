@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Amoeba_net Amoeba_sim Cost_model Engine Ether Frame Hashtbl List Machine Nic Printf QCheck QCheck_alcotest Random Resource Time Trace

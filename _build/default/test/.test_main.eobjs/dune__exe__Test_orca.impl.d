@@ -1,0 +1,1 @@
+test/test_orca.ml: Alcotest Amoeba_harness Amoeba_net Amoeba_orca Amoeba_sim Bytes Cluster Engine Ether Fun List Option Orca Printf QCheck QCheck_alcotest Result String Time

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Amoeba_core Amoeba_harness Amoeba_net Amoeba_sim Api Bytes Cluster Engine Ether Frame Kernel List Machine Printf QCheck QCheck_alcotest Result Time Types

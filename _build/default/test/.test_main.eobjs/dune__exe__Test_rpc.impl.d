@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Amoeba_flip Amoeba_harness Amoeba_net Amoeba_rpc Amoeba_sim Bytes Cluster Engine Ether Flip Frame Machine Printf Rpc Time Types_rpc

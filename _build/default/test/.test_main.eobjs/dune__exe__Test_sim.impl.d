@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Amoeba_sim Channel Engine Float Gen Ivar List Pqueue QCheck QCheck_alcotest Resource Stats Time Trace

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Amoeba_sim Engine List Queue Sync

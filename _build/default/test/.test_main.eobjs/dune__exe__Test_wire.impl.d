@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Amoeba_core Amoeba_flip Amoeba_net Bytes Cost_model List Types Wire

@@ -1,0 +1,142 @@
+(* Tests for the public API surface (paper Table 1 semantics). *)
+
+open Amoeba_sim
+open Amoeba_core
+open Amoeba_harness
+module T = Types
+
+let body = Bytes.of_string
+
+let with_cluster n scenario =
+  let cl = Cluster.create ~n () in
+  let failure = ref None in
+  Cluster.spawn cl (fun () -> try scenario cl with e -> failure := Some e);
+  Cluster.run ~until:(Time.sec 600) cl;
+  match !failure with Some e -> raise e | None -> ()
+
+let test_info_reflects_configuration () =
+  with_cluster 2 (fun cl ->
+      let g =
+        Api.create_group (Cluster.flip cl 0) ~resilience:3 ~send_method:T.Bb
+          ~history:64 ()
+      in
+      let info = Api.get_info_group g in
+      Alcotest.(check int) "resilience" 3 info.Api.resilience;
+      Alcotest.(check bool) "method" true (info.Api.send_method = T.Bb);
+      Alcotest.(check int) "seq starts at 0" 0 info.Api.next_seq)
+
+let test_receive_opt () =
+  with_cluster 2 (fun cl ->
+      let g = Api.create_group (Cluster.flip cl 0) () in
+      Alcotest.(check bool) "empty at first" true (Api.receive_opt g = None);
+      ignore (Api.send_to_group g (body "x"));
+      Engine.sleep cl.Cluster.engine (Time.ms 50);
+      (match Api.receive_opt g with
+      | Some (T.Message { body = b; _ }) ->
+          Alcotest.(check string) "body" "x" (Bytes.to_string b)
+      | _ -> Alcotest.fail "expected a message");
+      Alcotest.(check bool) "drained" true (Api.receive_opt g = None))
+
+let test_group_address_is_stable () =
+  with_cluster 2 (fun cl ->
+      let g = Api.create_group (Cluster.flip cl 0) () in
+      let a1 = Api.group_address g in
+      let g1 = Result.get_ok (Api.join_group (Cluster.flip cl 1) a1) in
+      Alcotest.(check bool) "same address at both members" true
+        (Amoeba_flip.Addr.equal a1 (Api.group_address g1)))
+
+let test_double_leave_fails () =
+  with_cluster 2 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        Result.get_ok (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      Alcotest.(check bool) "first leave ok" true (Api.leave_group g1 = Ok ());
+      Alcotest.(check bool) "second leave refused" true
+        (Api.leave_group g1 = Error T.Not_a_member))
+
+let test_send_empty_message () =
+  with_cluster 2 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        Result.get_ok (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      ignore (Api.send_to_group g0 Bytes.empty);
+      Engine.sleep cl.Cluster.engine (Time.ms 50);
+      match Api.receive_opt g1 with
+      | Some (T.Message { body = b; _ }) ->
+          Alcotest.(check int) "zero length" 0 (Bytes.length b)
+      | _ -> Alcotest.fail "empty message not delivered")
+
+let test_large_message_beyond_paper_cap () =
+  (* The paper capped measurements at 8000 bytes (multicast flow
+     control was an open problem) but the layer itself fragments and
+     reassembles arbitrarily large messages. *)
+  with_cluster 2 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        Result.get_ok (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      let big = Bytes.init 50_000 (fun i -> Char.chr (i mod 256)) in
+      ignore (Api.send_to_group g0 big);
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      match Api.receive_opt g1 with
+      | Some (T.Message { body = b; _ }) ->
+          Alcotest.(check int) "full size" 50_000 (Bytes.length b);
+          Alcotest.(check bool) "content intact" true (Bytes.equal b big)
+      | _ -> Alcotest.fail "large message not delivered")
+
+let test_message_payload_isolation () =
+  (* Mutating the sender's buffer after SendToGroup must not corrupt
+     what receivers observe (the paper's semantics: the message is
+     taken at call time). *)
+  with_cluster 2 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        Result.get_ok (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      let buf = Bytes.of_string "orig" in
+      ignore (Api.send_to_group g0 buf);
+      Bytes.set buf 0 'X';
+      Engine.sleep cl.Cluster.engine (Time.ms 50);
+      match Api.receive_opt g1 with
+      | Some (T.Message { body = b; _ }) ->
+          Alcotest.(check string) "unchanged" "orig" (Bytes.to_string b)
+      | _ -> Alcotest.fail "not delivered")
+
+let test_many_threads_one_member () =
+  (* The paper's programming model: parallelism through multiple
+     blocking threads per process. *)
+  with_cluster 2 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        Result.get_ok (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      let oks = ref 0 in
+      for _ = 1 to 4 do
+        Cluster.spawn cl (fun () ->
+            for _ = 1 to 3 do
+              match Api.send_to_group g1 (body "t") with
+              | Ok _ -> incr oks
+              | Error _ -> ()
+            done)
+      done;
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check int) "all 12 thread-sends complete" 12 !oks;
+      let info = Api.get_info_group g0 in
+      (* 12 sends plus member 1's join, which is itself a sequenced event *)
+      Alcotest.(check int) "12 messages + 1 join sequenced" 13 info.Api.next_seq)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "api",
+    [
+      tc "get_info reflects configuration" test_info_reflects_configuration;
+      tc "receive_opt is non-blocking" test_receive_opt;
+      tc "group address is stable" test_group_address_is_stable;
+      tc "double leave fails" test_double_leave_fails;
+      tc "empty message roundtrip" test_send_empty_message;
+      tc "50KB message beyond the paper's cap" test_large_message_beyond_paper_cap;
+      tc "payload isolation" test_message_payload_isolation;
+      tc "many sending threads per member" test_many_threads_one_member;
+    ] )

@@ -1,0 +1,90 @@
+(* Sanity tests for the experiment harness itself: if these drift, the
+   benchmark tables silently lie. *)
+
+open Amoeba_harness
+module T = Amoeba_core.Types
+module E = Experiments
+
+let test_delay_matches_anchor () =
+  let d = E.broadcast_delay ~samples:10 ~n:2 ~size:0 ~send_method:T.Pb () in
+  Alcotest.(check bool)
+    (Printf.sprintf "0B delay %.2f ms within the calibration band" d.E.mean_ms)
+    true
+    (d.E.mean_ms > 2.4 && d.E.mean_ms < 3.0)
+
+let test_delay_monotonic_in_size () =
+  let d size =
+    (E.broadcast_delay ~samples:6 ~n:4 ~size ~send_method:T.Pb ()).E.mean_ms
+  in
+  let d0 = d 0 and d1 = d 1024 and d8 = d 8000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f < %.2f < %.2f" d0 d1 d8)
+    true
+    (d0 < d1 && d1 < d8)
+
+let test_bb_beats_pb_on_large_messages () =
+  let d m =
+    (E.broadcast_delay ~samples:6 ~n:4 ~size:8000 ~send_method:m ()).E.mean_ms
+  in
+  Alcotest.(check bool) "bb < pb at 8000B" true (d T.Bb < d T.Pb)
+
+let test_throughput_in_band () =
+  let t =
+    E.group_throughput ~duration_ms:1_000 ~n:4 ~size:0 ~send_method:T.Pb ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f msg/s within the calibration band" t.E.msgs_per_sec)
+    true
+    (t.E.msgs_per_sec > 600. && t.E.msgs_per_sec < 900.)
+
+let test_critical_path_consistent () =
+  let layers, total = E.critical_path () in
+  let sum = List.fold_left (fun a (_, v) -> a +. v) 0. layers in
+  (* The measured total includes queueing; it must exceed the layer
+     sum but not by much on a quiet network. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "sum %.0f <= total %.0f <= sum + 400" sum total)
+    true
+    (total >= sum -. 50. && total <= sum +. 400.);
+  Alcotest.(check (list string))
+    "layer names"
+    [ "user"; "group"; "flip"; "ether" ]
+    (List.map fst layers)
+
+let test_scaled_processing_scales () =
+  let base = Amoeba_net.Cost_model.default in
+  let half = E.scaled_processing 0.5 in
+  Alcotest.(check int) "interrupt halved" (base.interrupt_ns / 2)
+    half.Amoeba_net.Cost_model.interrupt_ns;
+  Alcotest.(check int) "wire untouched" base.wire_ns_per_byte
+    half.Amoeba_net.Cost_model.wire_ns_per_byte
+
+let test_user_space_costs_add_crossings () =
+  let base = Amoeba_net.Cost_model.default in
+  let us = E.user_space_costs in
+  Alcotest.(check int) "two extra switches on the send path"
+    (base.group_send_ns + (2 * base.context_switch_ns))
+    us.Amoeba_net.Cost_model.group_send_ns
+
+let test_multigroup_aggregates () =
+  let one = (E.multigroup_throughput ~duration_ms:800 ~groups:1 ~members:2 ()).E.total_msgs_per_sec in
+  let three = (E.multigroup_throughput ~duration_ms:800 ~groups:3 ~members:2 ()).E.total_msgs_per_sec in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 groups (%.0f) > 2x one group (%.0f)" three one)
+    true
+    (three > 2. *. one)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "harness",
+    [
+      tc "delay matches the calibration anchor" test_delay_matches_anchor;
+      tc "delay monotonic in message size" test_delay_monotonic_in_size;
+      tc "bb beats pb on large messages" test_bb_beats_pb_on_large_messages;
+      tc "throughput within the calibration band" test_throughput_in_band;
+      tc "critical path layers consistent" test_critical_path_consistent;
+      tc "scaled processing scales host costs only" test_scaled_processing_scales;
+      tc "user-space model adds boundary crossings"
+        test_user_space_costs_add_crossings;
+      tc "multigroup throughput aggregates" test_multigroup_aggregates;
+    ] )

@@ -1,0 +1,187 @@
+(* Tests for the Orca-style shared data-object layer. *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_orca
+open Amoeba_harness
+
+(* A shared counter: add returns the post-increment value. *)
+module Counter_obj = struct
+  type state = int
+  type op = Add of int
+  type result = int
+
+  let apply st (Add d) = (st + d, st + d)
+  let encode_op (Add d) = Bytes.of_string (string_of_int d)
+  let decode_op b = Option.map (fun d -> Add d) (int_of_string_opt (Bytes.to_string b))
+end
+
+module Counter = Orca.Make (Counter_obj)
+
+(* A shared work queue with a guarded pop. *)
+module Queue_obj = struct
+  type state = int list (* fifo, oldest last *)
+  type op = Push of int | Pop
+  type result = int option
+
+  let apply st = function
+    | Push v -> (v :: st, None)
+    | Pop -> (
+        match List.rev st with
+        | [] -> ([], None)
+        | oldest :: rest -> (List.rev rest, Some oldest))
+
+  let encode_op = function
+    | Push v -> Bytes.of_string (Printf.sprintf "push %d" v)
+    | Pop -> Bytes.of_string "pop"
+
+  let decode_op b =
+    match String.split_on_char ' ' (Bytes.to_string b) with
+    | [ "push"; v ] -> Option.map (fun v -> Push v) (int_of_string_opt v)
+    | [ "pop" ] -> Some Pop
+    | _ -> None
+end
+
+module Work_queue = Orca.Make (Queue_obj)
+
+let with_runtimes n scenario =
+  let cl = Cluster.create ~n () in
+  let failure = ref None in
+  Cluster.spawn cl (fun () ->
+      try
+        let rt0 = Orca.Runtime.create (Cluster.flip cl 0) in
+        let rest =
+          List.init (n - 1) (fun i ->
+              Result.get_ok
+                (Orca.Runtime.join (Cluster.flip cl (i + 1)) (Orca.Runtime.address rt0)))
+        in
+        scenario cl (rt0 :: rest)
+      with e -> failure := Some e);
+  Cluster.run ~until:(Time.sec 600) cl;
+  match !failure with Some e -> raise e | None -> ()
+
+let test_counter_replicas_converge () =
+  with_runtimes 3 (fun cl rts ->
+      let handles =
+        List.map (fun rt -> Counter.declare rt ~name:"hits" ~init:0) rts
+      in
+      List.iter
+        (fun h ->
+          Cluster.spawn cl (fun () ->
+              for _ = 1 to 5 do
+                ignore (Counter.write h (Counter_obj.Add 1))
+              done))
+        handles;
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      List.iteri
+        (fun i h ->
+          Alcotest.(check int)
+            (Printf.sprintf "replica %d sees all increments" i)
+            15
+            (Counter.read h Fun.id))
+        handles)
+
+let test_write_result_reflects_total_order () =
+  with_runtimes 2 (fun cl rts ->
+      let h0 = Counter.declare (List.nth rts 0) ~name:"c" ~init:0 in
+      let h1 = Counter.declare (List.nth rts 1) ~name:"c" ~init:0 in
+      let results = ref [] in
+      Cluster.spawn cl (fun () ->
+          let r1 = Result.get_ok (Counter.write h0 (Counter_obj.Add 1)) in
+          let r2 = Result.get_ok (Counter.write h0 (Counter_obj.Add 1)) in
+          results := [ r1; r2 ]);
+      Cluster.spawn cl (fun () ->
+          ignore (Counter.write h1 (Counter_obj.Add 1)));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      (* Results are post-increment values: distinct and increasing. *)
+      match !results with
+      | [ r1; r2 ] -> Alcotest.(check bool) "ordered" true (r1 < r2 && r2 <= 3)
+      | _ -> Alcotest.fail "writes did not finish")
+
+let test_reads_are_local () =
+  with_runtimes 2 (fun cl rts ->
+      let h0 = Counter.declare (List.nth rts 0) ~name:"c" ~init:7 in
+      let _h1 = Counter.declare (List.nth rts 1) ~name:"c" ~init:7 in
+      Engine.sleep cl.Cluster.engine (Time.ms 10);
+      let frames_before = Ether.frames_delivered cl.Cluster.ether in
+      for _ = 1 to 100 do
+        ignore (Counter.read h0 Fun.id)
+      done;
+      Alcotest.(check int) "no wire traffic for reads" frames_before
+        (Ether.frames_delivered cl.Cluster.ether))
+
+let test_guard_blocks_until_condition () =
+  with_runtimes 2 (fun cl rts ->
+      let producer = Work_queue.declare (List.nth rts 0) ~name:"q" ~init:[] in
+      let consumer = Work_queue.declare (List.nth rts 1) ~name:"q" ~init:[] in
+      let got = ref None in
+      let woke_at = ref 0 in
+      Cluster.spawn cl (fun () ->
+          (* Orca-style guarded dequeue. *)
+          Work_queue.await consumer (fun q -> q <> []);
+          woke_at := Engine.now cl.Cluster.engine;
+          got := Result.get_ok (Work_queue.write consumer Queue_obj.Pop));
+      Cluster.spawn cl (fun () ->
+          Engine.sleep cl.Cluster.engine (Time.ms 50);
+          ignore (Work_queue.write producer (Queue_obj.Push 99)));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check (option int)) "popped the produced item" (Some 99) !got;
+      Alcotest.(check bool) "guard waited for the push" true
+        (!woke_at >= Time.ms 50))
+
+let test_multiple_objects_one_runtime () =
+  with_runtimes 2 (fun cl rts ->
+      let rt0 = List.nth rts 0 and rt1 = List.nth rts 1 in
+      let a0 = Counter.declare rt0 ~name:"a" ~init:0 in
+      let _a1 = Counter.declare rt1 ~name:"a" ~init:0 in
+      let q0 = Work_queue.declare rt0 ~name:"q" ~init:[] in
+      let q1 = Work_queue.declare rt1 ~name:"q" ~init:[] in
+      Cluster.spawn cl (fun () ->
+          ignore (Counter.write a0 (Counter_obj.Add 5));
+          ignore (Work_queue.write q0 (Queue_obj.Push 1)));
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      Alcotest.(check int) "counter at rt1 via name routing" 5
+        (Counter.read _a1 Fun.id);
+      Alcotest.(check (list int)) "queue at rt1" [ 1 ] (Work_queue.read q1 Fun.id))
+
+let test_duplicate_declaration_rejected () =
+  with_runtimes 1 (fun _cl rts ->
+      let rt = List.hd rts in
+      ignore (Counter.declare rt ~name:"dup" ~init:0);
+      Alcotest.check_raises "duplicate name"
+        (Invalid_argument "Orca.declare: duplicate object name dup") (fun () ->
+          ignore (Counter.declare rt ~name:"dup" ~init:0)))
+
+let prop_counter_linearizable =
+  QCheck.Test.make ~name:"orca counter sums all increments" ~count:10
+    QCheck.(pair (int_range 2 4) (int_range 1 6))
+    (fun (n, each) ->
+      let total = ref (-1) in
+      with_runtimes n (fun cl rts ->
+          let handles =
+            List.map (fun rt -> Counter.declare rt ~name:"x" ~init:0) rts
+          in
+          List.iter
+            (fun h ->
+              Cluster.spawn cl (fun () ->
+                  for _ = 1 to each do
+                    ignore (Counter.write h (Counter_obj.Add 1))
+                  done))
+            handles;
+          Engine.sleep cl.Cluster.engine (Time.sec 10);
+          total := Counter.read (List.hd handles) Fun.id);
+      !total = n * each)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "orca",
+    [
+      tc "counter replicas converge" test_counter_replicas_converge;
+      tc "write results reflect the total order"
+        test_write_result_reflects_total_order;
+      tc "reads are local" test_reads_are_local;
+      tc "guard blocks until condition" test_guard_blocks_until_condition;
+      tc "multiple objects per runtime" test_multiple_objects_one_runtime;
+      tc "duplicate declaration rejected" test_duplicate_declaration_rejected;
+      QCheck_alcotest.to_alcotest prop_counter_linearizable;
+    ] )

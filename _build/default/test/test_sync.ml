@@ -1,0 +1,164 @@
+(* Tests for the thread-synchronisation primitives. *)
+
+open Amoeba_sim
+
+let run scenario =
+  let eng = Engine.create () in
+  scenario eng;
+  Engine.run eng
+
+let test_mutex_exclusion () =
+  run (fun eng ->
+      let m = Sync.Mutex.create eng in
+      let inside = ref 0 in
+      let max_inside = ref 0 in
+      for _ = 1 to 5 do
+        Engine.spawn eng (fun () ->
+            Sync.Mutex.lock m;
+            incr inside;
+            max_inside := max !max_inside !inside;
+            Engine.sleep eng 10;
+            decr inside;
+            Sync.Mutex.unlock m)
+      done);
+  ()
+
+let test_mutex_fifo_handoff () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create eng in
+  let order = ref [] in
+  for i = 1 to 4 do
+    Engine.spawn eng (fun () ->
+        Sync.Mutex.lock m;
+        order := i :: !order;
+        Engine.sleep eng 10;
+        Sync.Mutex.unlock m)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_mutex_unlock_unheld () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create eng in
+  Alcotest.check_raises "unlock unheld"
+    (Invalid_argument "Sync.Mutex.unlock: not held") (fun () ->
+      Sync.Mutex.unlock m)
+
+let test_with_lock_releases_on_exception () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create eng in
+  let reacquired = ref false in
+  Engine.spawn eng (fun () ->
+      (try Sync.Mutex.with_lock m (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Sync.Mutex.lock m;
+      reacquired := true;
+      Sync.Mutex.unlock m);
+  Engine.run eng;
+  Alcotest.(check bool) "lock available after exception" true !reacquired
+
+let test_semaphore_counting () =
+  let eng = Engine.create () in
+  let s = Sync.Semaphore.create eng 2 in
+  let concurrent = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    Engine.spawn eng (fun () ->
+        Sync.Semaphore.acquire s;
+        incr concurrent;
+        peak := max !peak !concurrent;
+        Engine.sleep eng 10;
+        decr concurrent;
+        Sync.Semaphore.release s)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "at most 2 inside" 2 !peak
+
+let test_semaphore_try_acquire () =
+  let eng = Engine.create () in
+  let s = Sync.Semaphore.create eng 1 in
+  Alcotest.(check bool) "first succeeds" true (Sync.Semaphore.try_acquire s);
+  Alcotest.(check bool) "second fails" false (Sync.Semaphore.try_acquire s);
+  Sync.Semaphore.release s;
+  Alcotest.(check bool) "after release" true (Sync.Semaphore.try_acquire s)
+
+let test_condition_signal () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create eng in
+  let c = Sync.Condition.create eng in
+  let queue = Queue.create () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      Sync.Mutex.lock m;
+      while Queue.is_empty queue do
+        Sync.Condition.wait c m
+      done;
+      got := Queue.pop queue :: !got;
+      Sync.Mutex.unlock m);
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 50;
+      Sync.Mutex.lock m;
+      Queue.push 42 queue;
+      Sync.Condition.signal c;
+      Sync.Mutex.unlock m);
+  Engine.run eng;
+  Alcotest.(check (list int)) "consumer woke with the item" [ 42 ] !got
+
+let test_condition_broadcast () =
+  let eng = Engine.create () in
+  let m = Sync.Mutex.create eng in
+  let c = Sync.Condition.create eng in
+  let flag = ref false in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Sync.Mutex.lock m;
+        while not !flag do
+          Sync.Condition.wait c m
+        done;
+        incr woken;
+        Sync.Mutex.unlock m)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng 10;
+      Sync.Mutex.lock m;
+      flag := true;
+      Sync.Condition.broadcast c;
+      Sync.Mutex.unlock m);
+  Engine.run eng;
+  Alcotest.(check int) "all three woke" 3 !woken
+
+let test_barrier_rounds () =
+  let eng = Engine.create () in
+  let b = Sync.Barrier.create eng ~parties:3 in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Engine.sleep eng (i * 10);
+        ignore (Sync.Barrier.wait b);
+        log := ("a", i, Engine.now eng) :: !log;
+        ignore (Sync.Barrier.wait b);
+        log := ("b", i, Engine.now eng) :: !log)
+  done;
+  Engine.run eng;
+  (* All phase-a crossings happen at the last arrival (t=30) and no
+     phase-b entry may precede any phase-a entry. *)
+  let phase_a = List.filter (fun (p, _, _) -> p = "a") !log in
+  Alcotest.(check int) "all crossed a" 3 (List.length phase_a);
+  List.iter
+    (fun (_, _, t) -> Alcotest.(check int) "crossed together" 30 t)
+    phase_a
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "sync",
+    [
+      tc "mutex exclusion" test_mutex_exclusion;
+      tc "mutex fifo handoff" test_mutex_fifo_handoff;
+      tc "mutex unlock unheld" test_mutex_unlock_unheld;
+      tc "with_lock releases on exception" test_with_lock_releases_on_exception;
+      tc "semaphore counting" test_semaphore_counting;
+      tc "semaphore try_acquire" test_semaphore_try_acquire;
+      tc "condition signal" test_condition_signal;
+      tc "condition broadcast" test_condition_broadcast;
+      tc "barrier rounds" test_barrier_rounds;
+    ] )

@@ -1,0 +1,74 @@
+(* Conformance tests for the protocol's size accounting: the paper is
+   specific about header bytes (116 in total for a 0-byte message) and
+   about which messages carry payload. *)
+
+open Amoeba_net
+open Amoeba_core
+module T = Types
+
+let c = Cost_model.default
+
+let user_msg payload =
+  Wire.Req { sender = 1; msgid = 1; piggy = 0; inc = 0; payload = T.User payload }
+
+let test_data_sizes () =
+  (* group header 28 + user header 32 + payload *)
+  Alcotest.(check int) "0-byte request" 60 (Wire.size c (user_msg Bytes.empty));
+  Alcotest.(check int) "1 KB request" (60 + 1024)
+    (Wire.size c (user_msg (Bytes.create 1024)));
+  let data =
+    Wire.Data
+      { seq = 9; sender = 1; msgid = 1; inc = 0; payload = T.User Bytes.empty;
+        needs_accept = false }
+  in
+  Alcotest.(check int) "data equals request framing" 60 (Wire.size c data)
+
+let test_control_messages_are_short () =
+  (* The paper: protocol header size independent of group size, and
+     the accept is a short message. *)
+  let accept = Wire.Accept { seq = 1; sender = 0; msgid = 1; inc = 0 } in
+  let nack = Wire.Nack { from = 1; expected = 5; piggy = 4; inc = 0 } in
+  let ack = Wire.Ack_tent { seq = 1; from = 2; inc = 0 } in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) (Wire.describe m) c.header_group (Wire.size c m))
+    [ accept; nack; ack ]
+
+let test_full_header_stack_is_116 () =
+  (* Ethernet 14 + flow control 2 + FLIP 40 + group 28 + user 32. *)
+  Alcotest.(check int) "headers" 116 (Cost_model.headers_total c);
+  let above_flip = Wire.size c (user_msg Bytes.empty) in
+  let on_wire =
+    above_flip + c.header_ether + c.header_flow_control + c.header_flip
+  in
+  Alcotest.(check int) "0-byte message on the wire" 116 on_wire
+
+let test_membership_payload_scales_with_members () =
+  let members n = List.init n (fun i -> (i, Amoeba_flip.Addr.of_int i)) in
+  let reply n =
+    Wire.size c
+      (Wire.Join_reply
+         { mid = 0; inc = 0; next_seq = 0; members = members n; seq_mid = 0 })
+  in
+  Alcotest.(check bool) "grows with membership" true (reply 10 > reply 2);
+  Alcotest.(check int) "12 bytes per member" (8 * 12) (reply 10 - reply 2)
+
+let test_describe_covers_all () =
+  (* describe is used in logs; spot-check a few. *)
+  Alcotest.(check string) "req" "req" (Wire.describe (user_msg Bytes.empty));
+  Alcotest.(check string) "status" "status"
+    (Wire.describe (Wire.Status { from = 0; piggy = 0; inc = 0 }));
+  Alcotest.(check string) "invite" "invite"
+    (Wire.describe
+       (Wire.Invite { inc = 1; coord = 0; coord_addr = Amoeba_flip.Addr.of_int 1 }))
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "wire",
+    [
+      tc "data message sizes" test_data_sizes;
+      tc "control messages are header-only" test_control_messages_are_short;
+      tc "full header stack is 116 bytes" test_full_header_stack_is_116;
+      tc "membership payload scales" test_membership_payload_scales_with_members;
+      tc "describe labels" test_describe_covers_all;
+    ] )
