@@ -1,0 +1,24 @@
+# Convenience wrappers around dune; see bench/README.md for the
+# benchmark suite.
+
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full microbenchmark run; writes BENCH_sim.json at the repo root.
+bench:
+	dune exec bench/main.exe -- micro
+
+# Tiny-parameter smoke run of the perf plumbing (also part of
+# `dune runtest` via the bench-smoke alias).
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

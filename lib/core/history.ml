@@ -7,16 +7,29 @@ type entry = {
   payload : payload;
 }
 
+(* The window [low, high] is always contiguous (add only accepts
+   [high + 1]; add_evicting restarts the window otherwise), so a ring
+   indexed by [seq land mask] gives O(1) add/find/prune with no
+   per-entry allocation.  Cleared cells are overwritten with [dummy]
+   so evicted payloads become collectable. *)
+
+let dummy = { seq = -1; sender = -1; msgid = -1; payload = User Bytes.empty }
+
 type t = {
   cap : int;
-  table : (seqno, entry) Hashtbl.t;
+  mask : int;  (* ring size - 1; ring size = power of two >= cap *)
+  ring : entry array;
   mutable low : seqno;  (** lowest buffered seq; [high + 1] when empty *)
   mutable high : seqno;  (** highest buffered seq; [low - 1] when empty *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "History.create: capacity must be positive";
-  { cap = capacity; table = Hashtbl.create (2 * capacity); low = 0; high = -1 }
+  let n = ref 1 in
+  while !n < capacity do
+    n := !n * 2
+  done;
+  { cap = capacity; mask = !n - 1; ring = Array.make !n dummy; low = 0; high = -1 }
 
 let capacity t = t.cap
 let length t = t.high - t.low + 1
@@ -29,17 +42,14 @@ let add t entry =
   if is_full t then Error `Full
   else if (not (is_empty t)) && entry.seq <> t.high + 1 then Error `Out_of_order
   else begin
-    if is_empty t then begin
-      t.low <- entry.seq;
-      t.high <- entry.seq
-    end
-    else t.high <- entry.seq;
-    Hashtbl.replace t.table entry.seq entry;
+    if is_empty t then t.low <- entry.seq;
+    t.high <- entry.seq;
+    t.ring.(entry.seq land t.mask) <- entry;
     Ok ()
   end
 
 let drop_lowest t =
-  Hashtbl.remove t.table t.low;
+  t.ring.(t.low land t.mask) <- dummy;
   t.low <- t.low + 1
 
 let add_evicting t entry =
@@ -50,12 +60,15 @@ let add_evicting t entry =
   | Error `Out_of_order ->
       (* A member that skipped ahead (e.g. fresh joiner) restarts its
          window at the new sequence number. *)
-      Hashtbl.reset t.table;
+      for seq = t.low to t.high do
+        t.ring.(seq land t.mask) <- dummy
+      done;
       t.low <- entry.seq;
       t.high <- entry.seq;
-      Hashtbl.replace t.table entry.seq entry
+      t.ring.(entry.seq land t.mask) <- entry
 
-let find t seq = Hashtbl.find_opt t.table seq
+let find t seq =
+  if seq >= t.low && seq <= t.high then Some t.ring.(seq land t.mask) else None
 
 let prune_below t bound =
   while (not (is_empty t)) && t.low < bound do
@@ -63,11 +76,10 @@ let prune_below t bound =
   done
 
 let range t ~lo ~hi =
+  let lo = if lo < t.low then t.low else lo in
+  let hi = if hi > t.high then t.high else hi in
   let rec collect seq acc =
     if seq < lo then acc
-    else
-      match find t seq with
-      | Some e -> collect (seq - 1) (e :: acc)
-      | None -> collect (seq - 1) acc
+    else collect (seq - 1) (t.ring.(seq land t.mask) :: acc)
   in
   collect hi []

@@ -27,6 +27,7 @@ type pending_send = {
   p_body : bytes;
   p_result : (seqno, error) result Ivar.t;
   mutable p_tries : int;
+  mutable p_timer : Engine.handle option;  (** armed retransmission timer *)
 }
 
 (* A member-side slot: a sequence number we know about but have not
@@ -51,8 +52,12 @@ type tent = {
 type seq_state = {
   mutable next_seq : seqno;
   mutable stable_frontier : seqno;  (** next seq to append to history *)
-  acks : (mid, seqno) Hashtbl.t;  (** piggybacked: member -> last seq held *)
-  dedup : (mid, int * seqno) Hashtbl.t;  (** sender -> last (msgid, seq) *)
+  mutable acks : seqno array;
+      (** piggybacked, mid-indexed: member -> last seq held; -1 = none.
+          Entries for departed members go stale but are never read:
+          pruning folds over the current membership only. *)
+  mutable dedup_msgid : int array;  (** mid-indexed: sender -> last msgid; -1 = none *)
+  mutable dedup_seq : seqno array;  (** seq assigned to that msgid *)
   tents : (seqno, tent) Hashtbl.t;
   parked : Wire.msg Queue.t;  (** requests waiting for history space *)
   mutable soliciting : bool;
@@ -106,14 +111,20 @@ type t = {
   mutable life : life;
   mutable inc : int;
   mutable members : (mid * Addr.t) list;  (** sorted by mid *)
+  mutable member_addrs : Addr.t option array;
+      (** mid-indexed view of [members]; rebuilt by [set_members] *)
+  mutable member_count : int;
+  mutable member_mids : mid list;  (** [List.map fst members], cached *)
   mutable mid : mid;
   mutable seq_mid : mid;
   mutable nxt : seqno;  (** next sequence number to deliver *)
   mutable max_seen : seqno;  (** highest seq heard of *)
   history : History.t;
-  slots : (seqno, slot) Hashtbl.t;
-  bb_wait : (mid * int, payload) Hashtbl.t;
-  last_msgid : (mid, int) Hashtbl.t;  (** delivery dedup across recoveries *)
+  slots : slot Window.t;
+  bb_wait : (int, payload) Hashtbl.t;  (** keyed by [bb_key ~sender ~msgid] *)
+  mutable last_msgid : int array;
+      (** mid-indexed delivery dedup across recoveries; [min_int] = none *)
+  mutable status_req : int * Wire.msg;  (** interned per incarnation *)
   mutable msgid_counter : int;
   mutable pending : pending_send option;
   send_queue : pending_send Queue.t;
@@ -145,14 +156,81 @@ let new_stats () =
 
 (* ----- small helpers ----- *)
 
-let addr_of t m = List.assoc_opt m t.members
-let member_mids t = List.map fst t.members
+let addr_of t m =
+  if m >= 0 && m < Array.length t.member_addrs then t.member_addrs.(m)
+  else None
+
+let member_mids t = t.member_mids
+
+(* Every membership change goes through here so the mid-indexed
+   lookup caches stay in sync with the assoc list. *)
+let set_members t ms =
+  t.members <- ms;
+  let maxm = List.fold_left (fun acc (m, _) -> if m > acc then m else acc) (-1) ms in
+  let arr = Array.make (maxm + 1) None in
+  List.iter (fun (m, a) -> arr.(m) <- Some a) ms;
+  t.member_addrs <- arr;
+  t.member_count <- List.length ms;
+  t.member_mids <- List.map fst ms
+
+(* mids stay below 2^20 (see [era_bits]); msgids count messages.  The
+   packed key fits easily and avoids a tuple allocation per lookup. *)
+let bb_key ~sender ~msgid = (sender lsl 40) lxor msgid
+
+let last_msgid_of t m =
+  if m >= 0 && m < Array.length t.last_msgid then t.last_msgid.(m)
+  else min_int
+
+let note_msgid t m v =
+  let n = Array.length t.last_msgid in
+  if m >= n then begin
+    let arr = Array.make (max (m + 1) (2 * max n 8)) min_int in
+    Array.blit t.last_msgid 0 arr 0 n;
+    t.last_msgid <- arr
+  end;
+  if v > t.last_msgid.(m) then t.last_msgid.(m) <- v
+
+let ack_get s m = if m >= 0 && m < Array.length s.acks then s.acks.(m) else -1
+
+(* Acknowledgements are monotone, so a max-set is equivalent to the
+   per-site replace/max dance the Hashtbl version did. *)
+let ack_set s m v =
+  let n = Array.length s.acks in
+  if m >= n then begin
+    let arr = Array.make (max (m + 1) (2 * max n 8)) (-1) in
+    Array.blit s.acks 0 arr 0 n;
+    s.acks <- arr
+  end;
+  if v > s.acks.(m) then s.acks.(m) <- v
+
+let dedup_set s m ~msgid ~seq =
+  let n = Array.length s.dedup_msgid in
+  if m >= n then begin
+    let size = max (m + 1) (2 * max n 8) in
+    let dm = Array.make size (-1) in
+    let ds = Array.make size (-1) in
+    Array.blit s.dedup_msgid 0 dm 0 n;
+    Array.blit s.dedup_seq 0 ds 0 n;
+    s.dedup_msgid <- dm;
+    s.dedup_seq <- ds
+  end;
+  s.dedup_msgid.(m) <- msgid;
+  s.dedup_seq.(m) <- seq
 
 let charge t d = Machine.work t.machine ~layer:"group" d
 
 let charge_seq t =
-  charge t
-    (t.cost.group_seq_ns + (List.length t.members * t.cost.group_seq_member_ns))
+  charge t (t.cost.group_seq_ns + (t.member_count * t.cost.group_seq_member_ns))
+
+(* The solicit message carries only the incarnation: intern it. *)
+let status_req t =
+  let inc, msg = t.status_req in
+  if inc = t.inc then msg
+  else begin
+    let msg = Wire.Status_req { inc = t.inc } in
+    t.status_req <- (t.inc, msg);
+    msg
+  end
 
 let post_event t ev =
   Channel.send t.event_out ev;
@@ -193,10 +271,9 @@ let timer_jitter t d =
   d - (spread / 2) + Random.State.int (Engine.rng t.engine) (max 1 spread)
 
 let arm_resend t ~msgid =
-  ignore
-    (Engine.schedule t.engine
-       ~after:(timer_jitter t t.cost.retrans_timeout_ns)
-       (fun () -> Channel.send t.inbox (Resend_tick msgid)))
+  Engine.schedule t.engine
+    ~after:(timer_jitter t t.cost.retrans_timeout_ns)
+    (fun () -> Channel.send t.inbox (Resend_tick msgid))
 
 let arm_repair t =
   if not t.repair_armed then begin
@@ -249,12 +326,12 @@ let send_nack t =
 let hard_gap t =
   t.max_seen >= t.nxt
   &&
-  match Hashtbl.find_opt t.slots t.nxt with
+  match Window.find t.slots t.nxt with
   | Some s -> s.s_data = None
   | None -> true
 
 let awaiting_accept t =
-  match Hashtbl.find_opt t.slots t.nxt with
+  match Window.find t.slots t.nxt with
   | Some s -> s.s_data <> None && not s.s_accepted
   | None -> false
 
@@ -265,14 +342,9 @@ let gap_present t = hard_gap t || awaiting_accept t
 let duplicate_user_message t ~sender ~msgid payload =
   match payload with
   | Ctrl _ -> false
-  | User _ -> (
-      match Hashtbl.find_opt t.last_msgid sender with
-      | Some last -> msgid <= last
-      | None -> false)
+  | User _ -> msgid <= last_msgid_of t sender
 
 let rec become_sequencer t ~first_seq =
-  let acks = Hashtbl.create 8 in
-  List.iter (fun (m, _) -> Hashtbl.replace acks m (-1)) t.members;
   let next_mid =
     1 + List.fold_left (fun acc (m, _) -> max acc m) (-1) t.members
   in
@@ -281,8 +353,9 @@ let rec become_sequencer t ~first_seq =
       {
         next_seq = first_seq;
         stable_frontier = first_seq;
-        acks;
-        dedup = Hashtbl.create 8;
+        acks = Array.make (max next_mid 8) (-1);
+        dedup_msgid = Array.make (max next_mid 8) (-1);
+        dedup_seq = Array.make (max next_mid 8) (-1);
         tents = Hashtbl.create 8;
         parked = Queue.create ();
         soliciting = false;
@@ -292,16 +365,13 @@ let rec become_sequencer t ~first_seq =
   t.seq_mid <- t.mid;
   (* Fresh acknowledgement state: ask everyone where they stand so the
      history can be pruned again. *)
-  if List.length t.members > 1 then multicast t (Wire.Status_req { inc = t.inc })
+  if t.member_count > 1 then multicast t (status_req t)
 
 and deliver_entry t (e : History.entry) =
   let dup = duplicate_user_message t ~sender:e.sender ~msgid:e.msgid e.payload in
   if dup then t.st.duplicates_dropped <- t.st.duplicates_dropped + 1;
   (match e.payload with
-  | User _ ->
-      Hashtbl.replace t.last_msgid e.sender
-        (max e.msgid
-           (Option.value ~default:min_int (Hashtbl.find_opt t.last_msgid e.sender)))
+  | User _ -> note_msgid t e.sender e.msgid
   | Ctrl _ -> ());
   (* The sequencer's history is managed strictly (appended at
      stabilisation, pruned by acknowledgements); only a plain member
@@ -309,7 +379,7 @@ and deliver_entry t (e : History.entry) =
   (match t.seqs with
   | Some s ->
       t.nxt <- e.seq + 1;
-      Hashtbl.replace s.acks t.mid e.seq
+      ack_set s t.mid e.seq
   | None ->
       History.add_evicting t.history e;
       t.nxt <- e.seq + 1);
@@ -326,6 +396,10 @@ and deliver_entry t (e : History.entry) =
   match t.pending with
   | Some p when e.sender = t.mid && p.p_msgid = e.msgid ->
       t.pending <- None;
+      (* The retransmission timer can never usefully fire now; drop it
+         so the event queue is not churning through stale ticks. *)
+      (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+      p.p_timer <- None;
       t.st.sends_completed <- t.st.sends_completed + 1;
       ignore (Ivar.try_fill p.p_result (Ok e.seq));
       next_queued_send t
@@ -335,10 +409,10 @@ and deliver_control t seq c =
   match c with
   | Join { mid; kaddr } ->
       if not (List.mem_assoc mid t.members) then
-        t.members <- List.sort compare ((mid, kaddr) :: t.members);
+        set_members t (List.sort compare ((mid, kaddr) :: t.members));
       (match t.seqs with
       | Some s ->
-          Hashtbl.replace s.acks mid seq;
+          ack_set s mid seq;
           s.pending_joins <-
             List.filter (fun (a, _) -> not (Addr.equal a kaddr)) s.pending_joins;
           (* The joiner learns its identity from this reply; its join
@@ -356,10 +430,9 @@ and deliver_control t seq c =
       | None -> ());
       if mid <> t.mid then post_event t (Member_joined { seq; mid })
   | Leave { mid } ->
-      t.members <- List.remove_assoc mid t.members;
+      set_members t (List.remove_assoc mid t.members);
       (match t.seqs with
       | Some s ->
-          Hashtbl.remove s.acks mid;
           (* A departed member can no longer acknowledge: release any
              tentative that was waiting on it, or resilient sends in
              flight during the leave would stall forever. *)
@@ -402,11 +475,11 @@ and deliver_control t seq c =
 
 and drain t =
   if t.life = Normal || t.life = Frozen then begin
-    match Hashtbl.find_opt t.slots t.nxt with
+    match Window.find t.slots t.nxt with
     | Some s when s.s_accepted -> (
         match s.s_data with
         | Some (sender, msgid, payload) ->
-            Hashtbl.remove t.slots t.nxt;
+            Window.remove t.slots t.nxt;
             deliver_entry t { seq = t.nxt; sender; msgid; payload };
             drain t
         | None -> ())
@@ -426,7 +499,7 @@ and start_send t p =
   t.pending <- Some p;
   charge t t.cost.group_send_ns;
   submit_send t p;
-  arm_resend t ~msgid:p.p_msgid
+  p.p_timer <- Some (arm_resend t ~msgid:p.p_msgid)
 
 and submit_send t p =
   let payload = User p.p_body in
@@ -481,10 +554,7 @@ and seq_space_available t s =
 
 and seq_prune t s =
   let min_ack =
-    List.fold_left
-      (fun acc (m, _) ->
-        min acc (Option.value ~default:(-1) (Hashtbl.find_opt s.acks m)))
-      max_int t.members
+    List.fold_left (fun acc (m, _) -> min acc (ack_get s m)) max_int t.members
   in
   if min_ack >= 0 && min_ack < max_int then History.prune_below t.history (min_ack + 1);
   (* Freed space lets parked requests through. *)
@@ -524,7 +594,7 @@ and seq_make_stable t s seq =
       in
       advance ();
       (* Local member view: the accept applies to us too. *)
-      (match Hashtbl.find_opt t.slots seq with
+      (match Window.find t.slots seq with
       | Some slot -> slot.s_accepted <- true
       | None -> ());
       drain t
@@ -535,12 +605,17 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
   match t.seqs with
   | None -> ()
   | Some s -> (
-      Hashtbl.replace s.acks sender
-        (max piggy (Option.value ~default:(-1) (Hashtbl.find_opt s.acks sender)));
+      ack_set s sender piggy;
       seq_prune t s;
-      match Hashtbl.find_opt s.dedup sender with
-      | Some (m, sq) when m = msgid ->
+      let last_msgid =
+        if sender >= 0 && sender < Array.length s.dedup_msgid then
+          s.dedup_msgid.(sender)
+        else -1
+      in
+      match () with
+      | () when last_msgid = msgid ->
           (* Duplicate request: the sender missed our multicast. *)
+          let sq = s.dedup_seq.(sender) in
           t.st.duplicates_dropped <- t.st.duplicates_dropped + 1;
           (match seq_find_entry s sq with
           | Some (e, needs_accept) ->
@@ -568,9 +643,9 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
                          needs_accept = false;
                        })
               | None -> ()))
-      | Some (m, _) when msgid < m ->
+      | () when msgid < last_msgid ->
           t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
-      | Some _ | None ->
+      | () ->
           if not (seq_space_available t s) then begin
             (* History full: park the request and solicit member
                status so pruning can make room. *)
@@ -579,14 +654,14 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
               s.parked;
             if not s.soliciting then begin
               s.soliciting <- true;
-              multicast t (Wire.Status_req { inc = t.inc });
+              multicast t (status_req t);
               arm_solicit t
             end
           end
           else begin
             let seq = s.next_seq in
             s.next_seq <- seq + 1;
-            Hashtbl.replace s.dedup sender (msgid, seq);
+            dedup_set s sender ~msgid ~seq;
             let needs_accept =
               (match payload with User _ -> true | Ctrl _ -> false)
               && t.cfg.resilience > 0
@@ -629,8 +704,7 @@ and handle_at_sequencer t s msg =
             if tent.t_wait = [] && not tent.t_accepted then seq_make_stable t s seq
           end)
   | Wire.Nack { from; expected; piggy; _ } ->
-      Hashtbl.replace s.acks from
-        (max piggy (Option.value ~default:(-1) (Hashtbl.find_opt s.acks from)));
+      ack_set s from piggy;
       seq_prune t s;
       (* The repair batch is bounded in messages AND bytes: answering a
          nack with dozens of multi-kilobyte retransmissions at once
@@ -667,8 +741,7 @@ and handle_at_sequencer t s msg =
       in
       resend expected
   | Wire.Status { from; piggy; _ } ->
-      Hashtbl.replace s.acks from
-        (max piggy (Option.value ~default:(-1) (Hashtbl.find_opt s.acks from)));
+      ack_set s from piggy;
       seq_prune t s;
       if Queue.is_empty s.parked then s.soliciting <- false
   | Wire.Join_req { kaddr } -> (
@@ -713,11 +786,11 @@ and member_data t ~seq ~sender ~msgid ~payload ~needs_accept =
   if seq >= t.nxt then begin
     t.max_seen <- max t.max_seen seq;
     let slot =
-      match Hashtbl.find_opt t.slots seq with
+      match Window.find t.slots seq with
       | Some s -> s
       | None ->
           let s = { s_data = None; s_accepted = false } in
-          Hashtbl.add t.slots seq s;
+          Window.set t.slots seq s;
           s
     in
     slot.s_data <- Some (sender, msgid, payload);
@@ -748,35 +821,36 @@ and member_accept t ~seq ~sender ~msgid =
     (match own_payload with
     | Some payload ->
         let slot =
-          match Hashtbl.find_opt t.slots seq with
+          match Window.find t.slots seq with
           | Some s -> s
           | None ->
               let s = { s_data = None; s_accepted = false } in
-              Hashtbl.add t.slots seq s;
+              Window.set t.slots seq s;
               s
         in
         slot.s_data <- Some (sender, msgid, payload);
         slot.s_accepted <- true
     | None -> ());
-    (match Hashtbl.find_opt t.bb_wait (sender, msgid) with
-    | Some payload ->
-        Hashtbl.remove t.bb_wait (sender, msgid);
-        let slot =
-          match Hashtbl.find_opt t.slots seq with
-          | Some s -> s
-          | None ->
-              let s = { s_data = None; s_accepted = false } in
-              Hashtbl.add t.slots seq s;
-              s
-        in
-        slot.s_data <- Some (sender, msgid, payload);
-        slot.s_accepted <- true
-    | None -> (
-        match Hashtbl.find_opt t.slots seq with
-        | Some slot -> slot.s_accepted <- true
-        | None ->
-            (* Accept for data we never saw: remember the hole. *)
-            Hashtbl.add t.slots seq { s_data = None; s_accepted = true }));
+    (let key = bb_key ~sender ~msgid in
+     match Hashtbl.find_opt t.bb_wait key with
+     | Some payload ->
+         Hashtbl.remove t.bb_wait key;
+         let slot =
+           match Window.find t.slots seq with
+           | Some s -> s
+           | None ->
+               let s = { s_data = None; s_accepted = false } in
+               Window.set t.slots seq s;
+               s
+         in
+         slot.s_data <- Some (sender, msgid, payload);
+         slot.s_accepted <- true
+     | None -> (
+         match Window.find t.slots seq with
+         | Some slot -> slot.s_accepted <- true
+         | None ->
+             (* Accept for data we never saw: remember the hole. *)
+             Window.set t.slots seq { s_data = None; s_accepted = true }));
     drain t;
     if hard_gap t then begin
       if not t.repair_armed then send_nack t;
@@ -787,7 +861,7 @@ and member_accept t ~seq ~sender ~msgid =
 
 and member_bb_data t ~sender ~msgid ~payload =
   if sender <> t.mid then begin
-    Hashtbl.replace t.bb_wait (sender, msgid) payload;
+    Hashtbl.replace t.bb_wait (bb_key ~sender ~msgid) payload;
     arm_repair t
   end
 
@@ -889,12 +963,10 @@ and install_new_config t run ~global_max =
     List.sort compare
       (List.map (fun (m, a, _) -> (m, a)) ((t.mid, t.kaddr, 0) :: run.r_acked))
   in
-  t.members <- members;
+  set_members t members;
   (* Tentative messages that never became stable are discarded; their
      senders' SendToGroup never returned, so nothing visible is lost. *)
-  Hashtbl.iter
-    (fun seq _ -> if seq > global_max then Hashtbl.remove t.slots seq)
-    (Hashtbl.copy t.slots);
+  Window.drop_above t.slots global_max;
   Hashtbl.reset t.bb_wait;
   t.max_seen <- max t.max_seen global_max;
   become_sequencer t ~first_seq:(global_max + 1);
@@ -954,12 +1026,10 @@ let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
   if inc >= t.frozen_inc && inc > t.inc then begin
     t.inc <- inc;
     t.frozen_inc <- inc;
-    t.members <- List.sort compare members;
+    set_members t (List.sort compare members);
     t.seq_mid <- seq_mid;
     t.seqs <- None;
-    Hashtbl.iter
-      (fun seq _ -> if seq > last_seq then Hashtbl.remove t.slots seq)
-      (Hashtbl.copy t.slots);
+    Window.drop_above t.slots last_seq;
     Hashtbl.reset t.bb_wait;
     t.max_seen <- max t.max_seen last_seq;
     t.life <- Normal;
@@ -996,6 +1066,7 @@ let detect_expulsion t msg_inc =
     (match t.pending with
     | Some p ->
         t.pending <- None;
+        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
         ignore (Ivar.try_fill p.p_result (Error Send_aborted))
     | None -> ());
     true
@@ -1095,10 +1166,10 @@ let handle_resend_tick t msgid =
         end
         else begin
           submit_send t p;
-          arm_resend t ~msgid
+          p.p_timer <- Some (arm_resend t ~msgid)
         end
       end
-      else if t.life = Frozen then arm_resend t ~msgid
+      else if t.life = Frozen then p.p_timer <- Some (arm_resend t ~msgid)
   | Some _ | None -> ()
 
 let handle_repair_tick t =
@@ -1113,7 +1184,7 @@ let handle_solicit_tick t =
   match t.seqs with
   | Some s when s.soliciting ->
       if not (Queue.is_empty s.parked) then begin
-        multicast t (Wire.Status_req { inc = t.inc });
+        multicast t (status_req t);
         arm_solicit t
       end
       else s.soliciting <- false
@@ -1123,14 +1194,14 @@ let handle_solicit_tick t =
    enough unanswered pings it initiates recovery itself, requiring a
    majority of the current membership to survive. *)
 let handle_heal_tick t =
-  (if t.life = Normal && t.seqs = None && List.length t.members > 1 then begin
+  (if t.life = Normal && t.seqs = None && t.member_count > 1 then begin
      (match t.heal_waiting with
      | Some _ ->
          t.heal_misses <- t.heal_misses + 1;
          if t.heal_misses > t.cost.probe_retries then begin
            t.heal_waiting <- None;
            t.heal_misses <- 0;
-           let majority = (List.length t.members / 2) + 1 in
+           let majority = (t.member_count / 2) + 1 in
            start_reset t ~min_members:majority ~result:(Ivar.create ())
              ~inc:(next_incarnation t)
          end
@@ -1237,6 +1308,7 @@ let kernel_loop t () =
              match t.pending with
              | Some p ->
                  t.pending <- None;
+                 (match p.p_timer with Some h -> Engine.cancel h | None -> ());
                  ignore (Ivar.try_fill p.p_result (Error Send_aborted))
              | None -> ()
            end);
@@ -1263,14 +1335,19 @@ let make flip ~cfg ~gaddr =
       life = Joining;
       inc = 0;
       members = [];
+      member_addrs = [||];
+      member_count = 0;
+      member_mids = [];
       mid = -1;
       seq_mid = -1;
       nxt = 0;
       max_seen = -1;
       history = History.create ~capacity:cfg.history_capacity;
-      slots = Hashtbl.create 64;
+      slots =
+        Window.create ~initial:64 ~dummy:{ s_data = None; s_accepted = false } ();
       bb_wait = Hashtbl.create 16;
-      last_msgid = Hashtbl.create 16;
+      last_msgid = [||];
+      status_req = (-1, Wire.Status_req { inc = -1 });
       msgid_counter = 0;
       pending = None;
       send_queue = Queue.create ();
@@ -1301,7 +1378,7 @@ let create_group flip ?(config = default_config) () =
   let gaddr = Flip.fresh_addr flip in
   let t = make flip ~cfg:config ~gaddr in
   t.mid <- 0;
-  t.members <- [ (0, t.kaddr) ];
+  set_members t [ (0, t.kaddr) ];
   t.life <- Normal;
   arm_heal t;
   become_sequencer t ~first_seq:0;
@@ -1323,14 +1400,12 @@ let join_group flip ?(config = default_config) ~group_addr () =
           t.mid <- mid;
           t.inc <- inc;
           t.frozen_inc <- inc;
-          t.members <- List.sort compare members;
+          set_members t (List.sort compare members);
           t.seq_mid <- seq_mid;
           t.nxt <- next_seq;
           (* Anything that raced ahead of the reply stays; older
              traffic is not ours to deliver. *)
-          Hashtbl.iter
-            (fun seq _ -> if seq < next_seq then Hashtbl.remove t.slots seq)
-            (Hashtbl.copy t.slots);
+          Window.drop_below t.slots next_seq;
           t.life <- Normal;
           arm_heal t;
           drain t;
@@ -1360,7 +1435,15 @@ let next_expected t = t.nxt
 let send t body =
   if not (alive t) then Error Not_a_member
   else begin
-    let p = { p_msgid = 0; p_body = body; p_result = Ivar.create (); p_tries = 0 } in
+    let p =
+      {
+        p_msgid = 0;
+        p_body = body;
+        p_result = Ivar.create ();
+        p_tries = 0;
+        p_timer = None;
+      }
+    in
     Channel.send t.inbox (Do_send p);
     Ivar.read t.engine p.p_result
   end

@@ -1,0 +1,110 @@
+(* Sparse sliding window keyed by sequence number.
+
+   A power-of-two ring indexed by [key land mask], with the key stored
+   per cell to detect collisions.  The kernel's delivery slots cluster
+   around the stream head (the sequencer's bounded history
+   back-pressures senders), so the live keys span at most a few
+   hundred sequence numbers and collisions are resolved by doubling.
+   All operations are O(1); [drop_below]/[drop_above] and [iter] scan
+   the ring, which only recovery and join paths do. *)
+
+type 'a t = {
+  mutable keys : int array;  (* -1 = empty cell *)
+  mutable vals : 'a array;
+  mutable mask : int;
+  mutable count : int;
+  dummy : 'a;  (* fills empty cells so removed values are collectable *)
+}
+
+let create ?(initial = 64) ~dummy () =
+  let n = ref 1 in
+  while !n < initial do
+    n := !n * 2
+  done;
+  {
+    keys = Array.make !n (-1);
+    vals = Array.make !n dummy;
+    mask = !n - 1;
+    count = 0;
+    dummy;
+  }
+
+let length t = t.count
+
+let find t k =
+  let i = k land t.mask in
+  if t.keys.(i) = k then Some t.vals.(i) else None
+
+let mem t k = t.keys.(k land t.mask) = k
+
+(* Grow until every present key (plus the incoming one) hashes to a
+   distinct cell.  Terminates: keys are distinct, so any ring larger
+   than their span is collision-free. *)
+let rec rehash t n ~incoming =
+  let keys = Array.make n (-1) in
+  let vals = Array.make n t.dummy in
+  let mask = n - 1 in
+  let ok = ref true in
+  Array.iteri
+    (fun i k ->
+      if !ok && k >= 0 then begin
+        let j = k land mask in
+        if keys.(j) >= 0 then ok := false
+        else begin
+          keys.(j) <- k;
+          vals.(j) <- t.vals.(i)
+        end
+      end)
+    t.keys;
+  if !ok && keys.(incoming land mask) >= 0 then ok := false;
+  if !ok then begin
+    t.keys <- keys;
+    t.vals <- vals;
+    t.mask <- mask
+  end
+  else rehash t (2 * n) ~incoming
+
+let set t k v =
+  if k < 0 then invalid_arg "Window.set: negative key";
+  let i = k land t.mask in
+  if t.keys.(i) = k then t.vals.(i) <- v
+  else begin
+    if t.keys.(i) >= 0 then rehash t (2 * (t.mask + 1)) ~incoming:k;
+    let i = k land t.mask in
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.count <- t.count + 1
+  end
+
+let remove t k =
+  let i = k land t.mask in
+  if t.keys.(i) = k then begin
+    t.keys.(i) <- -1;
+    t.vals.(i) <- t.dummy;
+    t.count <- t.count - 1
+  end
+
+let drop_below t bound =
+  if t.count > 0 then
+    Array.iteri
+      (fun i k ->
+        if k >= 0 && k < bound then begin
+          t.keys.(i) <- -1;
+          t.vals.(i) <- t.dummy;
+          t.count <- t.count - 1
+        end)
+      t.keys
+
+let drop_above t bound =
+  if t.count > 0 then
+    Array.iteri
+      (fun i k ->
+        if k > bound then begin
+          t.keys.(i) <- -1;
+          t.vals.(i) <- t.dummy;
+          t.count <- t.count - 1
+        end)
+      t.keys
+
+let iter f t =
+  Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys

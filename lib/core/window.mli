@@ -1,0 +1,32 @@
+(** Sparse sliding window keyed by (non-negative) sequence number.
+
+    O(1) find/set/remove backed by a power-of-two ring; replaces the
+    Hashtbl previously used for the kernel's delivery slots.  Keys are
+    expected to cluster within a bounded span (the protocol's history
+    window); far-apart keys are legal and handled by growing. *)
+
+type 'a t
+
+val create : ?initial:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills empty cells so removed values become collectable; it
+    is never returned by {!find}. *)
+
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+
+val mem : 'a t -> int -> bool
+
+val set : 'a t -> int -> 'a -> unit
+(** Insert or overwrite. *)
+
+val remove : 'a t -> int -> unit
+(** Absent keys are a no-op. *)
+
+val drop_below : 'a t -> int -> unit
+(** Removes every binding with key < bound.  O(ring size). *)
+
+val drop_above : 'a t -> int -> unit
+(** Removes every binding with key > bound.  O(ring size). *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit

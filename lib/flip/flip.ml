@@ -222,10 +222,27 @@ let fragments_of t (packet : Packet.t) =
       in
       ({ packet; msg_id = 0; frag = i; frags }, bytes))
 
-let transmit_fragments ?(paced = false) t packet ~dest =
+let rec transmit_fragments ?(paced = false) t (packet : Packet.t) ~dest =
   let c = cost t in
   let msg_id = t.next_msg_id in
   t.next_msg_id <- t.next_msg_id + 1;
+  if packet.size <= max_fragment t then begin
+    (* Single-fragment fast path: no fragment list, no pacing. *)
+    work t c.Cost_model.flip_tx_ns;
+    let frame =
+      {
+        Frame.src = Machine.id t.machine;
+        dest;
+        size_on_wire = flip_wire_header c + packet.size;
+        body = Data { packet; msg_id; frag = 0; frags = 1 };
+      }
+    in
+    (Nic.send (Machine.nic t.machine) frame :> [ `Sent | `Dropped ])
+  end
+  else transmit_fragment_list ~paced t packet ~dest ~msg_id
+
+and transmit_fragment_list ~paced t packet ~dest ~msg_id =
+  let c = cost t in
   let outcome = ref `Sent in
   let gap = if paced then c.Cost_model.multicast_frag_gap_ns else 0 in
   List.iteri

@@ -22,6 +22,9 @@ type t = {
   cost : Cost_model.t;
   mutable state : state;
   mutable ports : port list;  (** newest first; delivery iterates all *)
+  mutable ports_oldest : port array;
+      (** oldest first; rebuilt on attach so delivery does not reverse
+          the list for every frame *)
   mutable next_port : int;
   waiters : (unit -> unit) Queue.t;  (** carrier-sense blocked stations *)
   mutable n_collisions : int;
@@ -40,6 +43,7 @@ let create engine cost =
     cost;
     state = Idle;
     ports = [];
+    ports_oldest = [||];
     next_port = 0;
     waiters = Queue.create ();
     n_collisions = 0;
@@ -56,6 +60,7 @@ let attach t ~rx =
   let port = { id = t.next_port; rx } in
   t.next_port <- t.next_port + 1;
   t.ports <- port :: t.ports;
+  t.ports_oldest <- Array.of_list (List.rev t.ports);
   port
 
 let port_id p = p.id
@@ -74,9 +79,13 @@ let deliver t frame =
   else begin
     t.n_frames <- t.n_frames + 1;
     t.n_bytes <- t.n_bytes + frame.Frame.size_on_wire;
-    let each port = if port.id <> frame.Frame.src then port.rx frame in
     (* Oldest port first, for deterministic delivery order. *)
-    List.iter each (List.rev t.ports)
+    let ports = t.ports_oldest in
+    let src = frame.Frame.src in
+    for i = 0 to Array.length ports - 1 do
+      let port = Array.unsafe_get ports i in
+      if port.id <> src then port.rx frame
+    done
   end
 
 (* The contention window closes one slot time after the first station

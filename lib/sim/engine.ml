@@ -1,29 +1,19 @@
-type event = {
-  time : Time.t;
-  seq : int;
-  run : unit -> unit;
-  mutable cancelled : bool;
-}
-
-type handle = event
+type handle = Timer_wheel.ev
 
 type t = {
   mutable clock : Time.t;
   mutable next_seq : int;
-  queue : event Pqueue.t;
+  queue : Timer_wheel.t;
   random : Random.State.t;
   mutable error : exn option;
   mutable steps : int;
 }
 
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
-
 let create ?(seed = 0xA0EBA) () =
   {
     clock = Time.zero;
     next_seq = 0;
-    queue = Pqueue.create ~cmp:compare_event;
+    queue = Timer_wheel.create ();
     random = Random.State.make [| seed |];
     error = None;
     steps = 0;
@@ -35,12 +25,11 @@ let step_count t = t.steps
 
 let schedule t ~after run =
   assert (after >= 0);
-  let ev = { time = t.clock + after; seq = t.next_seq; run; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
-  Pqueue.push t.queue ev;
-  ev
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Timer_wheel.schedule t.queue ~time:(t.clock + after) ~seq run
 
-let cancel ev = ev.cancelled <- true
+let cancel ev = Timer_wheel.cancel ev
 
 (* The single effect from which all blocking operations are built.  A
    process performs [Suspend register]; the handler captures the
@@ -83,17 +72,17 @@ let run ?until t =
         t.error <- None;
         raise e
     | None -> (
-        match Pqueue.peek t.queue with
+        match Timer_wheel.peek t.queue with
         | None -> ()
-        | Some ev when ev.time > stop_after -> t.clock <- stop_after
+        | Some ev when ev.Timer_wheel.time > stop_after -> t.clock <- stop_after
         | Some _ -> (
-            match Pqueue.pop t.queue with
+            match Timer_wheel.pop t.queue with
             | None -> ()
             | Some ev ->
-                if not ev.cancelled then begin
-                  t.clock <- ev.time;
+                if not ev.Timer_wheel.cancelled then begin
+                  t.clock <- ev.Timer_wheel.time;
                   t.steps <- t.steps + 1;
-                  ev.run ()
+                  ev.Timer_wheel.run ()
                 end;
                 loop ()))
   in

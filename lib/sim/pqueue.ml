@@ -63,3 +63,23 @@ let pop h =
 let clear h =
   h.elems <- [||];
   h.size <- 0
+
+let compact h ~keep =
+  let j = ref 0 in
+  for i = 0 to h.size - 1 do
+    let x = h.elems.(i) in
+    if keep x then begin
+      h.elems.(!j) <- x;
+      incr j
+    end
+  done;
+  (* Overwrite the tail so removed elements become collectable. *)
+  if !j = 0 then h.elems <- [||]
+  else
+    for i = !j to h.size - 1 do
+      h.elems.(i) <- h.elems.(0)
+    done;
+  h.size <- !j;
+  for i = (h.size / 2) - 1 downto 0 do
+    sift_down h i
+  done

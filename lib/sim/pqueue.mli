@@ -20,3 +20,10 @@ val pop : 'a t -> 'a option
 (** Removes and returns the minimum element. *)
 
 val clear : 'a t -> unit
+(** Empties the heap and drops the backing array so removed elements
+    become collectable. *)
+
+val compact : 'a t -> keep:('a -> bool) -> unit
+(** [compact h ~keep] removes every element [x] for which [keep x] is
+    false and restores the heap invariant, in O(n).  Used by the
+    engine to purge lazily-deleted (cancelled) timers. *)

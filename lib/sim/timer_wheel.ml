@@ -1,0 +1,336 @@
+(* Hierarchical timer wheel backing the engine's event queue.
+
+   Layout (all times in integer nanoseconds, ticks = time asr l0_bits):
+
+   - [due]: a monomorphic binary min-heap ordered by (time, seq) with
+     inline int comparisons.  Holds every pending event whose l0 tick
+     is <= [cursor].  Its root is always the global minimum.
+   - [l0]: 256 slots of 2^13 ns = 8.192 us each (~2.1 ms span).  Holds
+     events in the cursor's current l1 epoch.  Packet-scale events
+     (latencies, backoffs, fragment gaps) land here.
+   - [l1]: 256 slots of ~2.1 ms each (~537 ms span).  Holds events in
+     future epochs; a slot is cascaded into l0 when the cursor enters
+     its epoch.  Protocol timers (15 ms nack, 100 ms retransmit/probe)
+     land here.
+   - [overflow]: a Pqueue for events beyond the l1 horizon
+     (second-scale sleeps); drained back into the wheel as the cursor
+     advances.
+
+   Cancellation is lazy: [cancel] marks the event and it is dropped
+   when a slot is dumped or cascaded, or when it is popped.  When more
+   than half of the queued events are cancelled marks, [sweep] purges
+   all levels so a cancel-heavy workload cannot hold memory or inflate
+   dump costs. *)
+
+let l0_bits = 13
+let wheel_bits = 8
+let wheel_slots = 1 lsl wheel_bits
+let wheel_mask = wheel_slots - 1
+let l1_bits = l0_bits + wheel_bits
+
+type ev = {
+  time : Time.t;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+  mutable queued : bool;  (* still inside some level of the structure *)
+  owner : t;
+}
+
+and t = {
+  mutable due : ev array;
+  mutable due_size : int;
+  l0 : ev list array;
+  l1 : ev list array;
+  mutable l0_count : int;
+  mutable l1_count : int;
+  mutable cursor : int;  (* l0 tick; every event with tick <= cursor is in due *)
+  overflow : ev Pqueue.t;
+  mutable size : int;            (* queued events, cancelled included *)
+  mutable cancelled_count : int; (* queued events with cancelled = true *)
+}
+
+let ev_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let ev_compare a b =
+  if a.time <> b.time then compare (a.time : int) b.time
+  else compare (a.seq : int) b.seq
+
+let create () =
+  {
+    due = [||];
+    due_size = 0;
+    l0 = Array.make wheel_slots [];
+    l1 = Array.make wheel_slots [];
+    l0_count = 0;
+    l1_count = 0;
+    cursor = -1;
+    overflow = Pqueue.create ~cmp:ev_compare;
+    size = 0;
+    cancelled_count = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let cancelled_pending t = t.cancelled_count
+
+(* ---- due heap (monomorphic; compares inline on int time/seq) ---- *)
+
+let due_sift_down t i0 =
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.due_size && ev_lt t.due.(l) t.due.(!smallest) then smallest := l;
+    if r < t.due_size && ev_lt t.due.(r) t.due.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.due.(!i) in
+      t.due.(!i) <- t.due.(!smallest);
+      t.due.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let due_push t e =
+  let cap = Array.length t.due in
+  if t.due_size >= cap then begin
+    let ncap = if cap = 0 then 256 else cap * 2 in
+    let a = Array.make ncap e in
+    Array.blit t.due 0 a 0 t.due_size;
+    t.due <- a
+  end;
+  t.due.(t.due_size) <- e;
+  t.due_size <- t.due_size + 1;
+  let i = ref (t.due_size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if ev_lt t.due.(!i) t.due.(p) then begin
+      let tmp = t.due.(!i) in
+      t.due.(!i) <- t.due.(p);
+      t.due.(p) <- tmp;
+      i := p
+    end
+    else continue := false
+  done
+
+let due_pop t =
+  let top = t.due.(0) in
+  t.due_size <- t.due_size - 1;
+  if t.due_size > 0 then begin
+    t.due.(0) <- t.due.(t.due_size);
+    due_sift_down t 0
+  end;
+  top
+
+(* ---- placement ---- *)
+
+let drop t e =
+  e.queued <- false;
+  t.size <- t.size - 1;
+  t.cancelled_count <- t.cancelled_count - 1
+
+let add t e =
+  e.queued <- true;
+  t.size <- t.size + 1;
+  let tick0 = e.time asr l0_bits in
+  if tick0 <= t.cursor then due_push t e
+  else begin
+    let c1 = t.cursor asr wheel_bits in
+    let tick1 = tick0 asr wheel_bits in
+    if tick1 = c1 then begin
+      let s = tick0 land wheel_mask in
+      t.l0.(s) <- e :: t.l0.(s);
+      t.l0_count <- t.l0_count + 1
+    end
+    else if tick1 - c1 < wheel_slots then begin
+      let s = tick1 land wheel_mask in
+      t.l1.(s) <- e :: t.l1.(s);
+      t.l1_count <- t.l1_count + 1
+    end
+    else Pqueue.push t.overflow e
+  end
+
+let schedule t ~time ~seq run =
+  let e = { time; seq; run; cancelled = false; queued = false; owner = t } in
+  add t e;
+  e
+
+(* ---- cursor advance ---- *)
+
+let dump_l0_slot t s =
+  let l = t.l0.(s) in
+  t.l0.(s) <- [];
+  List.iter
+    (fun e ->
+      t.l0_count <- t.l0_count - 1;
+      if e.cancelled then drop t e else due_push t e)
+    l
+
+(* Move every overflow event now within the l1 horizon into the wheel.
+   Called right after the cursor is rebased, so every such event is in
+   a strictly future epoch. *)
+let drain_overflow t =
+  let c1 = t.cursor asr wheel_bits in
+  let continue = ref true in
+  while !continue do
+    match Pqueue.peek t.overflow with
+    | Some e when (e.time asr l1_bits) - c1 < wheel_slots ->
+        ignore (Pqueue.pop t.overflow);
+        if e.cancelled then drop t e
+        else begin
+          let s = (e.time asr l1_bits) land wheel_mask in
+          t.l1.(s) <- e :: t.l1.(s);
+          t.l1_count <- t.l1_count + 1
+        end
+    | _ -> continue := false
+  done
+
+(* Dump l1 slot for epoch [e1] into l0.  Only called when l0 is empty
+   and the cursor sits on the last tick of epoch [e1 - 1], so direct
+   placement by l0 slot index cannot mix generations. *)
+let cascade t e1 =
+  let s1 = e1 land wheel_mask in
+  let l = t.l1.(s1) in
+  t.l1.(s1) <- [];
+  List.iter
+    (fun e ->
+      t.l1_count <- t.l1_count - 1;
+      if e.cancelled then drop t e
+      else begin
+        let s0 = (e.time asr l0_bits) land wheel_mask in
+        t.l0.(s0) <- e :: t.l0.(s0);
+        t.l0_count <- t.l0_count + 1
+      end)
+    l
+
+(* Ensure [due] is non-empty unless the whole queue is empty. *)
+let rec refill t =
+  if t.due_size > 0 then ()
+  else if t.l0_count > 0 then begin
+    (* Walk the slots of the next tick's epoch; stop at the first
+       non-empty one.  (After a cascade the cursor sits on the last
+       tick of the previous epoch, so the epoch is the next tick's,
+       not the cursor's.) *)
+    let c1 = (t.cursor + 1) asr wheel_bits in
+    let epoch_end = ((c1 + 1) lsl wheel_bits) - 1 in
+    while t.due_size = 0 && t.cursor < epoch_end do
+      t.cursor <- t.cursor + 1;
+      let s = t.cursor land wheel_mask in
+      if t.l0.(s) <> [] then dump_l0_slot t s
+    done;
+    (* Still empty if the dumped events were all cancelled, or the
+       epoch is exhausted: recurse to keep advancing. *)
+    if t.due_size = 0 then refill t
+  end
+  else begin
+    let c1 = t.cursor asr wheel_bits in
+    let next_l1 =
+      if t.l1_count = 0 then max_int
+      else begin
+        (* All l1 events live in epochs (c1, c1 + wheel_slots). *)
+        let found = ref max_int in
+        let e1 = ref (c1 + 1) in
+        while !found = max_int && !e1 < c1 + wheel_slots do
+          if t.l1.(!e1 land wheel_mask) <> [] then found := !e1;
+          incr e1
+        done;
+        !found
+      end
+    in
+    let next_of =
+      match Pqueue.peek t.overflow with
+      | None -> max_int
+      | Some e -> e.time asr l1_bits
+    in
+    let target = if next_l1 < next_of then next_l1 else next_of in
+    if target <> max_int then begin
+      (* Jump to just before the target epoch, pull newly-reachable
+         overflow events in, cascade the epoch, and scan it. *)
+      t.cursor <- (target lsl wheel_bits) - 1;
+      drain_overflow t;
+      cascade t target;
+      refill t
+    end
+  end
+
+let peek t =
+  refill t;
+  if t.due_size = 0 then None else Some t.due.(0)
+
+let pop t =
+  refill t;
+  if t.due_size = 0 then None
+  else begin
+    let e = due_pop t in
+    e.queued <- false;
+    t.size <- t.size - 1;
+    if e.cancelled then t.cancelled_count <- t.cancelled_count - 1;
+    Some e
+  end
+
+(* ---- lazy deletion ---- *)
+
+(* Purge cancelled marks from every level.  O(n); runs only when more
+   than half the queue is dead, so the amortised cost per cancel is
+   constant. *)
+let sweep t =
+  let j = ref 0 in
+  for i = 0 to t.due_size - 1 do
+    let e = t.due.(i) in
+    if e.cancelled then e.queued <- false
+    else begin
+      t.due.(!j) <- e;
+      incr j
+    end
+  done;
+  if !j = 0 then t.due <- [||]
+  else
+    for i = !j to t.due_size - 1 do
+      t.due.(i) <- t.due.(0)
+    done;
+  t.due_size <- !j;
+  for i = (t.due_size / 2) - 1 downto 0 do
+    due_sift_down t i
+  done;
+  let filter_level arr =
+    let removed = ref 0 in
+    for s = 0 to wheel_slots - 1 do
+      match arr.(s) with
+      | [] -> ()
+      | l ->
+          arr.(s) <-
+            List.filter
+              (fun e ->
+                if e.cancelled then begin
+                  e.queued <- false;
+                  incr removed;
+                  false
+                end
+                else true)
+              l
+    done;
+    !removed
+  in
+  t.l0_count <- t.l0_count - filter_level t.l0;
+  t.l1_count <- t.l1_count - filter_level t.l1;
+  Pqueue.compact t.overflow ~keep:(fun e ->
+      if e.cancelled then begin
+        e.queued <- false;
+        false
+      end
+      else true);
+  t.size <- t.due_size + t.l0_count + t.l1_count + Pqueue.length t.overflow;
+  t.cancelled_count <- 0
+
+let cancel e =
+  if not e.cancelled then begin
+    e.cancelled <- true;
+    if e.queued then begin
+      let t = e.owner in
+      t.cancelled_count <- t.cancelled_count + 1;
+      if t.cancelled_count * 2 > t.size && t.size >= 64 then sweep t
+    end
+  end

@@ -1,0 +1,55 @@
+(** Hierarchical timer wheel: the engine's event queue.
+
+    Two 256-slot wheels (8.192 us and ~2.1 ms granularity) cover the
+    packet- and protocol-timer scales of the simulation; a binary-heap
+    overflow holds second-scale events.  A small monomorphic "due"
+    heap totally orders the events of the slot under the cursor, so
+    {!pop} yields events in exact [(time, seq)] order — identical to a
+    single global heap, but with O(1) insertion for the common case
+    and cheap lazy cancellation.
+
+    Cancelled events are dropped in bulk when their slot is reached,
+    or all at once by an internal sweep once more than half the queued
+    events are cancelled. *)
+
+type t
+
+type ev = private {
+  time : Time.t;
+  seq : int;
+  run : unit -> unit;
+  mutable cancelled : bool;
+  mutable queued : bool;
+  owner : t;
+}
+(** Events are created by {!schedule}; fields are read-only outside
+    this module ([cancelled] is flipped via {!cancel}). *)
+
+val create : unit -> t
+
+val length : t -> int
+(** Queued events, cancelled ones included. *)
+
+val is_empty : t -> bool
+
+val cancelled_pending : t -> int
+(** Queued events that are cancelled but not yet dropped (for tests
+    and diagnostics of the lazy-deletion accounting). *)
+
+val schedule : t -> time:Time.t -> seq:int -> (unit -> unit) -> ev
+(** Allocates an event and inserts it.  [time] must be >= the time of
+    the last popped event; [seq] must be unique and increasing (the
+    engine uses its scheduling counter). *)
+
+val cancel : ev -> unit
+(** Lazy deletion: marks the event; it is skipped or dropped later.
+    Cancelling an already-fired or cancelled event is a no-op. *)
+
+val peek : t -> ev option
+(** The minimum pending event by [(time, seq)].  May return an event
+    whose [cancelled] field is set (matching the engine's historical
+    heap semantics, which its [run ~until] clock clamping relies on). *)
+
+val pop : t -> ev option
+(** Removes and returns the minimum pending event; the caller is
+    responsible for skipping it if cancelled. *)

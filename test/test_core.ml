@@ -799,6 +799,91 @@ let test_history_evicting () =
   Alcotest.(check bool) "oldest evicted" true (History.find h 1 = None);
   Alcotest.(check bool) "newest kept" true (History.find h 4 <> None)
 
+let test_history_evicting_restart () =
+  (* An out-of-order add_evicting restarts the window at the new seq:
+     the member resynchronised past a gap (e.g. after recovery). *)
+  let h = History.create ~capacity:4 in
+  List.iter (fun s -> History.add_evicting h (entry s)) [ 0; 1; 2 ];
+  History.add_evicting h (entry 10);
+  Alcotest.(check int) "window restarted" 1 (History.length h);
+  Alcotest.(check int) "lo" 10 (History.lo h);
+  Alcotest.(check int) "hi" 10 (History.hi h);
+  Alcotest.(check bool) "old entries gone" true
+    (History.find h 0 = None && History.find h 2 = None);
+  Alcotest.(check bool) "new entry present" true (History.find h 10 <> None);
+  (* The window grows contiguously from the restart point and evicts
+     normally once full again. *)
+  List.iter (fun s -> History.add_evicting h (entry s)) [ 11; 12; 13; 14 ];
+  Alcotest.(check int) "bounded after restart" 4 (History.length h);
+  Alcotest.(check bool) "oldest of new window evicted" true
+    (History.find h 10 = None);
+  Alcotest.(check (list int)) "new window contents"
+    [ 11; 12; 13; 14 ]
+    (List.map (fun e -> e.History.seq) (History.range h ~lo:0 ~hi:100))
+
+let test_history_prune_range_edges () =
+  let h = History.create ~capacity:4 in
+  (* Empty. *)
+  History.prune_below h 100;
+  Alcotest.(check bool) "prune on empty is a no-op" true (History.is_empty h);
+  Alcotest.(check (list int)) "range on empty" []
+    (List.map (fun e -> e.History.seq) (History.range h ~lo:0 ~hi:10));
+  (* Single entry. *)
+  Result.get_ok (History.add h (entry 0));
+  Alcotest.(check (list int)) "range hits single entry" [ 0 ]
+    (List.map (fun e -> e.History.seq) (History.range h ~lo:0 ~hi:0));
+  Alcotest.(check (list int)) "range misses single entry" []
+    (List.map (fun e -> e.History.seq) (History.range h ~lo:1 ~hi:10));
+  History.prune_below h 1;
+  Alcotest.(check bool) "single entry pruned" true (History.is_empty h);
+  (* An emptied history accepts a fresh stream position. *)
+  Result.get_ok (History.add h (entry 1));
+  Alcotest.(check int) "restarts at the added seq" 1 (History.lo h)
+
+let test_history_full_capacity_eviction () =
+  (* Cycle the ring many times past capacity; the window must stay
+     exact at every wrap-around. *)
+  let h = History.create ~capacity:3 in
+  for s = 0 to 99 do
+    History.add_evicting h (entry s)
+  done;
+  Alcotest.(check int) "length stays at capacity" 3 (History.length h);
+  Alcotest.(check int) "lo" 97 (History.lo h);
+  Alcotest.(check int) "hi" 99 (History.hi h);
+  Alcotest.(check bool) "just-evicted entry gone" true (History.find h 96 = None);
+  Alcotest.(check (list int)) "range clamps to the window"
+    [ 97; 98; 99 ]
+    (List.map (fun e -> e.History.seq) (History.range h ~lo:0 ~hi:1000))
+
+(* ----- sparse window units ----- *)
+
+let test_window_basics () =
+  let w = Window.create ~initial:4 ~dummy:(-1) () in
+  Alcotest.(check int) "starts empty" 0 (Window.length w);
+  Window.set w 0 10;
+  Window.set w 5 50;
+  (* 4 land 3 collides with key 0: forces the rehash-doubling path. *)
+  Window.set w 4 40;
+  Alcotest.(check (option int)) "find 0" (Some 10) (Window.find w 0);
+  Alcotest.(check (option int)) "find 4 after grow" (Some 40) (Window.find w 4);
+  Alcotest.(check (option int)) "find 5 after grow" (Some 50) (Window.find w 5);
+  Alcotest.(check bool) "mem" true (Window.mem w 5);
+  Alcotest.(check (option int)) "absent key" None (Window.find w 7);
+  Alcotest.(check int) "count" 3 (Window.length w);
+  Window.set w 4 41;
+  Alcotest.(check (option int)) "overwrite" (Some 41) (Window.find w 4);
+  Alcotest.(check int) "overwrite keeps count" 3 (Window.length w);
+  Window.remove w 5;
+  Window.remove w 5;
+  (* absent remove: no-op *)
+  Alcotest.(check (option int)) "removed" None (Window.find w 5);
+  Alcotest.(check int) "count after remove" 2 (Window.length w);
+  Window.drop_below w 4;
+  Alcotest.(check (option int)) "dropped below bound" None (Window.find w 0);
+  Alcotest.(check (option int)) "kept at bound" (Some 41) (Window.find w 4);
+  Window.drop_above w 3;
+  Alcotest.(check int) "empty after drop_above" 0 (Window.length w)
+
 let prop_history_window =
   QCheck.Test.make ~name:"evicting history keeps the trailing window" ~count:100
     QCheck.(pair (int_range 1 20) (int_range 0 100))
@@ -853,6 +938,10 @@ let suite =
       tc "history basics" test_history_basics;
       tc "history rejects gaps" test_history_out_of_order_rejected;
       tc "history evicting window" test_history_evicting;
+      tc "history evicting restart" test_history_evicting_restart;
+      tc "history prune and range edges" test_history_prune_range_edges;
+      tc "history full-capacity eviction" test_history_full_capacity_eviction;
+      tc "window basics" test_window_basics;
       QCheck_alcotest.to_alcotest prop_total_order_under_loss;
       QCheck_alcotest.to_alcotest prop_api_soup;
       QCheck_alcotest.to_alcotest prop_resilient_total_order;

@@ -347,6 +347,119 @@ let prop_engine_deterministic =
       in
       run_once () = run_once ())
 
+(* Timer-wheel coverage: events spanning all three levels (l0 slots,
+   l1 slots, heap overflow) must still fire in exact (time, seq)
+   order, and lazy cancellation must not perturb step accounting. *)
+
+let test_wheel_spans_levels () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let delays =
+    [
+      Time.sec 2; 5; Time.ms 1; Time.us 50; Time.sec 1; 0;
+      Time.ms 150; Time.us 8; Time.ms 3; Time.sec 30; Time.ms 150;
+    ]
+  in
+  List.iteri
+    (fun i d ->
+      ignore
+        (Engine.schedule eng ~after:d (fun () ->
+             log := (i, Engine.now eng) :: !log)))
+    delays;
+  Engine.run eng;
+  let fired = List.rev !log in
+  let expect =
+    List.mapi (fun i d -> (d, i)) delays
+    |> List.sort compare
+    |> List.map (fun (d, i) -> (i, d))
+  in
+  Alcotest.(check (list (pair int int))) "(index, time) in (time, seq) order"
+    expect fired
+
+let test_wheel_heavy_cancellation () =
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let handles =
+    Array.init 1000 (fun _ ->
+        Engine.schedule eng ~after:(Time.ms 100) (fun () -> incr fired))
+  in
+  (* Cancelling 990 of 1000 crosses the sweep threshold (cancelled *
+     2 > size), so the purge path runs too. *)
+  Array.iteri (fun i h -> if i mod 100 <> 0 then Engine.cancel h) handles;
+  Engine.run eng;
+  Alcotest.(check int) "only live timers fired" 10 !fired;
+  Alcotest.(check int) "cancelled events not stepped" 10 (Engine.step_count eng)
+
+let test_wheel_cancelled_accounting () =
+  let w = Timer_wheel.create () in
+  let evs =
+    List.init 10 (fun i ->
+        Timer_wheel.schedule w ~time:(1000 * (i + 1)) ~seq:i (fun () -> ()))
+  in
+  List.iteri (fun i e -> if i < 5 then Timer_wheel.cancel e) evs;
+  (* Cancelling twice, or after the fact, must not double-count. *)
+  List.iteri (fun i e -> if i < 5 then Timer_wheel.cancel e) evs;
+  Alcotest.(check int) "cancelled pending" 5 (Timer_wheel.cancelled_pending w);
+  Alcotest.(check int) "length includes cancelled" 10 (Timer_wheel.length w);
+  let live = ref 0 in
+  let rec drain () =
+    match Timer_wheel.pop w with
+    | None -> ()
+    | Some e ->
+        if not e.Timer_wheel.cancelled then incr live;
+        Timer_wheel.cancel e;
+        (* cancel after pop: no-op *)
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "live events survived" 5 !live;
+  Alcotest.(check int) "accounting drained" 0 (Timer_wheel.cancelled_pending w);
+  Alcotest.(check bool) "empty" true (Timer_wheel.is_empty w)
+
+let prop_pqueue_compact =
+  QCheck.Test.make ~name:"pqueue compact matches filtered sorted model"
+    ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let keep x = x land 1 = 0 in
+      let h = Pqueue.create ~cmp:compare in
+      List.iter (Pqueue.push h) xs;
+      Pqueue.compact h ~keep;
+      let rec drain acc =
+        match Pqueue.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare (List.filter keep xs))
+
+let prop_wheel_nested_scheduling =
+  QCheck.Test.make
+    ~name:"wheel time monotonic under nested cross-level scheduling" ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 1 120))
+    (fun (chains, hops) ->
+      let eng = Engine.create () in
+      let last = ref (-1) in
+      let mono = ref true in
+      let count = ref 0 in
+      let rec hop c k =
+        let now = Engine.now eng in
+        if now < !last then mono := false;
+        last := now;
+        incr count;
+        if k > 0 then begin
+          (* Deterministic pseudo-random delay; the mask alternates so
+             hops land in l0, l1 and the overflow heap. *)
+          let mask =
+            match k mod 3 with 0 -> 0x3FFFFFFF | 1 -> 0xFFFFF | _ -> 0xFFF
+          in
+          let d = ((c * 7919) + (k * 104729)) * 2654435761 land mask in
+          ignore (Engine.schedule eng ~after:d (fun () -> hop c (k - 1)))
+        end
+      in
+      for c = 1 to chains do
+        ignore (Engine.schedule eng ~after:c (fun () -> hop c hops))
+      done;
+      Engine.run eng;
+      !mono && !count = chains * (hops + 1))
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   ( "sim",
@@ -381,7 +494,12 @@ let suite =
       tc "suspend resume is one-shot" test_suspend_resume_is_one_shot;
       tc "step count advances" test_step_count_advances;
       tc "cancelled events not counted" test_cancelled_events_not_counted;
+      tc "timer wheel spans all levels" test_wheel_spans_levels;
+      tc "timer wheel heavy cancellation" test_wheel_heavy_cancellation;
+      tc "timer wheel cancel accounting" test_wheel_cancelled_accounting;
       QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+      QCheck_alcotest.to_alcotest prop_pqueue_compact;
+      QCheck_alcotest.to_alcotest prop_wheel_nested_scheduling;
       QCheck_alcotest.to_alcotest prop_stats_mean_matches_naive;
       QCheck_alcotest.to_alcotest prop_engine_deterministic;
     ] )
