@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke chaos clean
 
 all: build
 
@@ -19,6 +19,12 @@ bench:
 # `dune runtest` via the bench-smoke alias).
 bench-smoke:
 	dune build @bench-smoke
+
+# Seeded fault-injection runs with invariant checking (also part of
+# `dune runtest` via the chaos-smoke alias).  Replay any seed with
+#   dune exec bin/amoeba.exe -- chaos --seed N
+chaos:
+	dune build @chaos-smoke
 
 clean:
 	dune clean

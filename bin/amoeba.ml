@@ -127,10 +127,55 @@ let rpc_cmd =
   Cmd.v (Cmd.info "rpc" ~doc:"Measure the null RPC baseline.")
     Term.(const run $ const ())
 
+let chaos_cmd =
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Schedule/workload seed.")
+  in
+  let chaos_members_t =
+    Arg.(value & opt int 4 & info [ "m"; "members" ] ~doc:"Group size.")
+  in
+  let msgs_t =
+    Arg.(value & opt int 4 & info [ "msgs" ] ~doc:"Messages per member.")
+  in
+  let schedule_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ]
+          ~doc:
+            "Explicit fault schedule (the format printed by a run), \
+             overriding the seed-derived one.")
+  in
+  let run seed members r method_ msgs schedule =
+    let schedule = Option.map Fault.of_string schedule in
+    let o =
+      Chaos.run ~n:members ~resilience:r ~send_method:method_ ~msgs ?schedule
+        ~seed ()
+    in
+    Chaos.print_report o;
+    if not (Chaos.ok o) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay a seeded fault-injection run and check the total-order, \
+          delivery, durability and incarnation invariants.")
+    Term.(
+      const run $ seed_t $ chaos_members_t $ resilience_t $ method_t $ msgs_t
+      $ schedule_t)
+
 let main =
   Cmd.group
     (Cmd.info "amoeba" ~version:"1.0"
        ~doc:"Explore the reproduced Amoeba group communication system.")
-    [ delay_cmd; throughput_cmd; multigroup_cmd; trace_cmd; costs_cmd; rpc_cmd ]
+    [
+      delay_cmd;
+      throughput_cmd;
+      multigroup_cmd;
+      trace_cmd;
+      costs_cmd;
+      rpc_cmd;
+      chaos_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

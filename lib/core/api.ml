@@ -18,6 +18,10 @@ type info = {
   resilience : int;
   send_method : send_method;
   next_seq : seqno;
+  nacks_sent : int;
+  retransmissions : int;
+  status_solicitations : int;
+  resets_survived : int;
 }
 
 let wrap flip k =
@@ -85,6 +89,10 @@ let get_info_group g =
     resilience = (Kernel.config g.k).Kernel.resilience;
     send_method = (Kernel.config g.k).Kernel.method_;
     next_seq = Kernel.next_expected g.k;
+    nacks_sent = (Kernel.stats g.k).Kernel.nacks_sent;
+    retransmissions = (Kernel.stats g.k).Kernel.retransmissions;
+    status_solicitations = (Kernel.stats g.k).Kernel.status_solicitations;
+    resets_survived = (Kernel.stats g.k).Kernel.resets_survived;
   }
 
 let kernel g = g.k

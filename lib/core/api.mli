@@ -29,6 +29,11 @@ type info = {
   resilience : int;
   send_method : send_method;
   next_seq : seqno;
+  nacks_sent : int;  (** repair requests this member multicast *)
+  retransmissions : int;  (** repairs this member served from history *)
+  status_solicitations : int;
+      (** status requests multicast to unblock a full history *)
+  resets_survived : int;  (** recovery incarnations installed *)
 }
 
 val create_group :

@@ -20,6 +20,8 @@ type stats = {
   mutable retransmissions : int;
   mutable duplicates_dropped : int;
   mutable acks_collected : int;
+  mutable status_solicitations : int;
+  mutable resets_survived : int;
 }
 
 type pending_send = {
@@ -142,6 +144,11 @@ type t = {
   mutable heal_waiting : int option;  (** nonce of an unanswered ping *)
   mutable heal_misses : int;
   mutable heal_nonce : int;
+  mutable reset_epoch : int;
+      (** tick-stamp generator for this kernel's reset runs.  Per
+          kernel, not process-global: epochs must never leak between
+          engines (multi-cluster runs, test ordering), or a stale tick
+          from one simulation could match a run in another. *)
 }
 
 let new_stats () =
@@ -152,6 +159,8 @@ let new_stats () =
     retransmissions = 0;
     duplicates_dropped = 0;
     acks_collected = 0;
+    status_solicitations = 0;
+    resets_survived = 0;
   }
 
 (* ----- small helpers ----- *)
@@ -365,7 +374,10 @@ let rec become_sequencer t ~first_seq =
   t.seq_mid <- t.mid;
   (* Fresh acknowledgement state: ask everyone where they stand so the
      history can be pruned again. *)
-  if t.member_count > 1 then multicast t (status_req t)
+  if t.member_count > 1 then begin
+    t.st.status_solicitations <- t.st.status_solicitations + 1;
+    multicast t (status_req t)
+  end
 
 and deliver_entry t (e : History.entry) =
   let dup = duplicate_user_message t ~sender:e.sender ~msgid:e.msgid e.payload in
@@ -502,6 +514,14 @@ and start_send t p =
   p.p_timer <- Some (arm_resend t ~msgid:p.p_msgid)
 
 and submit_send t p =
+  (* Frozen means mid-recovery: our last_stable is (being) reported to
+     a coordinator, so nothing new may enter the old incarnation — a
+     frozen co-located sequencer would otherwise self-assign sequence
+     numbers the reset is about to hand out again.  The send stays
+     pending; the resend timer holds it and the new configuration
+     resubmits it (or expulsion aborts it). *)
+  if t.life = Frozen then ()
+  else
   let payload = User p.p_body in
   match t.seqs with
   | Some _ ->
@@ -654,6 +674,7 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
               s.parked;
             if not s.soliciting then begin
               s.soliciting <- true;
+              t.st.status_solicitations <- t.st.status_solicitations + 1;
               multicast t (status_req t);
               arm_solicit t
             end
@@ -886,8 +907,6 @@ let serve_fetch t ~dst ~from_seq ~upto =
   let entries = History.range t.history ~lo:from_seq ~hi:upto in
   unicast t ~dst (Wire.Fetch_reply { entries })
 
-let reset_epoch = ref 0
-
 let finish_run t run result =
   ignore (Ivar.try_fill run.r_result result);
   (* Physical equality on the run record itself: [Some run] would
@@ -905,7 +924,9 @@ let rec start_reset t ~min_members ~result ~inc =
       r_tries = 0;
       r_rounds = (match t.run with Some r -> r.r_rounds + 1 | None -> 0);
       r_phase = Collect;
-      r_seq = (incr reset_epoch; !reset_epoch);
+      r_seq =
+        (t.reset_epoch <- t.reset_epoch + 1;
+         t.reset_epoch);
     }
   in
   t.run <- Some run;
@@ -948,8 +969,8 @@ and collect_done t run =
       | Some holder ->
           run.r_phase <- Fetching { holder; upto = global_max };
           (* Invalidate any still-pending collect ticks. *)
-          incr reset_epoch;
-          run.r_seq <- !reset_epoch;
+          t.reset_epoch <- t.reset_epoch + 1;
+          run.r_seq <- t.reset_epoch;
           unicast t ~dst:holder
             (Wire.Fetch { from_seq = t.nxt; upto = global_max });
           arm_reset_tick t run.r_seq ~after:t.cost.probe_timeout_ns
@@ -959,6 +980,7 @@ and collect_done t run =
 and install_new_config t run ~global_max =
   t.inc <- run.r_inc;
   t.frozen_inc <- run.r_inc;
+  t.st.resets_survived <- t.st.resets_survived + 1;
   let members =
     List.sort compare
       (List.map (fun (m, a, _) -> (m, a)) ((t.mid, t.kaddr, 0) :: run.r_acked))
@@ -1001,8 +1023,8 @@ let handle_invite t ~inc ~coord ~coord_addr =
            collect ticks must be invalidated (fresh epoch), or one of
            them would fire within a probe period and retry instantly. *)
         run.r_phase <- Adopting;
-        incr reset_epoch;
-        run.r_seq <- !reset_epoch;
+        t.reset_epoch <- t.reset_epoch + 1;
+        run.r_seq <- t.reset_epoch;
         arm_reset_tick t run.r_seq
           ~after:((t.cost.probe_retries + 4) * t.cost.probe_timeout_ns)
     | Some _ | None -> ());
@@ -1026,6 +1048,7 @@ let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
   if inc >= t.frozen_inc && inc > t.inc then begin
     t.inc <- inc;
     t.frozen_inc <- inc;
+    t.st.resets_survived <- t.st.resets_survived + 1;
     set_members t (List.sort compare members);
     t.seq_mid <- seq_mid;
     t.seqs <- None;
@@ -1075,6 +1098,12 @@ let detect_expulsion t msg_inc =
 
 (* ----- the kernel process ----- *)
 
+(* A frozen member has reported its [last_stable] to a recovery
+   coordinator (or is one): that value is its agreed position in the
+   old incarnation, so it must not move past it by processing further
+   old-incarnation traffic — the new configuration may reassign every
+   sequence number beyond the collected maximum.  Catch-up during
+   recovery flows only through [handle_fetch_reply]. *)
 let handle_net t msg src =
   match msg with
   | Wire.Data { seq; sender; msgid; inc; payload; needs_accept } ->
@@ -1082,22 +1111,22 @@ let handle_net t msg src =
         charge t t.cost.group_deliver_ns;
         member_data t ~seq ~sender ~msgid ~payload ~needs_accept
       end
-      else if inc = t.inc then begin
+      else if inc = t.inc && t.life <> Frozen then begin
         charge t t.cost.group_deliver_ns;
         member_data t ~seq ~sender ~msgid ~payload ~needs_accept
       end
-      else ignore (detect_expulsion t inc)
+      else if inc <> t.inc then ignore (detect_expulsion t inc)
   | Wire.Accept { seq; sender; msgid; inc } ->
-      if inc = t.inc then begin
+      if inc = t.inc && t.life <> Frozen then begin
         charge t t.cost.group_deliver_ns;
         (match t.seqs with
         | Some s -> handle_at_sequencer t s msg
         | None -> ());
         member_accept t ~seq ~sender ~msgid
       end
-      else ignore (detect_expulsion t inc)
+      else if inc <> t.inc then ignore (detect_expulsion t inc)
   | Wire.Bb_data { sender; msgid; inc; payload; _ } ->
-      if inc = t.inc then begin
+      if inc = t.inc && t.life <> Frozen then begin
         match t.seqs with
         | Some s ->
             charge_seq t;
@@ -1106,14 +1135,14 @@ let handle_net t msg src =
             charge t t.cost.group_deliver_ns;
             member_bb_data t ~sender ~msgid ~payload
       end
-      else ignore (detect_expulsion t inc)
+      else if inc <> t.inc then ignore (detect_expulsion t inc)
   | Wire.Req _ | Wire.Ack_tent _ | Wire.Nack _ | Wire.Status _
   | Wire.Join_req _ | Wire.Leave_req _ -> (
       match t.seqs with
-      | Some s ->
+      | Some s when t.life <> Frozen ->
           charge_seq t;
           handle_at_sequencer t s msg
-      | None -> ())
+      | Some _ | None -> ())
   | Wire.Status_req { inc } ->
       if inc = t.inc && t.seqs = None then begin
         charge t t.cost.group_deliver_ns;
@@ -1184,6 +1213,7 @@ let handle_solicit_tick t =
   match t.seqs with
   | Some s when s.soliciting ->
       if not (Queue.is_empty s.parked) then begin
+        t.st.status_solicitations <- t.st.status_solicitations + 1;
         multicast t (status_req t);
         arm_solicit t
       end
@@ -1358,6 +1388,7 @@ let make flip ~cfg ~gaddr =
       heal_waiting = None;
       heal_misses = 0;
       heal_nonce = 0;
+      reset_epoch = 0;
       run = None;
       frozen_inc = 0;
       pending_leave = None;

@@ -48,6 +48,11 @@ type stats = {
   mutable retransmissions : int;  (** repairs served by the sequencer *)
   mutable duplicates_dropped : int;
   mutable acks_collected : int;  (** resilience acks at the sequencer *)
+  mutable status_solicitations : int;
+      (** status requests multicast to unblock a full history *)
+  mutable resets_survived : int;
+      (** recovery incarnations this member installed (as coordinator
+          or by accepting a new configuration) *)
 }
 
 val create_group : Flip.t -> ?config:config -> unit -> t

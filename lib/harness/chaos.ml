@@ -1,0 +1,215 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_core
+open Types
+
+type outcome = {
+  seed : int;
+  schedule : Fault.schedule;
+  verdicts : Checker.verdict list;
+  durability_checked : bool;
+  sends_started : int;
+  sends_completed : int;
+  sends_aborted : int;
+  nacks : int;
+  retransmissions : int;
+  solicitations : int;
+  resets : int;
+  frames_lost : int;
+  partition_drops : int;
+  rx_overflows : int;
+  machine_restarts : int;
+}
+
+let ok o = Checker.all_ok o.verdicts
+
+(* Durability is only promised while failures stay within the
+   resilience degree.  Partitions and pauses can cut a minority (or a
+   stalled sequencer) off with completed-but-undistributed messages —
+   the "more than r failures" regime where the paper makes no
+   guarantee — so any such schedule turns the durability check off. *)
+let durability_applies ~resilience sched =
+  Fault.crash_count sched <= resilience
+  && not
+       (List.exists
+          (fun s ->
+            match s.Fault.action with
+            | Fault.Partition _ | Fault.Pause _ -> true
+            | _ -> false)
+          sched)
+
+let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
+    ?(horizon = Time.ms 2000) ?schedule ~seed () =
+  let sched =
+    match schedule with
+    | Some s -> s
+    | None -> Fault.random ~seed ~n ~horizon ()
+  in
+  let c = Cluster.create ~seed ~n () in
+  let eng = c.Cluster.engine in
+  let crashed = Array.make n false in
+  List.iter
+    (fun s ->
+      match s.Fault.action with
+      | Fault.Crash i -> crashed.(i) <- true
+      | _ -> ())
+    sched;
+  let groups = ref [] in
+  let streams = ref [] in
+  let completed = ref [] in
+  let started = ref 0 and n_ok = ref 0 and n_err = ref 0 in
+  (* The application dies with its machine: a crash is fail-stop for
+     the whole host, even though kernel processes keep ticking in the
+     simulation with their NIC gated off.  Anything a zombie kernel
+     self-delivers after the crash (an ex-sequencer still sequences
+     locally) must not count as observed delivery or completion, and
+     the old application does not come back on restart — a reboot
+     starts a fresh member.  [app_alive] captures one machine
+     incarnation. *)
+  let app_alive i =
+    let m = Cluster.machine c i in
+    let gen = Machine.restarts m in
+    fun () -> Machine.is_alive m && Machine.restarts m = gen
+  in
+  let add_stream label full i g =
+    groups := g :: !groups;
+    let alive = app_alive i in
+    let evs = ref [] in
+    streams := (label, evs, full) :: !streams;
+    Cluster.spawn c (fun () ->
+        let rec collect () =
+          let e = Api.receive_from_group g in
+          if alive () then begin
+            evs := e :: !evs;
+            match e with Expelled -> () | _ -> collect ()
+          end
+        in
+        collect ())
+  in
+  let record_send alive mid body g =
+    if alive () then begin
+      incr started;
+      match Api.send_to_group g (Bytes.of_string body) with
+      | Ok _ when alive () ->
+          incr n_ok;
+          completed := (mid, body) :: !completed
+      | Ok _ -> ()
+      | Error _ -> if alive () then incr n_err
+    end
+  in
+  let spawn_sender i g =
+    let alive = app_alive i in
+    let mid = (Api.get_info_group g).Api.my_mid in
+    let gap = max (Time.ms 1) (horizon * 2 / 3 / max 1 msgs) in
+    Cluster.spawn c (fun () ->
+        Engine.sleep eng (Time.ms 30 + (mid * Time.ms 7));
+        for k = 1 to msgs do
+          record_send alive mid (Printf.sprintf "o%d.%d" mid k) g;
+          Engine.sleep eng gap
+        done)
+  in
+  (* A flush after the horizon (quiet net: loss bursts over,
+     partitions healed) gives every member that silently lost the
+     tail of the stream a later sequence number to notice the gap
+     against, so NACK repair can run before the invariants are read. *)
+  let spawn_flush i g =
+    let alive = app_alive i in
+    let mid = (Api.get_info_group g).Api.my_mid in
+    Cluster.spawn c (fun () ->
+        Engine.sleep eng (max 0 (horizon + Time.sec 3 - Engine.now eng));
+        record_send alive mid (Printf.sprintf "o%d.%d" mid (msgs + 1)) g)
+  in
+  Cluster.spawn c (fun () ->
+      let g0 =
+        Api.create_group (Cluster.flip c 0) ~resilience ~send_method
+          ~auto_heal:true ()
+      in
+      let addr = Api.group_address g0 in
+      add_stream "m0" (not crashed.(0)) 0 g0;
+      spawn_sender 0 g0;
+      spawn_flush 0 g0;
+      for i = 1 to n - 1 do
+        match
+          Api.join_group (Cluster.flip c i) ~resilience ~send_method
+            ~auto_heal:true addr
+        with
+        | Ok g ->
+            add_stream (Printf.sprintf "m%d" i) (not crashed.(i)) i g;
+            spawn_sender i g;
+            spawn_flush i g
+        | Error e -> failwith ("chaos setup join failed: " ^ error_to_string e)
+      done;
+      (* Rebooted machines come back with fresh state and rejoin as
+         new members; their streams are partial, never "full". *)
+      let on_restart i =
+        Cluster.spawn c (fun () ->
+            match
+              Api.join_group (Cluster.flip c i) ~resilience ~send_method
+                ~auto_heal:true addr
+            with
+            | Ok g ->
+                add_stream
+                  (Printf.sprintf "m%d+%d" i
+                     (Machine.restarts (Cluster.machine c i)))
+                  false i g
+            | Error _ -> ())
+      in
+      Fault.apply ~on_restart c sched);
+  Cluster.run ~until:(horizon + Time.sec 8) c;
+  let streams =
+    List.rev_map
+      (fun (label, evs, full) ->
+        { Checker.label; events = List.rev !evs; full })
+      !streams
+  in
+  let verdicts =
+    Checker.run
+      ~durability_applies:(durability_applies ~resilience sched)
+      ~streams ~completed:!completed ()
+  in
+  let sum f = List.fold_left (fun acc g -> acc + f (Api.get_info_group g)) 0 !groups in
+  {
+    seed;
+    schedule = sched;
+    verdicts;
+    durability_checked = durability_applies ~resilience sched;
+    sends_started = !started;
+    sends_completed = !n_ok;
+    sends_aborted = !n_err;
+    nacks = sum (fun i -> i.Api.nacks_sent);
+    retransmissions = sum (fun i -> i.Api.retransmissions);
+    solicitations = sum (fun i -> i.Api.status_solicitations);
+    resets = sum (fun i -> i.Api.resets_survived);
+    frames_lost = Ether.frames_lost c.Cluster.ether;
+    partition_drops = Ether.partition_drops c.Cluster.ether;
+    rx_overflows =
+      Array.fold_left
+        (fun acc m -> acc + Nic.rx_dropped (Machine.nic m))
+        0 c.Cluster.machines;
+    machine_restarts =
+      Array.fold_left
+        (fun acc m -> acc + Machine.restarts m)
+        0 c.Cluster.machines;
+  }
+
+let print_report o =
+  Printf.printf "chaos run: seed %d\n" o.seed;
+  Printf.printf "schedule:  %s\n"
+    (if o.schedule = [] then "(none)" else Fault.to_string o.schedule);
+  Format.printf "%a" Fault.pp o.schedule;
+  Printf.printf "invariants:\n";
+  List.iter
+    (fun v -> Format.printf "  %a@." Checker.pp_verdict v)
+    o.verdicts;
+  Printf.printf "sends:     %d started, %d completed, %d aborted, %d stuck\n"
+    o.sends_started o.sends_completed o.sends_aborted
+    (o.sends_started - o.sends_completed - o.sends_aborted);
+  Printf.printf
+    "recovery:  %d nacks, %d retransmissions, %d solicitations, %d resets \
+     survived, %d reboots\n"
+    o.nacks o.retransmissions o.solicitations o.resets o.machine_restarts;
+  Printf.printf "network:   %d frames lost, %d partition drops, %d rx overflows\n"
+    o.frames_lost o.partition_drops o.rx_overflows;
+  if not o.durability_checked then
+    Printf.printf "note:      durability not applicable to this schedule\n";
+  Printf.printf "verdict:   %s\n" (if ok o then "PASS" else "FAIL")

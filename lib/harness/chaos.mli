@@ -1,0 +1,57 @@
+(** Seeded chaos runs: a workload of concurrent group sends under a
+    {!Fault} schedule, with the {!Checker} invariants evaluated over
+    every member's delivery log afterwards.
+
+    Everything is deterministic in [seed]: the cluster RNG, the
+    workload pacing and (when no explicit schedule is given) the fault
+    schedule itself, so any failing run — from the swarm test or the
+    [chaos] CLI — replays exactly. *)
+
+open Amoeba_sim
+open Amoeba_core
+
+type outcome = {
+  seed : int;
+  schedule : Fault.schedule;
+  verdicts : Checker.verdict list;
+  durability_checked : bool;
+      (** false when the schedule exceeds the resilience degree *)
+  sends_started : int;
+  sends_completed : int;
+  sends_aborted : int;  (** sends that returned an error *)
+  nacks : int;
+  retransmissions : int;
+  solicitations : int;
+  resets : int;  (** recovery incarnations installed, summed over members *)
+  frames_lost : int;  (** frames dropped by loss injection *)
+  partition_drops : int;  (** receptions suppressed by partitions *)
+  rx_overflows : int;  (** frames lost to full receive rings *)
+  machine_restarts : int;
+}
+
+val run :
+  ?n:int ->
+  ?resilience:int ->
+  ?send_method:Types.send_method ->
+  ?msgs:int ->
+  ?horizon:Time.t ->
+  ?schedule:Fault.schedule ->
+  seed:int ->
+  unit ->
+  outcome
+(** [run ~seed ()] builds an [n]-machine cluster (default 4), forms a
+    group with [auto_heal] on, has every member send [msgs] tagged
+    messages over the first 2/3 of [horizon] (default 2s) plus one
+    flush message after the faults end, applies the schedule (default:
+    {!Fault.random} from [seed]), runs 8 simulated seconds past the
+    horizon so recovery can settle, and checks all four invariants. *)
+
+val ok : outcome -> bool
+
+val durability_applies : resilience:int -> Fault.schedule -> bool
+(** Whether a schedule stays within the regime where completed sends
+    are guaranteed durable: at most [resilience] crashes and no
+    partitions or pauses (either can sever a member — or a stalled
+    sequencer — holding completed messages the survivors discard). *)
+
+val print_report : outcome -> unit

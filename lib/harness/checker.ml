@@ -1,0 +1,185 @@
+open Amoeba_core.Types
+
+type stream = {
+  label : string;
+  events : event list;
+  full : bool;
+}
+
+type verdict = { invariant : string; ok : bool; detail : string }
+
+let v invariant = function
+  | [] -> { invariant; ok = true; detail = "" }
+  | problems ->
+      let shown = List.filteri (fun i _ -> i < 3) problems in
+      let detail =
+        String.concat "; " shown
+        ^
+        match List.length problems - List.length shown with
+        | 0 -> ""
+        | more -> Printf.sprintf " (+%d more)" more
+      in
+      { invariant; ok = false; detail }
+
+let expelled s = List.mem Expelled s.events
+
+let seq_of = function
+  | Message { seq; _ }
+  | Member_joined { seq; _ }
+  | Member_left { seq; _ }
+  | Group_reset { seq; _ } ->
+      Some seq
+  | Expelled -> None
+
+let fingerprint = function
+  | Message { seq = _; sender; body } ->
+      Printf.sprintf "msg from %d %S" sender (Bytes.to_string body)
+  | Member_joined { seq = _; mid } -> Printf.sprintf "join %d" mid
+  | Member_left { seq = _; mid } -> Printf.sprintf "leave %d" mid
+  | Group_reset { seq = _; incarnation; members } ->
+      Printf.sprintf "reset inc=%d [%s]" incarnation
+        (String.concat "," (List.map string_of_int members))
+  | Expelled -> "expelled"
+
+(* I1 — total order: every two members that both delivered sequence
+   number [s] delivered the same event at [s].  Streams that end in
+   [Expelled] are excluded: with r=0 an expelled member may hold
+   tentative deliveries beyond the survivors' global-max, which the
+   reset legitimately discards and reassigns. *)
+let total_order streams =
+  let seen : (int, string * string) Hashtbl.t = Hashtbl.create 64 in
+  let problems = ref [] in
+  List.iter
+    (fun s ->
+      if not (expelled s) then
+        List.iter
+          (fun e ->
+            match seq_of e with
+            | None -> ()
+            | Some seq -> (
+                let fp = fingerprint e in
+                match Hashtbl.find_opt seen seq with
+                | None -> Hashtbl.replace seen seq (fp, s.label)
+                | Some (fp', who) ->
+                    if fp <> fp' then
+                      problems :=
+                        Printf.sprintf "seq %d: %s saw {%s} but %s saw {%s}"
+                          seq who fp' s.label fp
+                        :: !problems))
+          s.events)
+    streams;
+  v "total-order" (List.rev !problems)
+
+(* I2 — no duplicate, no skip: within one member's lifetime sequence
+   numbers are consecutive (kernels deliver through a gap-free
+   window), no message body is delivered twice, and each origin's
+   messages arrive in the order they were sent (bodies are the
+   workload's unique "o<origin>.<k>" tags). *)
+let no_dup_no_skip streams =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  List.iter
+    (fun s ->
+      let last_seq = ref None in
+      let bodies = Hashtbl.create 64 in
+      let per_origin = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          (match seq_of e with
+          | None -> ()
+          | Some seq ->
+              (match !last_seq with
+              | Some prev when seq <> prev + 1 ->
+                  if seq <= prev then
+                    problem "%s: seq went %d -> %d (reorder/dup)" s.label prev
+                      seq
+                  else
+                    problem "%s: skipped seqs %d..%d" s.label (prev + 1)
+                      (seq - 1)
+              | Some _ | None -> ());
+              last_seq := Some seq);
+          match e with
+          | Message { sender; body; _ } -> (
+              let b = Bytes.to_string body in
+              if Hashtbl.mem bodies b then
+                problem "%s: body %S delivered twice" s.label b
+              else Hashtbl.replace bodies b ();
+              try
+                Scanf.sscanf b "o%d.%d" (fun o k ->
+                    ignore o;
+                    match Hashtbl.find_opt per_origin sender with
+                    | Some k' when k <= k' ->
+                        problem "%s: origin %d sent #%d after #%d" s.label
+                          sender k k'
+                    | _ -> Hashtbl.replace per_origin sender k)
+              with Scanf.Scan_failure _ | End_of_file -> ())
+          | _ -> ())
+        s.events)
+    streams;
+  v "no-dup-no-skip" (List.rev !problems)
+
+(* I3 — durability: a send that returned [Ok] is delivered by every
+   member that observed the whole run (joined at creation, never
+   crashed or expelled).  Only meaningful when the fault schedule
+   stays within the resilience degree; the caller gates it. *)
+let durability ~streams ~completed =
+  let full = List.filter (fun s -> s.full && not (expelled s)) streams in
+  let problems = ref [] in
+  List.iter
+    (fun s ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Message { sender; body; _ } ->
+              Hashtbl.replace seen (sender, Bytes.to_string body) ()
+          | _ -> ())
+        s.events;
+      List.iter
+        (fun (origin, body) ->
+          if not (Hashtbl.mem seen (origin, body)) then
+            problems :=
+              Printf.sprintf "%s never delivered completed send %S from %d"
+                s.label body origin
+              :: !problems)
+        completed)
+    full;
+  v "durability" (List.rev !problems)
+
+(* I4 — monotone incarnations: the group resets a member witnesses
+   carry strictly increasing incarnation numbers. *)
+let monotone_incarnations streams =
+  let problems = ref [] in
+  List.iter
+    (fun s ->
+      let last = ref None in
+      List.iter
+        (function
+          | Group_reset { incarnation; _ } ->
+              (match !last with
+              | Some prev when incarnation <= prev ->
+                  problems :=
+                    Printf.sprintf "%s: incarnation %d after %d" s.label
+                      incarnation prev
+                    :: !problems
+              | _ -> ());
+              last := Some incarnation
+          | _ -> ())
+        s.events)
+    streams;
+  v "monotone-incarnation" (List.rev !problems)
+
+let run ?(durability_applies = true) ~streams ~completed () =
+  [
+    total_order streams;
+    no_dup_no_skip streams;
+    (if durability_applies then durability ~streams ~completed
+     else { invariant = "durability"; ok = true; detail = "not applicable" });
+    monotone_incarnations streams;
+  ]
+
+let all_ok = List.for_all (fun x -> x.ok)
+
+let pp_verdict ppf x =
+  Format.fprintf ppf "%-20s %s%s" x.invariant
+    (if x.ok then "OK" else "VIOLATED")
+    (if x.detail = "" then "" else ": " ^ x.detail)

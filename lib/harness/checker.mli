@@ -1,0 +1,58 @@
+(** Executable invariants over per-member delivery logs.
+
+    Each member of a group yields a {!stream}: the ordered list of
+    events its application received, one stream per kernel lifetime
+    (a member that is expelled and rejoins contributes two streams).
+    The four invariants are the correctness claims of the paper's
+    protocol — total order, exactly-once gap-free delivery, durability
+    of completed sends up to the resilience degree, and monotone
+    recovery incarnations. *)
+
+open Amoeba_core.Types
+
+type stream = {
+  label : string;  (** e.g. ["m2"], or ["m2+"] for a rejoin *)
+  events : event list;  (** in the order the application received them *)
+  full : bool;
+      (** member from group creation to the end of the run, never
+          crashed or restarted — durability must hold for it.
+          Streams that end in [Expelled] are excluded automatically. *)
+}
+
+type verdict = { invariant : string; ok : bool; detail : string }
+
+val total_order : stream list -> verdict
+(** I1: any two members that both delivered sequence number [s]
+    delivered the same event at [s].  Expelled streams are excluded —
+    with r=0 their tentative tail is legitimately discarded by a
+    reset. *)
+
+val no_dup_no_skip : stream list -> verdict
+(** I2: per stream, sequence numbers are consecutive, no body is
+    delivered twice, and per-origin bodies of the form ["o<i>.<k>"]
+    arrive with strictly increasing [k]. *)
+
+val durability : streams:stream list -> completed:(mid * string) list -> verdict
+(** I3: every [completed] send (origin, body) appears in every full,
+    non-expelled stream.  Only meaningful when the fault schedule is
+    within the resilience degree — see {!run}'s [durability_applies]. *)
+
+val monotone_incarnations : stream list -> verdict
+(** I4: group-reset incarnation numbers are strictly increasing per
+    stream. *)
+
+val run :
+  ?durability_applies:bool ->
+  streams:stream list ->
+  completed:(mid * string) list ->
+  unit ->
+  verdict list
+(** All four, with durability replaced by a vacuous pass (detail
+    ["not applicable"]) when [durability_applies] is false — i.e. when
+    the schedule crashed more than [r] machines, partitioned the net
+    or paused a CPU, cases in which the paper's method makes no
+    delivery promise to expelled minorities. *)
+
+val all_ok : verdict list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

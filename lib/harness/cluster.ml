@@ -26,6 +26,16 @@ let create ?(cost = Cost_model.default) ?(seed = 1) ~n () =
 let size t = Array.length t.machines
 let machine t i = t.machines.(i)
 let flip t i = t.flips.(i)
+
+(* Reboot a crashed machine: fresh NIC under the old station id, and a
+   fresh FLIP stack installed as its handler.  The old flip (and any
+   kernels on it) stays dead with the old NIC; callers re-join groups
+   through the new [flip t i]. *)
+let restart t i =
+  if not (Machine.is_alive t.machines.(i)) then begin
+    Machine.restart t.machines.(i);
+    t.flips.(i) <- Flip.create t.machines.(i)
+  end
 let spawn t f = Engine.spawn t.engine f
 let run ?until t = Engine.run ?until t.engine
 let now t = Engine.now t.engine

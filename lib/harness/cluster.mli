@@ -25,6 +25,12 @@ val machine : t -> int -> Machine.t
 
 val flip : t -> int -> Flip.t
 
+val restart : t -> int -> unit
+(** Reboots machine [i] if it crashed: {!Machine.restart} plus a fresh
+    FLIP stack, so churn scenarios can re-join groups via the new
+    [flip t i].  The pre-crash FLIP and its kernels stay dead.  No-op
+    on a live machine. *)
+
 val spawn : t -> (unit -> unit) -> unit
 
 val run : ?until:Time.t -> t -> unit

@@ -1,0 +1,166 @@
+open Amoeba_sim
+open Amoeba_net
+
+type action =
+  | Crash of int
+  | Restart of int
+  | Pause of int
+  | Resume of int
+  | Partition of int list * int list
+  | Heal
+  | Loss_burst of float * Time.t
+
+type step = { at : Time.t; action : action }
+type schedule = step list
+
+let crash_count sched =
+  List.fold_left
+    (fun acc s -> match s.action with Crash _ -> acc + 1 | _ -> acc)
+    0 sched
+
+let sort sched = List.stable_sort (fun a b -> compare a.at b.at) sched
+
+(* ----- execution ----- *)
+
+let fire ?(on_restart = fun _ -> ()) (c : Cluster.t) action =
+  match action with
+  | Crash i -> Machine.crash (Cluster.machine c i)
+  | Restart i ->
+      if not (Machine.is_alive (Cluster.machine c i)) then begin
+        Cluster.restart c i;
+        on_restart i
+      end
+  | Pause i -> Machine.pause (Cluster.machine c i)
+  | Resume i -> Machine.resume (Cluster.machine c i)
+  | Partition (a, b) -> Ether.partition c.Cluster.ether a b
+  | Heal -> Ether.heal c.Cluster.ether
+  | Loss_burst (rate, dur) ->
+      let prev = Ether.loss_rate c.Cluster.ether in
+      Ether.set_loss_rate c.Cluster.ether rate;
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
+             Ether.set_loss_rate c.Cluster.ether prev))
+
+let apply ?on_restart c sched =
+  let now = Cluster.now c in
+  List.iter
+    (fun { at; action } ->
+      ignore
+        (Engine.schedule c.Cluster.engine
+           ~after:(max 0 (at - now))
+           (fun () -> fire ?on_restart c action)))
+    sched
+
+(* ----- random schedules ----- *)
+
+let random ~seed ~n ?(horizon = Time.ms 2000) () =
+  (* Own random state, not the engine's: the schedule must be a pure
+     function of [seed] so a failing seed replays identically from the
+     CLI, regardless of what the workload drew from the engine RNG. *)
+  let st = Random.State.make [| 0x5EED; seed |] in
+  let int lo hi = lo + Random.State.full_int st (hi - lo + 1) in
+  let rand_t () = int (Time.ms 50) horizon in
+  let steps = ref [] in
+  let push at action = steps := { at; action } :: !steps in
+  (* Never crash a majority: auto-heal recovery demands a quorum of
+     the pre-failure membership, so a schedule that crashes more can
+     only end in [Not_enough_members] — legal, but boring. *)
+  let crash_budget = ref ((n - 1) / 2) in
+  let loss_burst () =
+    let rate = float_of_int (int 20 300) /. 1000. in
+    let dur = int (Time.ms 50) (Time.ms 500) in
+    push (rand_t ()) (Loss_burst (rate, dur))
+  in
+  let n_events = int 2 5 in
+  for _ = 1 to n_events do
+    match int 0 3 with
+    | 0 when !crash_budget > 0 ->
+        decr crash_budget;
+        let i = Random.State.int st n in
+        let at = rand_t () in
+        push at (Crash i);
+        if Random.State.bool st then
+          push (at + int (Time.ms 300) (Time.ms 1500)) (Restart i)
+    | 0 -> loss_burst ()
+    | 1 ->
+        let i = Random.State.int st n in
+        let at = rand_t () in
+        push at (Pause i);
+        push (at + int (Time.ms 200) (Time.sec 2)) (Resume i)
+    | 2 when n >= 2 ->
+        let side = Array.init n (fun _ -> Random.State.bool st) in
+        (* Force both sides non-empty, at two distinct indices. *)
+        let i_t = Random.State.int st n in
+        let i_f = (i_t + 1 + Random.State.int st (n - 1)) mod n in
+        side.(i_t) <- true;
+        side.(i_f) <- false;
+        let pick v =
+          Array.to_list side
+          |> List.mapi (fun i s -> if s = v then Some i else None)
+          |> List.filter_map Fun.id
+        in
+        let at = rand_t () in
+        push at (Partition (pick true, pick false));
+        push (at + int (Time.ms 100) (Time.ms 800)) Heal
+    | _ -> loss_burst ()
+  done;
+  sort (List.rev !steps)
+
+(* ----- text form -----
+
+   Times in integer nanoseconds so [of_string (to_string s)] replays
+   the exact schedule; loss rates are generated in 1/1000 steps, which
+   %g prints and [float_of_string] reads back to the same float. *)
+
+let ids l = String.concat "," (List.map string_of_int l)
+
+let action_to_string = function
+  | Crash i -> Printf.sprintf "crash %d" i
+  | Restart i -> Printf.sprintf "restart %d" i
+  | Pause i -> Printf.sprintf "pause %d" i
+  | Resume i -> Printf.sprintf "resume %d" i
+  | Partition (a, b) -> Printf.sprintf "part %s/%s" (ids a) (ids b)
+  | Heal -> "heal"
+  | Loss_burst (rate, dur) -> Printf.sprintf "loss %g %d" rate dur
+
+let to_string sched =
+  String.concat "; "
+    (List.map (fun s -> Printf.sprintf "%d:%s" s.at (action_to_string s.action)) sched)
+
+let parse_ids s = List.map int_of_string (String.split_on_char ',' s)
+
+let action_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "crash"; i ] -> Crash (int_of_string i)
+  | [ "restart"; i ] -> Restart (int_of_string i)
+  | [ "pause"; i ] -> Pause (int_of_string i)
+  | [ "resume"; i ] -> Resume (int_of_string i)
+  | [ "part"; sides ] -> (
+      match String.split_on_char '/' sides with
+      | [ a; b ] -> Partition (parse_ids a, parse_ids b)
+      | _ -> invalid_arg ("Fault.of_string: bad partition " ^ s))
+  | [ "heal" ] -> Heal
+  | [ "loss"; rate; dur ] -> Loss_burst (float_of_string rate, int_of_string dur)
+  | _ -> invalid_arg ("Fault.of_string: bad action " ^ s)
+
+let of_string str =
+  let step s =
+    match String.index_opt s ':' with
+    | None -> invalid_arg ("Fault.of_string: missing time in " ^ s)
+    | Some i ->
+        {
+          at = int_of_string (String.trim (String.sub s 0 i));
+          action =
+            action_of_string (String.sub s (i + 1) (String.length s - i - 1));
+        }
+  in
+  String.split_on_char ';' str
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map step |> sort
+
+let pp ppf sched =
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %8.1f ms  %s@." (Time.to_ms s.at)
+        (action_to_string s.action))
+    sched

@@ -1,0 +1,56 @@
+(** Declarative fault schedules for chaos testing.
+
+    A schedule is a list of timestamped fault actions applied to a
+    {!Cluster.t}: crash/restart, CPU pause/resume (the "live but slow"
+    member of the paper's expulsion discussion), network partitions
+    and transient loss bursts.  Schedules are plain data — they can be
+    generated from a seed, printed, parsed back and replayed exactly,
+    which is what lets a failing swarm-test seed be re-run from the
+    [chaos] CLI and shrunk to a minimal counterexample. *)
+
+open Amoeba_sim
+
+type action =
+  | Crash of int  (** fail-stop machine [i] *)
+  | Restart of int  (** reboot machine [i] if crashed (fresh state) *)
+  | Pause of int  (** stall machine [i]'s CPU; the wire keeps running *)
+  | Resume of int  (** release a pause *)
+  | Partition of int list * int list
+      (** cut the Ethernet between two sets of station ids *)
+  | Heal  (** remove all partition cuts *)
+  | Loss_burst of float * Time.t
+      (** [(rate, dur)]: random frame loss at [rate] for [dur], then
+          the previous loss rate is restored *)
+
+type step = { at : Time.t; action : action }
+(** [at] is absolute simulated time. *)
+
+type schedule = step list
+
+val apply : ?on_restart:(int -> unit) -> Cluster.t -> schedule -> unit
+(** Schedules every step on the cluster's engine (steps whose time has
+    already passed fire immediately).  [on_restart i] runs right after
+    machine [i] reboots, so the harness can rebuild its FLIP stack's
+    group membership. *)
+
+val random : seed:int -> n:int -> ?horizon:Time.t -> unit -> schedule
+(** A seeded random schedule for an [n]-machine cluster, with faults
+    in [50ms, horizon] (default 2s).  Pure function of [seed]: it uses
+    its own RNG, not the engine's.  Pauses are paired with resumes and
+    partitions with heals; at most [(n-1)/2] machines crash, so a
+    majority quorum always survives for recovery. *)
+
+val crash_count : schedule -> int
+(** Number of [Crash] steps (restarts not subtracted) — used to decide
+    whether r-resilience durability is guaranteed for a schedule. *)
+
+val to_string : schedule -> string
+(** One line, e.g. ["150000000:crash 0; 500000000:part 0,1/2,3; ..."].
+    Round-trips exactly through {!of_string}. *)
+
+val of_string : string -> schedule
+(** Parses {!to_string}'s format; raises [Invalid_argument] on
+    malformed input.  The result is sorted by time. *)
+
+val pp : Format.formatter -> schedule -> unit
+(** Multi-line human-readable rendering (times in ms). *)

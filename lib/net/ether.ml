@@ -35,6 +35,10 @@ type t = {
   mutable drop_fun : (Frame.t -> bool) option;
   mutable loss_rate : float;
   mutable n_lost : int;
+  cuts : (int, unit) Hashtbl.t;
+      (** severed station pairs, keyed by {!pair_key}; empty on the
+          quiet-net path so partition checks cost one length read *)
+  mutable n_partition_drops : int;
 }
 
 let create engine cost =
@@ -54,11 +58,14 @@ let create engine cost =
     drop_fun = None;
     loss_rate = 0.;
     n_lost = 0;
+    cuts = Hashtbl.create 8;
+    n_partition_drops = 0;
   }
 
-let attach t ~rx =
-  let port = { id = t.next_port; rx } in
-  t.next_port <- t.next_port + 1;
+let attach ?id t ~rx =
+  let id = match id with Some i -> i | None -> t.next_port in
+  let port = { id; rx } in
+  t.next_port <- max (id + 1) (t.next_port + 1);
   t.ports <- port :: t.ports;
   t.ports_oldest <- Array.of_list (List.rev t.ports);
   port
@@ -74,6 +81,26 @@ let injected_drop t frame =
   || (t.loss_rate > 0.
      && Random.State.float (Engine.rng t.engine) 1.0 < t.loss_rate)
 
+(* Partitions: a symmetric set of severed station pairs.  Stations stay
+   attached and keep transmitting (carrier sense and collisions are
+   physical and unaffected); delivery to a station on the far side of a
+   cut is silently suppressed, as if a bridge between segments went
+   down. *)
+let pair_key a b = if a < b then (a lsl 16) lor b else (b lsl 16) lor a
+
+let partitioned t a b = a <> b && Hashtbl.mem t.cuts (pair_key a b)
+
+let partition_pair t a b = if a <> b then Hashtbl.replace t.cuts (pair_key a b) ()
+
+let heal_pair t a b = Hashtbl.remove t.cuts (pair_key a b)
+
+let partition t side_a side_b =
+  List.iter (fun a -> List.iter (fun b -> partition_pair t a b) side_b) side_a
+
+let heal t = Hashtbl.reset t.cuts
+
+let partition_drops t = t.n_partition_drops
+
 let deliver t frame =
   if injected_drop t frame then t.n_lost <- t.n_lost + 1
   else begin
@@ -82,10 +109,19 @@ let deliver t frame =
     (* Oldest port first, for deterministic delivery order. *)
     let ports = t.ports_oldest in
     let src = frame.Frame.src in
-    for i = 0 to Array.length ports - 1 do
-      let port = Array.unsafe_get ports i in
-      if port.id <> src then port.rx frame
-    done
+    if Hashtbl.length t.cuts = 0 then
+      for i = 0 to Array.length ports - 1 do
+        let port = Array.unsafe_get ports i in
+        if port.id <> src then port.rx frame
+      done
+    else
+      for i = 0 to Array.length ports - 1 do
+        let port = Array.unsafe_get ports i in
+        if port.id <> src then
+          if partitioned t src port.id then
+            t.n_partition_drops <- t.n_partition_drops + 1
+          else port.rx frame
+      done
   end
 
 (* The contention window closes one slot time after the first station
@@ -165,6 +201,7 @@ let transmit t port frame =
 
 let set_drop_fun t f = t.drop_fun <- f
 let set_loss_rate t r = t.loss_rate <- r
+let loss_rate t = t.loss_rate
 let frames_lost t = t.n_lost
 let collisions t = t.n_collisions
 let frames_delivered t = t.n_frames

@@ -15,10 +15,13 @@ type port
 
 val create : Engine.t -> Cost_model.t -> t
 
-val attach : t -> rx:(Frame.t -> unit) -> port
+val attach : ?id:int -> t -> rx:(Frame.t -> unit) -> port
 (** [attach t ~rx] connects a station.  [rx] is invoked (outside any
     process; it must not block) for every frame another station
-    finishes transmitting. *)
+    finishes transmitting.  [id] fixes the station id explicitly — a
+    restarted machine re-attaches a fresh NIC under its old station id
+    so partitions and self-suppression keep working; by default ids
+    are assigned sequentially. *)
 
 val port_id : port -> int
 
@@ -41,8 +44,38 @@ val set_loss_rate : t -> float -> unit
     from the engine's deterministic RNG.  Composes with
     {!set_drop_fun}. *)
 
+val loss_rate : t -> float
+(** Current {!set_loss_rate} setting, so a transient burst can restore
+    whatever rate was in force before it. *)
+
 val frames_lost : t -> int
 (** Frames discarded by fault injection. *)
+
+(** {2 Partitions}
+
+    A beyond-paper extension: the paper's testbed was one shared
+    segment and only crash failures were modelled, but the recovery
+    protocol is also exercised by members that are alive yet
+    unreachable.  A partition severs a set of station {e pairs};
+    transmission succeeds (the sender observes [`Sent]) and delivery
+    to stations across a cut is silently suppressed. *)
+
+val partition : t -> int list -> int list -> unit
+(** [partition t side_a side_b] severs every pair with one station in
+    [side_a] and the other in [side_b].  Pairs are symmetric. *)
+
+val partition_pair : t -> int -> int -> unit
+
+val heal_pair : t -> int -> int -> unit
+
+val heal : t -> unit
+(** Removes every cut. *)
+
+val partitioned : t -> int -> int -> bool
+
+val partition_drops : t -> int
+(** Deliveries suppressed by partitions (counted per receiver, unlike
+    {!frames_lost} which counts whole frames). *)
 
 (** {1 Statistics} *)
 

@@ -4,21 +4,43 @@ type t = {
   engine : Engine.t;
   cost : Cost_model.t;
   trace : Trace.t;
+  ether : Ether.t;
   name : string;
   id : int;
   cpu : Resource.t;
-  nic : Nic.t;
-  alive : bool ref;  (** shared with the nic's alive closure *)
+  mutable nic : Nic.t;
+  mutable alive : bool ref;  (** shared with the nic's alive closure *)
+  mutable paused : bool;
+  mutable pause_resume : (unit -> unit) option;
+      (** wakes the process that is sitting on the CPU while paused *)
+  mutable n_restarts : int;
 }
 
-let create engine cost trace ether ~name ~id =
-  let cpu = Resource.create engine ~name:(name ^ ":cpu") in
+let fresh_nic engine cost trace ether ~name ~id ~cpu =
   let alive = ref true in
   let nic =
     Nic.create engine cost trace ether ~station:id ~host:name ~cpu
       ~alive:(fun () -> !alive)
   in
-  { engine; cost; trace; name; id; cpu; nic; alive }
+  (nic, alive)
+
+let create engine cost trace ether ~name ~id =
+  let cpu = Resource.create engine ~name:(name ^ ":cpu") in
+  let nic, alive = fresh_nic engine cost trace ether ~name ~id ~cpu in
+  {
+    engine;
+    cost;
+    trace;
+    ether;
+    name;
+    id;
+    cpu;
+    nic;
+    alive;
+    paused = false;
+    pause_resume = None;
+    n_restarts = 0;
+  }
 
 let engine t = t.engine
 let cost t = t.cost
@@ -29,6 +51,56 @@ let cpu t = t.cpu
 let nic t = t.nic
 let is_alive t = !(t.alive)
 let crash t = t.alive := false
+let is_paused t = t.paused
+let restarts t = t.n_restarts
+
+(* Pausing stalls the CPU: a dedicated process takes the resource and
+   holds it until [resume].  Everything charged to the machine — NIC
+   service, protocol layers, application threads — queues up behind
+   it, while the wire keeps delivering into the receive ring (which
+   overflows under load, as on a real wedged host).  The machine is
+   alive the whole time: this is the "live but slow" failure mode that
+   unreliable failure detection mistakes for a crash. *)
+let pause t =
+  if !(t.alive) && not t.paused then begin
+    t.paused <- true;
+    Engine.spawn t.engine (fun () ->
+        Resource.acquire t.cpu;
+        (* A resume (or restart) may have raced ahead of the acquire;
+           only park if the pause is still in force. *)
+        if t.paused then
+          Engine.suspend t.engine ~register:(fun resume ->
+              t.pause_resume <- Some resume);
+        t.pause_resume <- None;
+        Resource.release t.cpu)
+  end
+
+let resume t =
+  if t.paused then begin
+    t.paused <- false;
+    match t.pause_resume with
+    | Some r ->
+        t.pause_resume <- None;
+        r ()
+    | None -> ()
+  end
+
+(* Un-crash: the machine reboots with a fresh NIC (empty ring, no
+   multicast subscriptions, no handler) attached under its old station
+   id, and a fresh alive flag so the pre-crash NIC — and everything
+   registered on it — stays dead.  Kernel state does not survive a
+   reboot either: the owner must build a new FLIP stack and re-join
+   its groups (see Cluster.restart). *)
+let restart t =
+  if not !(t.alive) then begin
+    resume t;  (* a machine that crashed while paused must not wedge the CPU *)
+    t.n_restarts <- t.n_restarts + 1;
+    let nic, alive =
+      fresh_nic t.engine t.cost t.trace t.ether ~name:t.name ~id:t.id ~cpu:t.cpu
+    in
+    t.nic <- nic;
+    t.alive <- alive
+  end
 
 let jitter engine d = Cost_model.jitter (Engine.rng engine) d
 

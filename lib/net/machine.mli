@@ -31,8 +31,31 @@ val is_alive : t -> bool
 
 val crash : t -> unit
 (** Crash failure: the machine stops sending, receiving and
-    processing.  There is no un-crash; recovery means the group
-    rebuilds without it. *)
+    processing.  The group rebuilds without it; {!restart} models the
+    reboot that lets the host rejoin later with fresh state. *)
+
+val restart : t -> unit
+(** Reboots a crashed machine: alive again, with a {e fresh} NIC
+    (empty receive ring, no multicast subscriptions) attached under
+    the old station id.  The pre-crash NIC and everything registered
+    on it stay dead — kernel state does not survive a reboot, so the
+    owner must rebuild its FLIP stack and re-join its groups.  No-op
+    on a live machine. *)
+
+val pause : t -> unit
+(** Stalls the CPU until {!resume}: all protocol and application work
+    queues behind a held CPU while the wire keeps filling the receive
+    ring.  The machine stays alive — this is the "live but slow"
+    member that unreliable failure detection may expel.  No-op while
+    dead or already paused. *)
+
+val resume : t -> unit
+(** Releases a {!pause}.  No-op if not paused. *)
+
+val is_paused : t -> bool
+
+val restarts : t -> int
+(** Number of {!restart}s this machine has been through. *)
 
 val work : t -> layer:string -> Time.t -> unit
 (** [work t ~layer d] occupies the CPU for [d] (+/-5% deterministic

@@ -55,13 +55,19 @@ let rec service t () =
   t.in_ring <- t.in_ring - 1;
   t.n_rx <- t.n_rx + 1;
   t.n_interrupts <- t.n_interrupts + 1;
-  if t.alive () then Option.iter (fun h -> h frame) t.handler;
+  (if t.alive () then
+     match t.handler with Some h -> h frame | None -> ());
   service t ()
 
 let create engine cost trace ether ~station ~host ~cpu ~alive =
   let t_ref = ref None in
-  let rx frame = Option.iter (fun t -> on_wire_rx t frame) !t_ref in
-  let port = Ether.attach ether ~rx in
+  (* A match, not Option.iter: this runs once per frame on the wire and
+     a [fun t -> ...] capturing [frame] would allocate a closure per
+     delivery. *)
+  let rx frame =
+    match !t_ref with Some t -> on_wire_rx t frame | None -> ()
+  in
+  let port = Ether.attach ~id:station ether ~rx in
   let t =
     {
       engine;

@@ -1,0 +1,316 @@
+(* The fault-injection harness turned on itself: swarm testing over
+   seeded random fault schedules with the four delivery invariants
+   checked after every run, plus targeted scenarios for the fault
+   primitives (partitions, pause/resume, restart) and the recovery
+   counters they exercise. *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_core
+open Amoeba_harness
+module T = Types
+
+let body = Bytes.of_string
+
+let check_ok label = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" label (T.error_to_string e)
+
+let with_cluster n scenario =
+  let cl = Cluster.create ~n () in
+  let failure = ref None in
+  Cluster.spawn cl (fun () -> try scenario cl with e -> failure := Some e);
+  Cluster.run ~until:(Time.sec 2_000) cl;
+  match !failure with Some e -> raise e | None -> ()
+
+let build_auto_heal ?(resilience = 0) cl n =
+  let creator =
+    Api.create_group (Cluster.flip cl 0) ~resilience ~auto_heal:true ()
+  in
+  let addr = Api.group_address creator in
+  creator
+  :: List.init (n - 1) (fun i ->
+         check_ok "join"
+           (Api.join_group (Cluster.flip cl (i + 1)) ~resilience
+              ~auto_heal:true addr))
+
+let message_bodies g =
+  let rec drain acc =
+    match Api.receive_opt g with
+    | None -> List.rev acc
+    | Some (T.Message { body; _ }) -> drain (Bytes.to_string body :: acc)
+    | Some _ -> drain acc
+  in
+  drain []
+
+let saw_expelled g =
+  let rec drain () =
+    match Api.receive_opt g with
+    | None -> false
+    | Some T.Expelled -> true
+    | Some _ -> drain ()
+  in
+  drain ()
+
+(* ----- the swarm: random schedules x workloads, shrunk on failure ----- *)
+
+let swarm_case =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 5 >>= fun n ->
+      int_range 0 (n - 2) >>= fun r ->
+      oneofl [ T.Pb; T.Bb ] >>= fun m ->
+      int_range 0 99_999 >>= fun seed ->
+      return (n, r, m, seed, Fault.random ~seed ~n ()))
+  in
+  let print (n, r, m, seed, sched) =
+    Printf.sprintf
+      "n=%d r=%d method=%s seed=%d (replay: amoeba chaos --seed %d -m %d -r \
+       %d --method %s --schedule %S)"
+      n r
+      (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+      seed seed n r
+      (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+      (Fault.to_string sched)
+  in
+  (* Shrink only the schedule: QCheck peels steps off until the
+     smallest fault sequence that still breaks an invariant remains,
+     and [print] renders it as a chaos-CLI replay line. *)
+  let shrink (n, r, m, seed, sched) =
+    QCheck.Iter.map
+      (fun sched' -> (n, r, m, seed, sched'))
+      (QCheck.Shrink.list sched)
+  in
+  QCheck.make ~print ~shrink gen
+
+let prop_swarm_invariants =
+  QCheck.Test.make ~name:"swarm: invariants hold under random fault schedules"
+    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+      Chaos.ok
+        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched ~seed ()))
+
+let prop_schedule_roundtrip =
+  QCheck.Test.make ~name:"fault schedule survives to_string/of_string"
+    ~count:100
+    QCheck.(pair (int_range 0 99_999) (int_range 2 6))
+    (fun (seed, n) ->
+      let s = Fault.random ~seed ~n () in
+      Fault.of_string (Fault.to_string s) = s)
+
+let prop_chaos_deterministic =
+  QCheck.Test.make ~name:"chaos runs replay bit-identically from a seed"
+    ~count:12
+    QCheck.(int_range 0 9_999)
+    (fun seed ->
+      let a = Chaos.run ~seed () and b = Chaos.run ~seed () in
+      a = b)
+
+(* ----- live but slow: the expulsion case the paper warns about ----- *)
+
+let test_paused_sequencer_expelled_and_rejoins () =
+  with_cluster 4 (fun cl ->
+      let groups = build_auto_heal cl 4 in
+      let g0 = List.hd groups and g1 = List.nth groups 1 in
+      ignore (check_ok "warm" (Api.send_to_group g1 (body "before")));
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      (* The sequencer's host stalls.  It is alive — the wire still
+         fills its receive ring — but the failure detector cannot tell
+         a slow machine from a dead one, so the members rebuild the
+         group without it. *)
+      Machine.pause (Cluster.machine cl 0);
+      Engine.sleep cl.Cluster.engine (Time.sec 4);
+      let info = Api.get_info_group g1 in
+      Alcotest.(check bool)
+        "survivors expelled the stalled sequencer" false
+        (List.mem 0 info.Api.members);
+      Alcotest.(check bool)
+        "a recovery incarnation was installed" true
+        (info.Api.resets_survived > 0);
+      (* It wakes up, drains its backlog, discovers the group moved on
+         without it, and rejoins as a fresh member. *)
+      Machine.resume (Cluster.machine cl 0);
+      ignore (check_ok "post-reset send" (Api.send_to_group g1 (body "after")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check bool) "paused member learned of expulsion" true
+        (saw_expelled g0);
+      let g0' =
+        check_ok "rejoin after expulsion"
+          (Api.join_group (Cluster.flip cl 0) ~auto_heal:true
+             (Api.group_address g0))
+      in
+      ignore (check_ok "rejoined send" (Api.send_to_group g0' (body "back")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check (list string))
+        "survivor missed nothing" [ "before"; "after"; "back" ]
+        (message_bodies g1))
+
+let test_paused_member_catches_up () =
+  with_cluster 3 (fun cl ->
+      let groups = build_auto_heal cl 3 in
+      let g1 = List.nth groups 1 and g2 = List.nth groups 2 in
+      (* A stalled plain member is never probed, so it is not
+         expelled; once it resumes, negative acknowledgements close
+         the gap its nap left. *)
+      Machine.pause (Cluster.machine cl 2);
+      for k = 1 to 5 do
+        ignore (check_ok "send" (Api.send_to_group g1 (body (string_of_int k))))
+      done;
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      Machine.resume (Cluster.machine cl 2);
+      ignore (check_ok "flush" (Api.send_to_group g1 (body "f")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check (list string))
+        "resumed member has the whole stream"
+        [ "1"; "2"; "3"; "4"; "5"; "f" ]
+        (message_bodies g2))
+
+(* ----- resilience under frame loss ----- *)
+
+let test_resilient_sends_under_loss () =
+  with_cluster 4 (fun cl ->
+      let groups = build_auto_heal ~resilience:2 cl 4 in
+      let g1 = List.nth groups 1 in
+      Ether.set_loss_rate cl.Cluster.ether 0.15;
+      List.iteri
+        (fun i g ->
+          Cluster.spawn cl (fun () ->
+              for k = 1 to 4 do
+                ignore
+                  (check_ok "lossy send"
+                     (Api.send_to_group g (body (Printf.sprintf "o%d.%d" i k))))
+              done))
+        groups;
+      Engine.sleep cl.Cluster.engine (Time.sec 5);
+      Ether.set_loss_rate cl.Cluster.ether 0.;
+      ignore (check_ok "flush" (Api.send_to_group g1 (body "flush")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      let streams = List.map message_bodies groups in
+      let reference = List.hd streams in
+      Alcotest.(check int) "every send delivered" 17 (List.length reference);
+      List.iteri
+        (fun i s ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "member %d agrees" i)
+            reference s)
+        streams;
+      (* The repair machinery did real work and reports it through
+         GetInfoGroup. *)
+      let nacks =
+        List.fold_left
+          (fun acc g -> acc + (Api.get_info_group g).Api.nacks_sent)
+          0 groups
+      and retrans =
+        List.fold_left
+          (fun acc g -> acc + (Api.get_info_group g).Api.retransmissions)
+          0 groups
+      in
+      Alcotest.(check bool) "loss provoked nacks" true (nacks > 0);
+      Alcotest.(check bool) "nacks provoked retransmissions" true (retrans > 0))
+
+(* ----- fault primitives ----- *)
+
+let test_partition_blocks_then_heals () =
+  with_cluster 3 (fun cl ->
+      let groups = build_auto_heal cl 3 in
+      let g0 = List.hd groups and g2 = List.nth groups 2 in
+      Ether.partition cl.Cluster.ether [ 2 ] [ 0; 1 ];
+      ignore (check_ok "cut send" (Api.send_to_group g0 (body "cut")));
+      Engine.sleep cl.Cluster.engine (Time.ms 200);
+      Alcotest.(check (list string)) "isolated member saw nothing" []
+        (message_bodies g2);
+      Alcotest.(check bool) "drops were counted" true
+        (Ether.partition_drops cl.Cluster.ether > 0);
+      Ether.heal cl.Cluster.ether;
+      ignore (check_ok "healed send" (Api.send_to_group g0 (body "healed")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check (list string))
+        "gap repaired after heal" [ "cut"; "healed" ] (message_bodies g2))
+
+let test_restarted_machine_rejoins_fresh () =
+  with_cluster 3 (fun cl ->
+      let groups = build_auto_heal cl 3 in
+      let g0 = List.hd groups in
+      ignore (check_ok "pre" (Api.send_to_group g0 (body "pre")));
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      Machine.crash (Cluster.machine cl 2);
+      ignore (check_ok "reset" (Api.reset_group g0 ~min_members:2));
+      Cluster.restart cl 2;
+      Alcotest.(check bool) "machine is back" true
+        (Machine.is_alive (Cluster.machine cl 2));
+      Alcotest.(check int) "one reboot" 1
+        (Machine.restarts (Cluster.machine cl 2));
+      let g2' =
+        check_ok "rejoin on rebooted machine"
+          (Api.join_group (Cluster.flip cl 2) ~auto_heal:true
+             (Api.group_address g0))
+      in
+      ignore (check_ok "post" (Api.send_to_group g0 (body "post")));
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      (* Fresh state: the reboot joined a group whose history started
+         after the crash — it must see post-restart traffic only. *)
+      Alcotest.(check (list string))
+        "rebooted member sees only new traffic" [ "post" ]
+        (message_bodies g2'))
+
+(* ----- the checker detects what it claims to detect ----- *)
+
+let msg ~seq ~sender b = T.Message { seq; sender; body = Bytes.of_string b }
+let stream label events = { Checker.label; events; full = true }
+
+let test_checker_catches_violations () =
+  let ok v = v.Checker.ok in
+  Alcotest.(check bool) "divergent order flagged" false
+    (ok
+       (Checker.total_order
+          [
+            stream "a" [ msg ~seq:1 ~sender:0 "x" ];
+            stream "b" [ msg ~seq:1 ~sender:0 "y" ];
+          ]));
+  Alcotest.(check bool) "duplicate body flagged" false
+    (ok
+       (Checker.no_dup_no_skip
+          [ stream "a" [ msg ~seq:1 ~sender:0 "x"; msg ~seq:2 ~sender:0 "x" ] ]));
+  Alcotest.(check bool) "skipped seq flagged" false
+    (ok
+       (Checker.no_dup_no_skip
+          [ stream "a" [ msg ~seq:1 ~sender:0 "x"; msg ~seq:3 ~sender:0 "y" ] ]));
+  Alcotest.(check bool) "lost completed send flagged" false
+    (ok
+       (Checker.durability
+          ~streams:[ stream "a" [ msg ~seq:1 ~sender:0 "o0.1" ] ]
+          ~completed:[ (0, "o0.1"); (1, "o1.1") ]));
+  Alcotest.(check bool) "incarnation regression flagged" false
+    (ok
+       (Checker.monotone_incarnations
+          [
+            stream "a"
+              [
+                T.Group_reset { seq = 5; incarnation = 9; members = [ 0 ] };
+                T.Group_reset { seq = 9; incarnation = 7; members = [ 0 ] };
+              ];
+          ]));
+  (* An expelled stream's divergent tail is not a violation. *)
+  Alcotest.(check bool) "expelled stream excluded from agreement" true
+    (ok
+       (Checker.total_order
+          [
+            stream "a" [ msg ~seq:1 ~sender:0 "x" ];
+            stream "b" [ msg ~seq:1 ~sender:0 "y"; T.Expelled ];
+          ]))
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let rand = Random.State.make [| 0xC4A05 |] in
+  ( "chaos",
+    [
+      tc "paused sequencer expelled, rejoins"
+        test_paused_sequencer_expelled_and_rejoins;
+      tc "paused member catches up" test_paused_member_catches_up;
+      tc "r=2 sends survive frame loss" test_resilient_sends_under_loss;
+      tc "partition blocks then heals" test_partition_blocks_then_heals;
+      tc "restarted machine rejoins fresh" test_restarted_machine_rejoins_fresh;
+      tc "checker catches violations" test_checker_catches_violations;
+      QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
+      QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;
+      QCheck_alcotest.to_alcotest ~rand prop_chaos_deterministic;
+    ] )

@@ -15,4 +15,5 @@ let () =
       Test_grouplib.suite;
       Test_orca.suite;
       Test_harness.suite;
+      Test_chaos.suite;
     ]
