@@ -1,9 +1,19 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos clean
+.PHONY: all build test bench bench-smoke chaos check clean
 
 all: build
+
+# Everything a pre-merge run needs: formatting gate (dune files; see
+# dune-project), full build, the test suites, and the chaos/bench
+# smoke aliases.
+check:
+	dune build @fmt
+	dune build
+	dune runtest
+	dune build @chaos-smoke
+	dune build @bench-smoke
 
 build:
 	dune build

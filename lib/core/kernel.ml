@@ -103,6 +103,13 @@ type t = {
   flip : Flip.t;
   machine : Machine.t;
   engine : Engine.t;
+  k_group : Engine.group;
+      (** the machine's lifecycle group at kernel creation; the kernel
+          loop and every armed timer go through it, so a crash cancels
+          them all.  Operations like [create_group]/[join_group] run in
+          the caller's fiber (often the orchestrator's group), which is
+          why arming passes the group explicitly instead of relying on
+          inheritance. *)
   cost : Cost_model.t;
   cfg : config;
   gaddr : Addr.t;
@@ -279,8 +286,13 @@ let timer_jitter t d =
   let spread = d / 5 in
   d - (spread / 2) + Random.State.int (Engine.rng t.engine) (max 1 spread)
 
+(* All tick arming goes through the kernel's lifecycle group: these
+   helpers are also reached from fibers of other groups (create_group /
+   join_group run in the caller's fiber), and a timer that outlives its
+   machine's crash would be a zombie. *)
+
 let arm_resend t ~msgid =
-  Engine.schedule t.engine
+  Engine.schedule ~group:t.k_group t.engine
     ~after:(timer_jitter t t.cost.retrans_timeout_ns)
     (fun () -> Channel.send t.inbox (Resend_tick msgid))
 
@@ -289,33 +301,33 @@ let arm_repair t =
     t.repair_armed <- true;
     t.repair_mark <- t.nxt;
     ignore
-      (Engine.schedule t.engine
+      (Engine.schedule ~group:t.k_group t.engine
          ~after:(timer_jitter t t.cost.nack_timeout_ns)
          (fun () -> Channel.send t.inbox Repair_tick))
   end
 
 let arm_solicit t =
   ignore
-    (Engine.schedule t.engine ~after:t.cost.nack_timeout_ns (fun () ->
-         Channel.send t.inbox Solicit_tick))
+    (Engine.schedule ~group:t.k_group t.engine ~after:t.cost.nack_timeout_ns
+       (fun () -> Channel.send t.inbox Solicit_tick))
 
 let arm_leave_retry t ~tries =
   ignore
-    (Engine.schedule t.engine
+    (Engine.schedule ~group:t.k_group t.engine
        ~after:(timer_jitter t t.cost.retrans_timeout_ns)
        (fun () -> Channel.send t.inbox (Leave_tick tries)))
 
 let arm_heal t =
   if t.cfg.auto_heal then
     ignore
-      (Engine.schedule t.engine
+      (Engine.schedule ~group:t.k_group t.engine
          ~after:(timer_jitter t (2 * t.cost.probe_timeout_ns))
          (fun () -> Channel.send t.inbox Heal_tick))
 
 let arm_reset_tick t epoch ~after =
   ignore
-    (Engine.schedule t.engine ~after:(timer_jitter t after) (fun () ->
-         Channel.send t.inbox (Reset_tick epoch)))
+    (Engine.schedule ~group:t.k_group t.engine ~after:(timer_jitter t after)
+       (fun () -> Channel.send t.inbox (Reset_tick epoch)))
 
 (* ----- negative acknowledgements (member side) ----- *)
 
@@ -1034,7 +1046,8 @@ let handle_invite t ~inc ~coord ~coord_addr =
       (* If the recovery never reaches us with a new configuration, we
          were declared dead: give up and report expulsion. *)
       ignore
-        (Engine.schedule t.engine ~after:(10 * t.cost.probe_timeout_ns)
+        (Engine.schedule ~group:t.k_group t.engine
+           ~after:(10 * t.cost.probe_timeout_ns)
            (fun () -> Channel.send t.inbox (Frozen_tick inc)))
     end;
     unicast t ~dst:coord_addr
@@ -1355,6 +1368,7 @@ let make flip ~cfg ~gaddr =
       flip;
       machine;
       engine = Machine.engine machine;
+      k_group = Machine.group machine;
       cost = Machine.cost machine;
       cfg;
       gaddr;
@@ -1402,7 +1416,7 @@ let make flip ~cfg ~gaddr =
       match p.Packet.body with
       | Wire.Group msg -> Channel.send t.inbox (Net (msg, p.Packet.src))
       | _ -> ());
-  Engine.spawn t.engine (kernel_loop t);
+  Engine.spawn ~group:t.k_group t.engine (kernel_loop t);
   t
 
 let create_group flip ?(config = default_config) () =

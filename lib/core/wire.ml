@@ -55,21 +55,51 @@ type Amoeba_flip.Packet.body += Group of msg
 let payload_size (c : Amoeba_net.Cost_model.t) p =
   c.header_user + payload_bytes p
 
+(* Uniform on-the-wire accounting: every constructor field is charged
+   — scalars (mids, seqnos, msgids, incarnations, nonces) as 4-byte
+   words, FLIP addresses as 8 bytes, booleans as a flag byte, member
+   entries as mid + address, payloads via [payload_size].  The fixed
+   group-layer envelope (type tag, destination group, checksum) is
+   [c.header_group], added once at the end. *)
+let word = 4
+let addr_bytes = 8
+let member_bytes = word + addr_bytes
+
 let size (c : Amoeba_net.Cost_model.t) msg =
   let body =
     match msg with
+    | Req _ | Bb_data _ -> 4 * word  (* sender, msgid, piggy, inc *)
+    | Data _ -> (4 * word) + 1  (* seq, sender, msgid, inc + accept flag *)
+    | Accept _ -> 4 * word  (* seq, sender, msgid, inc *)
+    | Ack_tent _ -> 3 * word  (* seq, from, inc *)
+    | Nack _ -> 4 * word  (* from, expected, piggy, inc *)
+    | Status_req _ -> word  (* inc *)
+    | Status _ -> 3 * word  (* from, piggy, inc *)
+    | Ping _ | Pong _ -> word  (* nonce *)
+    | Join_req _ -> addr_bytes  (* kaddr *)
+    | Leave_req _ -> word  (* mid *)
+    | Invite _ -> (2 * word) + addr_bytes  (* inc, coord, coord_addr *)
+    | Invite_ack _ -> 3 * word  (* mid, last_stable, inc *)
+    | Fetch _ -> 2 * word  (* from_seq, upto *)
+    | Join_reply { members; _ } ->
+        (* mid, inc, next_seq, seq_mid + member table *)
+        (4 * word) + (List.length members * member_bytes)
+    | New_config { members; _ } ->
+        (* inc, seq_mid, last_seq + member table *)
+        (3 * word) + (List.length members * member_bytes)
+    | Fetch_reply { entries } ->
+        (* per entry: seq, sender, msgid + payload *)
+        List.fold_left
+          (fun acc e -> acc + (3 * word) + payload_size c e.History.payload)
+          0 entries
+  in
+  let payload =
+    match msg with
     | Req { payload; _ } | Data { payload; _ } | Bb_data { payload; _ } ->
         payload_size c payload
-    | Accept _ | Ack_tent _ | Nack _ | Status_req _ | Status _ | Ping _
-    | Pong _ | Leave_req _ | Invite _ | Invite_ack _ | Fetch _ ->
-        0
-    | Join_req _ -> 8
-    | Join_reply { members; _ } | New_config { members; _ } ->
-        8 + (List.length members * 12)
-    | Fetch_reply { entries } ->
-        List.fold_left (fun acc e -> acc + 8 + payload_size c e.History.payload) 0 entries
+    | _ -> 0
   in
-  c.header_group + body
+  c.header_group + body + payload
 
 let describe = function
   | Req _ -> "req"

@@ -58,53 +58,38 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
   let streams = ref [] in
   let completed = ref [] in
   let started = ref 0 and n_ok = ref 0 and n_err = ref 0 in
-  (* The application dies with its machine: a crash is fail-stop for
-     the whole host, even though kernel processes keep ticking in the
-     simulation with their NIC gated off.  Anything a zombie kernel
-     self-delivers after the crash (an ex-sequencer still sequences
-     locally) must not count as observed delivery or completion, and
-     the old application does not come back on restart — a reboot
-     starts a fresh member.  [app_alive] captures one machine
-     incarnation. *)
-  let app_alive i =
-    let m = Cluster.machine c i in
-    let gen = Machine.restarts m in
-    fun () -> Machine.is_alive m && Machine.restarts m = gen
-  in
+  (* Application processes run *on* their machine ([Cluster.spawn_on]):
+     a crash is fail-stop for the whole host, so collectors and senders
+     are crash-stopped with it by the engine's process groups — no
+     application-layer liveness checks needed.  The old application
+     does not come back on restart; a reboot starts a fresh member. *)
   let add_stream label full i g =
     groups := g :: !groups;
-    let alive = app_alive i in
     let evs = ref [] in
     streams := (label, evs, full) :: !streams;
-    Cluster.spawn c (fun () ->
+    Cluster.spawn_on c i (fun () ->
         let rec collect () =
           let e = Api.receive_from_group g in
-          if alive () then begin
-            evs := e :: !evs;
-            match e with Expelled -> () | _ -> collect ()
-          end
+          evs := e :: !evs;
+          match e with Expelled -> () | _ -> collect ()
         in
         collect ())
   in
-  let record_send alive mid body g =
-    if alive () then begin
-      incr started;
-      match Api.send_to_group g (Bytes.of_string body) with
-      | Ok _ when alive () ->
-          incr n_ok;
-          completed := (mid, body) :: !completed
-      | Ok _ -> ()
-      | Error _ -> if alive () then incr n_err
-    end
+  let record_send mid body g =
+    incr started;
+    match Api.send_to_group g (Bytes.of_string body) with
+    | Ok _ ->
+        incr n_ok;
+        completed := (mid, body) :: !completed
+    | Error _ -> incr n_err
   in
   let spawn_sender i g =
-    let alive = app_alive i in
     let mid = (Api.get_info_group g).Api.my_mid in
     let gap = max (Time.ms 1) (horizon * 2 / 3 / max 1 msgs) in
-    Cluster.spawn c (fun () ->
+    Cluster.spawn_on c i (fun () ->
         Engine.sleep eng (Time.ms 30 + (mid * Time.ms 7));
         for k = 1 to msgs do
-          record_send alive mid (Printf.sprintf "o%d.%d" mid k) g;
+          record_send mid (Printf.sprintf "o%d.%d" mid k) g;
           Engine.sleep eng gap
         done)
   in
@@ -113,11 +98,10 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
      tail of the stream a later sequence number to notice the gap
      against, so NACK repair can run before the invariants are read. *)
   let spawn_flush i g =
-    let alive = app_alive i in
     let mid = (Api.get_info_group g).Api.my_mid in
-    Cluster.spawn c (fun () ->
+    Cluster.spawn_on c i (fun () ->
         Engine.sleep eng (max 0 (horizon + Time.sec 3 - Engine.now eng));
-        record_send alive mid (Printf.sprintf "o%d.%d" mid (msgs + 1)) g)
+        record_send mid (Printf.sprintf "o%d.%d" mid (msgs + 1)) g)
   in
   Cluster.spawn c (fun () ->
       let g0 =
@@ -141,8 +125,10 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
       done;
       (* Rebooted machines come back with fresh state and rejoin as
          new members; their streams are partial, never "full". *)
+      (* The rejoin runs on the rebooted machine's fresh group: if the
+         host crashes again mid-join, the joiner dies with it. *)
       let on_restart i =
-        Cluster.spawn c (fun () ->
+        Cluster.spawn_on c i (fun () ->
             match
               Api.join_group (Cluster.flip c i) ~resilience ~send_method
                 ~auto_heal:true addr

@@ -37,5 +37,11 @@ let restart t i =
     t.flips.(i) <- Flip.create t.machines.(i)
   end
 let spawn t f = Engine.spawn t.engine f
+
+(* Run an application process *on* machine [i]: it joins the machine's
+   current lifecycle group, so it is crash-stopped with its host (and
+   does not come back on restart — reboots start fresh processes). *)
+let spawn_on t i f =
+  Engine.spawn ~group:(Machine.group t.machines.(i)) t.engine f
 let run ?until t = Engine.run ?until t.engine
 let now t = Engine.now t.engine

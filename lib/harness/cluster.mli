@@ -32,6 +32,14 @@ val restart : t -> int -> unit
     on a live machine. *)
 
 val spawn : t -> (unit -> unit) -> unit
+(** Spawns an orchestration process in the engine's root group: it
+    survives machine crashes (use it for the test driver itself). *)
+
+val spawn_on : t -> int -> (unit -> unit) -> unit
+(** [spawn_on t i f] runs [f] as an application process {e on} machine
+    [i]: it joins the machine's current lifecycle group and is
+    crash-stopped with its host.  It does not come back on restart —
+    a reboot starts fresh processes. *)
 
 val run : ?until:Time.t -> t -> unit
 

@@ -141,8 +141,14 @@ let commit t since =
               ~bytes_on_wire:winner.frame.Frame.size_on_wire
           in
           t.busy_ns <- t.busy_ns + duration;
+          (* Wire state-machine events run in the root group: the
+             medium is shared infrastructure, so a transmitting
+             machine's crash must not cancel the event that returns
+             the wire to Idle (that would wedge every station), and
+             bits already committed to the wire are delivered even if
+             their sender dies mid-flight. *)
           ignore
-            (Engine.schedule t.engine
+            (Engine.schedule ~group:(Engine.root_group t.engine) t.engine
                ~after:(since + duration - Engine.now t.engine)
                (fun () ->
                  t.state <- Idle;
@@ -154,7 +160,9 @@ let commit t since =
           t.state <- Busy;
           t.busy_ns <- t.busy_ns + t.cost.jam_ns;
           ignore
-            (Engine.schedule t.engine ~after:t.cost.jam_ns (fun () ->
+            (Engine.schedule ~group:(Engine.root_group t.engine) t.engine
+               ~after:t.cost.jam_ns
+               (fun () ->
                  t.state <- Idle;
                  List.iter (fun i -> Ivar.fill i.result Collided) losers;
                  wake_all t)))
@@ -184,8 +192,9 @@ let transmit t port frame =
           let since = Engine.now t.engine in
           t.state <- Contending { since; intents = [ intent ] };
           ignore
-            (Engine.schedule t.engine ~after:t.cost.slot_time_ns (fun () ->
-                 commit t since));
+            (Engine.schedule ~group:(Engine.root_group t.engine) t.engine
+               ~after:t.cost.slot_time_ns
+               (fun () -> commit t since));
           await intent n
     end
   and await intent n =

@@ -7,8 +7,11 @@ type t = {
   ether : Ether.t;
   name : string;
   id : int;
-  cpu : Resource.t;
+  mutable cpu : Resource.t;
   mutable nic : Nic.t;
+  mutable group : Engine.group;
+      (** lifecycle group of the current incarnation: kernel loop, NIC
+          service, timers, app processes spawned on this machine *)
   mutable alive : bool ref;  (** shared with the nic's alive closure *)
   mutable paused : bool;
   mutable pause_resume : (unit -> unit) option;
@@ -16,17 +19,18 @@ type t = {
   mutable n_restarts : int;
 }
 
-let fresh_nic engine cost trace ether ~name ~id ~cpu =
+let fresh_nic engine cost trace ether ~group ~name ~id ~cpu =
   let alive = ref true in
   let nic =
-    Nic.create engine cost trace ether ~station:id ~host:name ~cpu
+    Nic.create engine cost trace ether ~group ~station:id ~host:name ~cpu
       ~alive:(fun () -> !alive)
   in
   (nic, alive)
 
 let create engine cost trace ether ~name ~id =
+  let group = Engine.create_group engine ~label:(name ^ "/0") in
   let cpu = Resource.create engine ~name:(name ^ ":cpu") in
-  let nic, alive = fresh_nic engine cost trace ether ~name ~id ~cpu in
+  let nic, alive = fresh_nic engine cost trace ether ~group ~name ~id ~cpu in
   {
     engine;
     cost;
@@ -36,6 +40,7 @@ let create engine cost trace ether ~name ~id =
     id;
     cpu;
     nic;
+    group;
     alive;
     paused = false;
     pause_resume = None;
@@ -49,8 +54,20 @@ let name t = t.name
 let id t = t.id
 let cpu t = t.cpu
 let nic t = t.nic
+let group t = t.group
 let is_alive t = !(t.alive)
-let crash t = t.alive := false
+
+(* Crash-stop: gate the NIC *and* cancel the machine's whole process
+   group — kernel loop, armed timers, channel waiters, app processes.
+   A crashed machine contributes zero engine events afterwards. *)
+let crash t =
+  if !(t.alive) then begin
+    t.alive := false;
+    t.paused <- false;
+    t.pause_resume <- None;
+    Engine.cancel_group t.engine t.group
+  end
+
 let is_paused t = t.paused
 let restarts t = t.n_restarts
 
@@ -64,7 +81,7 @@ let restarts t = t.n_restarts
 let pause t =
   if !(t.alive) && not t.paused then begin
     t.paused <- true;
-    Engine.spawn t.engine (fun () ->
+    Engine.spawn ~group:t.group t.engine (fun () ->
         Resource.acquire t.cpu;
         (* A resume (or restart) may have raced ahead of the acquire;
            only park if the pause is still in force. *)
@@ -85,18 +102,27 @@ let resume t =
     | None -> ()
   end
 
-(* Un-crash: the machine reboots with a fresh NIC (empty ring, no
-   multicast subscriptions, no handler) attached under its old station
-   id, and a fresh alive flag so the pre-crash NIC — and everything
-   registered on it — stays dead.  Kernel state does not survive a
-   reboot either: the owner must build a new FLIP stack and re-join
-   its groups (see Cluster.restart). *)
+(* Un-crash: the machine reboots under a fresh lifecycle group (the
+   restart generation is part of its label), with a fresh CPU — the old
+   one may still be "held" by a fiber that died mid-consume and will
+   never release it — and a fresh NIC (empty ring, no multicast
+   subscriptions, no handler) attached under its old station id.  The
+   fresh alive flag keeps the pre-crash NIC — and everything registered
+   on it — dead.  Kernel state does not survive a reboot either: the
+   owner must build a new FLIP stack and re-join its groups (see
+   Cluster.restart). *)
 let restart t =
   if not !(t.alive) then begin
-    resume t;  (* a machine that crashed while paused must not wedge the CPU *)
+    t.paused <- false;
+    t.pause_resume <- None;
     t.n_restarts <- t.n_restarts + 1;
+    t.group <-
+      Engine.create_group t.engine
+        ~label:(Printf.sprintf "%s/%d" t.name t.n_restarts);
+    t.cpu <- Resource.create t.engine ~name:(t.name ^ ":cpu");
     let nic, alive =
-      fresh_nic t.engine t.cost t.trace t.ether ~name:t.name ~id:t.id ~cpu:t.cpu
+      fresh_nic t.engine t.cost t.trace t.ether ~group:t.group ~name:t.name
+        ~id:t.id ~cpu:t.cpu
     in
     t.nic <- nic;
     t.alive <- alive

@@ -24,23 +24,34 @@ val id : t -> int
 (** Station id on the Ethernet. *)
 
 val cpu : t -> Resource.t
+(** The CPU of the {e current} incarnation ({!restart} replaces it, so
+    don't cache across a reboot). *)
 
 val nic : t -> Nic.t
+
+val group : t -> Engine.group
+(** Lifecycle group of the current incarnation.  Spawn kernel loops,
+    timers and machine-resident application processes into it so that
+    {!crash} halts them. *)
 
 val is_alive : t -> bool
 
 val crash : t -> unit
-(** Crash failure: the machine stops sending, receiving and
-    processing.  The group rebuilds without it; {!restart} models the
-    reboot that lets the host rejoin later with fresh state. *)
+(** Crash-stop failure: gates the NIC {e and} cancels the machine's
+    lifecycle group, so the kernel loop, armed timers, channel waiters
+    and machine-resident processes all halt — a crashed machine
+    contributes zero engine events until {!restart}.  The group
+    rebuilds without it; {!restart} models the reboot that lets the
+    host rejoin later with fresh state.  No-op when already dead. *)
 
 val restart : t -> unit
-(** Reboots a crashed machine: alive again, with a {e fresh} NIC
-    (empty receive ring, no multicast subscriptions) attached under
-    the old station id.  The pre-crash NIC and everything registered
-    on it stay dead — kernel state does not survive a reboot, so the
-    owner must rebuild its FLIP stack and re-join its groups.  No-op
-    on a live machine. *)
+(** Reboots a crashed machine: alive again, under a {e fresh}
+    lifecycle group (labelled with the restart generation), with a
+    fresh CPU and a fresh NIC (empty receive ring, no multicast
+    subscriptions) attached under the old station id.  The pre-crash
+    group and everything in it stay dead — kernel state does not
+    survive a reboot, so the owner must rebuild its FLIP stack and
+    re-join its groups.  No-op on a live machine. *)
 
 val pause : t -> unit
 (** Stalls the CPU until {!resume}: all protocol and application work

@@ -59,7 +59,7 @@ let rec service t () =
      match t.handler with Some h -> h frame | None -> ());
   service t ()
 
-let create engine cost trace ether ~station ~host ~cpu ~alive =
+let create engine cost trace ether ~group ~station ~host ~cpu ~alive =
   let t_ref = ref None in
   (* A match, not Option.iter: this runs once per frame on the wire and
      a [fun t -> ...] capturing [frame] would allocate a closure per
@@ -91,7 +91,10 @@ let create engine cost trace ether ~station ~host ~cpu ~alive =
     }
   in
   t_ref := Some t;
-  Engine.spawn engine (service t);
+  (* The service process belongs to the machine's lifecycle group, so a
+     crash halts it (and any fiber it runs the rx handler in) outright
+     rather than leaving it draining the ring behind a dead NIC gate. *)
+  Engine.spawn ~group engine (service t);
   t
 
 let station t = t.station

@@ -17,11 +17,15 @@ val create :
   Cost_model.t ->
   Trace.t ->
   Ether.t ->
+  group:Engine.group ->
   station:int ->
   host:string ->
   cpu:Resource.t ->
   alive:(unit -> bool) ->
   t
+(** [group] is the owning machine's lifecycle group: the NIC's service
+    process is spawned into it, so crash-stopping the machine halts
+    frame processing (not just the [alive] gate). *)
 
 val station : t -> int
 

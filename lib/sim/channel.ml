@@ -1,5 +1,6 @@
 type entry = {
   mutable active : bool;
+  group : Engine.group;
   resume : unit -> unit;
 }
 
@@ -10,12 +11,15 @@ type 'a t = {
 
 let create () = { items = Queue.create (); readers = Queue.create () }
 
-(* Skip entries deactivated by a receive timeout, otherwise a stale
-   entry would swallow the wakeup meant for a live reader. *)
+(* Skip entries deactivated by a receive timeout, and entries whose
+   process group has been crash-stopped — either kind of stale entry
+   would otherwise swallow the wakeup meant for a live reader. *)
 let rec wake_one t =
   match Queue.take_opt t.readers with
   | None -> ()
-  | Some e -> if e.active then e.resume () else wake_one t
+  | Some e ->
+      if e.active && Engine.group_alive e.group then e.resume ()
+      else wake_one t
 
 let send t v =
   Queue.push v t.items;
@@ -28,7 +32,9 @@ let rec recv eng t =
   | Some v -> v
   | None ->
       Engine.suspend eng ~register:(fun resume ->
-          Queue.push { active = true; resume } t.readers);
+          Queue.push
+            { active = true; group = Engine.current_group eng; resume }
+            t.readers);
       recv eng t
 
 let try_recv t = Queue.take_opt t.items
@@ -42,7 +48,9 @@ let recv_timeout eng t ~timeout =
         if Engine.now eng >= deadline then None
         else begin
           Engine.suspend eng ~register:(fun resume ->
-              let entry = { active = true; resume } in
+              let entry =
+                { active = true; group = Engine.current_group eng; resume }
+              in
               Queue.push entry t.readers;
               ignore
                 (Engine.schedule eng ~after:(deadline - Engine.now eng)

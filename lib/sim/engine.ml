@@ -1,4 +1,5 @@
 type handle = Timer_wheel.ev
+type group = Timer_wheel.group
 
 type t = {
   mutable clock : Time.t;
@@ -7,9 +8,13 @@ type t = {
   random : Random.State.t;
   mutable error : exn option;
   mutable steps : int;
+  root : group;
+  mutable current : group;  (* group of the event being executed *)
+  mutable next_gid : int;
 }
 
 let create ?(seed = 0xA0EBA) () =
+  let root = Timer_wheel.make_group ~gid:0 ~label:"root" in
   {
     clock = Time.zero;
     next_seq = 0;
@@ -17,17 +22,51 @@ let create ?(seed = 0xA0EBA) () =
     random = Random.State.make [| seed |];
     error = None;
     steps = 0;
+    root;
+    current = root;
+    next_gid = 1;
   }
 
 let now t = t.clock
 let rng t = t.random
 let step_count t = t.steps
 
-let schedule t ~after run =
+(* ---- process groups ---- *)
+
+let root_group t = t.root
+let current_group t = t.current
+
+let create_group t ~label =
+  let gid = t.next_gid in
+  t.next_gid <- gid + 1;
+  Timer_wheel.make_group ~gid ~label
+
+let cancel_group t g =
+  if g != t.root then Timer_wheel.cancel_group_events t.queue g
+
+let group_alive (g : group) = g.Timer_wheel.alive
+let group_label (g : group) = g.Timer_wheel.label
+let group_events (g : group) = g.Timer_wheel.events_run
+
+let with_group t g f =
+  let saved = t.current in
+  t.current <- g;
+  Fun.protect ~finally:(fun () -> t.current <- saved) f
+
+(* ---- scheduling ---- *)
+
+let schedule ?group t ~after run =
   assert (after >= 0);
+  let g = match group with Some g -> g | None -> t.current in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Timer_wheel.schedule t.queue ~time:(t.clock + after) ~seq run
+  let ev =
+    Timer_wheel.schedule t.queue ~time:(t.clock + after) ~seq ~group:g run
+  in
+  (* Scheduling into a dead group yields an inert (cancelled) event, so
+     late resumes and stray arming after a crash cannot revive it. *)
+  if not (group_alive g) then Timer_wheel.cancel ev;
+  ev
 
 let cancel ev = Timer_wheel.cancel ev
 
@@ -49,11 +88,22 @@ let run_fiber t f =
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  (* The handler runs at perform time, so [t.current]
+                     is the suspending process's own group; capturing
+                     it here (not at resume time) keeps the
+                     continuation owned by its machine even when a
+                     fiber of another group wakes it. *)
+                  let g = t.current in
                   let fired = ref false in
                   let resume () =
                     if not !fired then begin
                       fired := true;
-                      ignore (schedule t ~after:0 (fun () -> continue k ()))
+                      if group_alive g then
+                        ignore
+                          (schedule ~group:g t ~after:0 (fun () ->
+                               continue k ()))
+                      (* Dead group: drop the continuation.  The fiber
+                         is killed at its suspension point. *)
                     end
                   in
                   register resume)
@@ -62,7 +112,8 @@ let run_fiber t f =
   in
   match_with f () handler
 
-let spawn t ?(after = 0) f = ignore (schedule t ~after (fun () -> run_fiber t f))
+let spawn ?group t ?(after = 0) f =
+  ignore (schedule ?group t ~after (fun () -> run_fiber t f))
 
 let run ?until t =
   let stop_after = match until with None -> max_int | Some u -> u in
@@ -82,7 +133,11 @@ let run ?until t =
                 if not ev.Timer_wheel.cancelled then begin
                   t.clock <- ev.Timer_wheel.time;
                   t.steps <- t.steps + 1;
-                  ev.Timer_wheel.run ()
+                  let g = ev.Timer_wheel.group in
+                  Timer_wheel.note_ran g;
+                  t.current <- g;
+                  ev.Timer_wheel.run ();
+                  t.current <- t.root
                 end;
                 loop ()))
   in

@@ -15,6 +15,14 @@ type t
 type handle
 (** A cancellable reference to a scheduled event. *)
 
+type group
+(** A process group: the unit of crash-stop cancellation.  Every event
+    and process belongs to exactly one group; {!spawn} and {!schedule}
+    inherit the group of the process that calls them unless told
+    otherwise.  {!cancel_group} kills a group: its pending events are
+    swept, its blocked processes are dropped at their suspension
+    points, and anything later scheduled into it is stillborn. *)
+
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] makes a fresh engine whose clock reads 0. *)
 
@@ -24,16 +32,55 @@ val now : t -> Time.t
 val rng : t -> Random.State.t
 (** The engine's deterministic random state. *)
 
-val schedule : t -> after:Time.t -> (unit -> unit) -> handle
+(** {1 Process groups} *)
+
+val root_group : t -> group
+(** The always-alive default group.  Top-level code, shared
+    infrastructure (e.g. the wire itself) and orchestration live
+    here; {!cancel_group} on it is a no-op. *)
+
+val create_group : t -> label:string -> group
+(** A fresh alive group.  [label] is for diagnostics (e.g.
+    ["m2/1"] for machine m2's first restart incarnation). *)
+
+val cancel_group : t -> group -> unit
+(** Crash-stop the group: marks it dead and cancels every pending
+    event that belongs to it (timers, queued resumes) in one pass.
+    Blocked processes of the group are killed lazily — their resume
+    becomes a no-op — and subsequent scheduling into the group is
+    inert.  Idempotent. *)
+
+val group_alive : group -> bool
+
+val group_label : group -> string
+
+val group_events : group -> int
+(** Number of events of this group the engine has executed — the
+    per-group accounting used to assert that a crashed machine
+    contributes exactly zero events afterwards. *)
+
+val current_group : t -> group
+(** The group of the currently-executing event (the root group when
+    called outside {!run}). *)
+
+val with_group : t -> group -> (unit -> 'a) -> 'a
+(** [with_group t g f] runs [f] with [g] as the current group, so
+    spawns/schedules inside [f] inherit [g].  Restores the previous
+    current group on exit. *)
+
+val schedule : ?group:group -> t -> after:Time.t -> (unit -> unit) -> handle
 (** [schedule t ~after f] arranges for [f] to run at [now t + after].
-    [f] runs outside any process; it must not block. *)
+    [f] runs outside any process; it must not block.  The event joins
+    [group] (default: the caller's group); if that group is dead the
+    event is created already cancelled. *)
 
 val cancel : handle -> unit
 (** Cancelling an already-fired or cancelled event is a no-op. *)
 
-val spawn : t -> ?after:Time.t -> (unit -> unit) -> unit
-(** [spawn t f] starts a new process running [f].  [f] may block.  An
-    exception escaping [f] aborts the simulation: {!run} re-raises it. *)
+val spawn : ?group:group -> t -> ?after:Time.t -> (unit -> unit) -> unit
+(** [spawn t f] starts a new process running [f] in [group] (default:
+    the caller's group).  [f] may block.  An exception escaping [f]
+    aborts the simulation: {!run} re-raises it. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Runs events until the queue is empty, or until the clock would

@@ -1,7 +1,7 @@
 type t = {
   engine : Engine.t;
   label : string;
-  waiters : (unit -> unit) Queue.t;
+  waiters : (Engine.group * (unit -> unit)) Queue.t;
   mutable held : bool;
   mutable held_since : Time.t;
   mutable busy_total : Time.t;
@@ -27,13 +27,23 @@ let acquire t =
   else
     (* Ownership is handed off directly by [release], so once resumed
        the caller owns the resource. *)
-    Engine.suspend t.engine ~register:(fun resume -> Queue.push resume t.waiters)
+    Engine.suspend t.engine ~register:(fun resume ->
+        Queue.push (Engine.current_group t.engine, resume) t.waiters)
+
+(* Handoff must skip waiters whose group was crash-stopped: a dead
+   fiber can never release, so handing it the resource would wedge
+   every live waiter behind it. *)
+let rec pop_live q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some (g, resume) ->
+      if Engine.group_alive g then Some resume else pop_live q
 
 let release t =
   if not t.held then invalid_arg "Resource.release: not held";
   t.busy_total <- t.busy_total + (Engine.now t.engine - t.held_since);
   t.held_since <- Engine.now t.engine;
-  match Queue.take_opt t.waiters with
+  match pop_live t.waiters with
   | Some resume -> resume ()
   | None -> t.held <- false
 

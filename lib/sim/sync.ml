@@ -1,8 +1,22 @@
+(* All waiter queues record the waiter's process group; handoff-style
+   wakeups (mutex unlock, semaphore release) skip waiters whose group
+   has been crash-stopped, otherwise a dead fiber would be handed
+   ownership it can never pass on and wedge every live waiter behind
+   it. *)
+
+let push_waiter eng q resume = Queue.push (Engine.current_group eng, resume) q
+
+let rec pop_live q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some (g, resume) ->
+      if Engine.group_alive g then Some resume else pop_live q
+
 module Mutex = struct
   type t = {
     engine : Engine.t;
     mutable held : bool;
-    waiters : (unit -> unit) Queue.t;
+    waiters : (Engine.group * (unit -> unit)) Queue.t;
   }
 
   let create engine = { engine; held = false; waiters = Queue.create () }
@@ -13,11 +27,11 @@ module Mutex = struct
       (* Ownership is handed off by unlock, so a woken waiter owns the
          mutex when it resumes. *)
       Engine.suspend t.engine ~register:(fun resume ->
-          Queue.push resume t.waiters)
+          push_waiter t.engine t.waiters resume)
 
   let unlock t =
     if not t.held then invalid_arg "Sync.Mutex.unlock: not held";
-    match Queue.take_opt t.waiters with
+    match pop_live t.waiters with
     | Some resume -> resume ()
     | None -> t.held <- false
 
@@ -36,7 +50,7 @@ module Semaphore = struct
   type t = {
     engine : Engine.t;
     mutable n : int;
-    waiters : (unit -> unit) Queue.t;
+    waiters : (Engine.group * (unit -> unit)) Queue.t;
   }
 
   let create engine n =
@@ -48,7 +62,7 @@ module Semaphore = struct
     else
       (* The released unit is handed to the woken waiter directly. *)
       Engine.suspend t.engine ~register:(fun resume ->
-          Queue.push resume t.waiters)
+          push_waiter t.engine t.waiters resume)
 
   let try_acquire t =
     if t.n > 0 then begin
@@ -58,7 +72,7 @@ module Semaphore = struct
     else false
 
   let release t =
-    match Queue.take_opt t.waiters with
+    match pop_live t.waiters with
     | Some resume -> resume ()
     | None -> t.n <- t.n + 1
 
@@ -68,24 +82,26 @@ end
 module Condition = struct
   type t = {
     engine : Engine.t;
-    waiters : (unit -> unit) Queue.t;
+    waiters : (Engine.group * (unit -> unit)) Queue.t;
   }
 
   let create engine = { engine; waiters = Queue.create () }
 
   let wait t mutex =
     Engine.suspend t.engine ~register:(fun resume ->
-        Queue.push resume t.waiters;
+        push_waiter t.engine t.waiters resume;
         (* Release only after registering, so a signal between unlock
            and sleep cannot be lost. *)
         Mutex.unlock mutex);
     Mutex.lock mutex
 
   let signal t =
-    match Queue.take_opt t.waiters with Some resume -> resume () | None -> ()
+    match pop_live t.waiters with Some resume -> resume () | None -> ()
 
   let broadcast t =
-    Queue.iter (fun resume -> resume ()) t.waiters;
+    Queue.iter
+      (fun (g, resume) -> if Engine.group_alive g then resume ())
+      t.waiters;
     Queue.clear t.waiters
 end
 
@@ -94,7 +110,7 @@ module Barrier = struct
     engine : Engine.t;
     parties : int;
     mutable arrived : int;
-    mutable waiters : (unit -> unit) list;  (** newest first *)
+    mutable waiters : (Engine.group * (unit -> unit)) list;  (** newest first *)
   }
 
   let create engine ~parties =
@@ -108,12 +124,12 @@ module Barrier = struct
       let wake = List.rev t.waiters in
       t.waiters <- [];
       t.arrived <- 0;
-      List.iter (fun resume -> resume ()) wake;
+      List.iter (fun (g, resume) -> if Engine.group_alive g then resume ()) wake;
       index
     end
     else begin
       Engine.suspend t.engine ~register:(fun resume ->
-          t.waiters <- resume :: t.waiters);
+          t.waiters <- (Engine.current_group t.engine, resume) :: t.waiters);
       index
     end
 end

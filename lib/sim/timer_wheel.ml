@@ -28,10 +28,23 @@ let wheel_slots = 1 lsl wheel_bits
 let wheel_mask = wheel_slots - 1
 let l1_bits = l0_bits + wheel_bits
 
+(* A process group: the unit of crash-stop cancellation.  Every event
+   belongs to exactly one group (the engine supplies a root group for
+   ungrouped work, so the hot path never tests an option).  The record
+   lives here rather than in Engine to avoid a dependency cycle; the
+   engine re-exports it abstractly. *)
+type group = {
+  gid : int;
+  label : string;
+  mutable alive : bool;
+  mutable events_run : int;  (* events of this group the engine has run *)
+}
+
 type ev = {
   time : Time.t;
   seq : int;
   run : unit -> unit;
+  group : group;
   mutable cancelled : bool;
   mutable queued : bool;  (* still inside some level of the structure *)
   owner : t;
@@ -73,6 +86,8 @@ let create () =
 let length t = t.size
 let is_empty t = t.size = 0
 let cancelled_pending t = t.cancelled_count
+let make_group ~gid ~label = { gid; label; alive = true; events_run = 0 }
+let note_ran g = g.events_run <- g.events_run + 1
 
 (* ---- due heap (monomorphic; compares inline on int time/seq) ---- *)
 
@@ -153,8 +168,10 @@ let add t e =
     else Pqueue.push t.overflow e
   end
 
-let schedule t ~time ~seq run =
-  let e = { time; seq; run; cancelled = false; queued = false; owner = t } in
+let schedule t ~time ~seq ~group run =
+  let e =
+    { time; seq; run; group; cancelled = false; queued = false; owner = t }
+  in
   add t e;
   e
 
@@ -334,3 +351,35 @@ let cancel e =
       if t.cancelled_count * 2 > t.size && t.size >= 64 then sweep t
     end
   end
+
+(* ---- group cancellation ---- *)
+
+(* Cancel every pending event of [g] in one O(queue) pass.  Crashes
+   are rare, so a full walk beats per-event handle tracking (which
+   would cost an allocation on every schedule).  Wheel levels are
+   marked lazily; overflow events are removed outright because the
+   compact already pays for the traversal. *)
+let cancel_group_events t g =
+  g.alive <- false;
+  let mark e =
+    if e.group == g && not e.cancelled then begin
+      e.cancelled <- true;
+      t.cancelled_count <- t.cancelled_count + 1
+    end
+  in
+  for i = 0 to t.due_size - 1 do
+    mark t.due.(i)
+  done;
+  for s = 0 to wheel_slots - 1 do
+    List.iter mark t.l0.(s);
+    List.iter mark t.l1.(s)
+  done;
+  Pqueue.compact t.overflow ~keep:(fun e ->
+      if e.group == g then begin
+        if e.cancelled then t.cancelled_count <- t.cancelled_count - 1;
+        e.queued <- false;
+        t.size <- t.size - 1;
+        false
+      end
+      else true);
+  if t.cancelled_count * 2 > t.size && t.size >= 64 then sweep t

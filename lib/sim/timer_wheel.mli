@@ -14,10 +14,23 @@
 
 type t
 
+type group = private {
+  gid : int;
+  label : string;
+  mutable alive : bool;
+  mutable events_run : int;
+}
+(** A process group — the unit of crash-stop cancellation.  Created
+    via {!make_group} (the engine wraps this in its own API); killed
+    by {!cancel_group_events}.  [events_run] is bumped by the engine
+    for every event of the group it executes, giving per-group event
+    accounting. *)
+
 type ev = private {
   time : Time.t;
   seq : int;
   run : unit -> unit;
+  group : group;
   mutable cancelled : bool;
   mutable queued : bool;
   owner : t;
@@ -36,10 +49,22 @@ val cancelled_pending : t -> int
 (** Queued events that are cancelled but not yet dropped (for tests
     and diagnostics of the lazy-deletion accounting). *)
 
-val schedule : t -> time:Time.t -> seq:int -> (unit -> unit) -> ev
+val make_group : gid:int -> label:string -> group
+(** A fresh, alive group with a zero event count. *)
+
+val note_ran : group -> unit
+(** Increment the group's [events_run] counter (engine run loop). *)
+
+val schedule : t -> time:Time.t -> seq:int -> group:group -> (unit -> unit) -> ev
 (** Allocates an event and inserts it.  [time] must be >= the time of
     the last popped event; [seq] must be unique and increasing (the
     engine uses its scheduling counter). *)
+
+val cancel_group_events : t -> group -> unit
+(** Kill the group: mark it dead and cancel every pending event that
+    belongs to it, in one O(queue) pass over all levels.  New events
+    scheduled into a dead group must be cancelled by the caller (the
+    engine does this). *)
 
 val cancel : ev -> unit
 (** Lazy deletion: marks the event; it is skipped or dropped later.

@@ -5,31 +5,72 @@ type span = {
   stop : Time.t;
 }
 
+(* Retained spans live in a fixed-capacity ring so a long (chaos-scale)
+   traced run cannot grow memory without bound; per-layer totals are
+   accumulated as spans are recorded, so [by_layer] stays exact even
+   after old spans have been evicted from the ring. *)
 type t = {
   mutable enabled : bool;
-  mutable recorded : span list;  (** newest first *)
+  cap : int;
+  mutable ring : span array;  (* dummy-initialised; [count] slots valid *)
+  mutable head : int;  (* next write position *)
+  mutable count : int;  (* valid spans, <= cap *)
+  mutable n_recorded : int;  (* total ever recorded since last clear *)
+  totals : (string, Time.t ref) Hashtbl.t;
+  mutable layer_order : string list;  (* first-seen, newest first *)
 }
 
-let create () = { enabled = false; recorded = [] }
+let dummy_span = { layer = ""; host = ""; start = 0; stop = 0 }
+let default_cap = 65_536
+
+let create ?(cap = default_cap) () =
+  if cap <= 0 then invalid_arg "Trace.create: cap must be positive";
+  {
+    enabled = false;
+    cap;
+    ring = [||];
+    head = 0;
+    count = 0;
+    n_recorded = 0;
+    totals = Hashtbl.create 8;
+    layer_order = [];
+  }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
-let clear t = t.recorded <- []
+
+let clear t =
+  t.ring <- [||];
+  t.head <- 0;
+  t.count <- 0;
+  t.n_recorded <- 0;
+  Hashtbl.reset t.totals;
+  t.layer_order <- []
 
 let record t eng ~layer ~host d =
   if t.enabled then begin
+    if Array.length t.ring = 0 then t.ring <- Array.make t.cap dummy_span;
     let stop = Engine.now eng in
-    t.recorded <- { layer; host; start = stop - d; stop } :: t.recorded
+    t.ring.(t.head) <- { layer; host; start = stop - d; stop };
+    t.head <- (t.head + 1) mod t.cap;
+    if t.count < t.cap then t.count <- t.count + 1;
+    t.n_recorded <- t.n_recorded + 1;
+    (match Hashtbl.find_opt t.totals layer with
+    | Some r -> r := !r + d
+    | None ->
+        Hashtbl.add t.totals layer (ref d);
+        t.layer_order <- layer :: t.layer_order)
   end
 
-let spans t = List.rev t.recorded
+let recorded t = t.n_recorded
+let retained t = t.count
+
+let spans t =
+  (* Oldest retained first.  When the ring has wrapped, the oldest
+     span sits at [head]; before wrapping, at 0. *)
+  let start = if t.count < t.cap then 0 else t.head in
+  List.init t.count (fun i -> t.ring.((start + i) mod t.cap))
 
 let by_layer t =
-  let totals = Hashtbl.create 8 in
-  let order = ref [] in
-  let add { layer; start; stop; _ } =
-    if not (Hashtbl.mem totals layer) then order := layer :: !order;
-    let prev = Option.value ~default:0 (Hashtbl.find_opt totals layer) in
-    Hashtbl.replace totals layer (prev + (stop - start))
-  in
-  List.iter add (spans t);
-  List.rev_map (fun layer -> (layer, Hashtbl.find totals layer)) !order
+  List.rev_map (fun layer -> (layer, !(Hashtbl.find t.totals layer)))
+    t.layer_order

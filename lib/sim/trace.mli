@@ -2,7 +2,13 @@
 
     Layers of the simulated communication stack record spans (who
     spent how long where) when tracing is enabled.  The Table 3
-    reproduction sums the spans of a single SendToGroup by layer. *)
+    reproduction sums the spans of a single SendToGroup by layer.
+
+    Span retention is bounded: spans are kept in a fixed-capacity ring
+    (oldest evicted first) so long chaos-scale traced runs cannot grow
+    memory without bound.  Per-layer totals are accumulated at record
+    time, so {!by_layer} is exact over {e every} span recorded since
+    the last {!clear}, evicted or not. *)
 
 type span = {
   layer : string;  (** e.g. "user", "group", "flip", "ether" *)
@@ -13,21 +19,30 @@ type span = {
 
 type t
 
-val create : unit -> t
-(** Tracing starts disabled. *)
+val create : ?cap:int -> unit -> t
+(** Tracing starts disabled.  [cap] bounds the number of retained
+    spans (default 65536); it must be positive. *)
 
 val enable : t -> unit
 
 val disable : t -> unit
 
 val clear : t -> unit
+(** Drops retained spans and resets the running totals. *)
 
 val record : t -> Engine.t -> layer:string -> host:string -> Time.t -> unit
 (** [record t eng ~layer ~host d] records a span of duration [d]
     ending now.  No-op when disabled. *)
 
 val spans : t -> span list
-(** Recorded spans, oldest first. *)
+(** Retained spans, oldest first — at most [cap], the newest ones. *)
+
+val recorded : t -> int
+(** Spans recorded since the last {!clear}, including evicted ones. *)
+
+val retained : t -> int
+(** Spans currently retained (= [min recorded cap]). *)
 
 val by_layer : t -> (string * Time.t) list
-(** Total duration per layer, in first-seen order. *)
+(** Total duration per layer over all recorded spans (evicted ones
+    included), in first-seen order. *)

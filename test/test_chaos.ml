@@ -170,7 +170,11 @@ let test_resilient_sends_under_loss () =
   with_cluster 4 (fun cl ->
       let groups = build_auto_heal ~resilience:2 cl 4 in
       let g1 = List.nth groups 1 in
-      Ether.set_loss_rate cl.Cluster.ether 0.15;
+      (* High enough to provoke nack/retransmission repair, low enough
+         that no send exhausts its bounded retries (probe_retries
+         attempts) under this seed — a send that loses every attempt
+         legitimately errors with Sequencer_unreachable. *)
+      Ether.set_loss_rate cl.Cluster.ether 0.12;
       List.iteri
         (fun i g ->
           Cluster.spawn cl (fun () ->
@@ -252,6 +256,42 @@ let test_restarted_machine_rejoins_fresh () =
         "rebooted member sees only new traffic" [ "post" ]
         (message_bodies g2'))
 
+let test_crashed_machine_schedules_zero_events () =
+  (* The zombie-kernel property itself, asserted through the engine's
+     per-group accounting rather than protocol symptoms: after
+     Machine.crash the machine's process group is dead and never runs
+     another event, no matter how much the survivors do. *)
+  with_cluster 3 (fun cl ->
+      let groups = build_auto_heal cl 3 in
+      let g0 = List.hd groups in
+      ignore (check_ok "warm" (Api.send_to_group g0 (body "w")));
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      let m2 = Cluster.machine cl 2 in
+      let dead = Machine.group m2 in
+      Machine.crash m2;
+      let at_crash = Engine.group_events dead in
+      Alcotest.(check bool) "group dead after crash" false
+        (Engine.group_alive dead);
+      (* Drive activity that would tickle a zombie: a recovery, fresh
+         traffic, and several heartbeat periods. *)
+      ignore (check_ok "reset" (Api.reset_group g0 ~min_members:2));
+      for k = 1 to 5 do
+        ignore (check_ok "post" (Api.send_to_group g0 (body (string_of_int k))))
+      done;
+      Engine.sleep cl.Cluster.engine (Time.sec 10);
+      Alcotest.(check int) "crashed machine ran zero events" at_crash
+        (Engine.group_events dead);
+      (* A restart is a new group, not a resurrection of the old one. *)
+      Cluster.restart cl 2;
+      let fresh = Machine.group m2 in
+      Alcotest.(check bool) "restart builds a fresh live group" true
+        ((not (fresh == dead)) && Engine.group_alive fresh);
+      Alcotest.(check bool) "old group stays dead" false
+        (Engine.group_alive dead);
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      Alcotest.(check int) "dead group still at zero after restart" at_crash
+        (Engine.group_events dead))
+
 (* ----- the checker detects what it claims to detect ----- *)
 
 let msg ~seq ~sender b = T.Message { seq; sender; body = Bytes.of_string b }
@@ -309,6 +349,8 @@ let suite =
       tc "r=2 sends survive frame loss" test_resilient_sends_under_loss;
       tc "partition blocks then heals" test_partition_blocks_then_heals;
       tc "restarted machine rejoins fresh" test_restarted_machine_rejoins_fresh;
+      tc "crashed machine schedules zero events"
+        test_crashed_machine_schedules_zero_events;
       tc "checker catches violations" test_checker_catches_violations;
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
       QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;

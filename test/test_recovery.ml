@@ -292,6 +292,125 @@ let test_auto_heal_recovers_without_reset_call () =
   Cluster.run ~until:(Time.sec 60) cl;
   match !failure with Some e -> raise e | None -> ()
 
+(* ----- directed regressions for two swarm-found recovery bugs -----
+
+   Both were found by the chaos swarm and fixed in the kernel's Frozen
+   state handling; these tests pin them down by name.  A non-member
+   machine forges kernel-to-kernel messages through its own FLIP stack
+   (registering a fake coordinator address so Invite_ack replies
+   resolve), which lets a test freeze a victim at will. *)
+
+module Flip = Amoeba_flip.Flip
+module Packet = Amoeba_flip.Packet
+
+(* An incarnation one era up, "coordinated" by a member id that does
+   not exist; high enough to freeze era-0 kernels. *)
+let forged_inc = (1 lsl 20) lor 9
+
+let make_injector cl i =
+  let flip = Cluster.flip cl i in
+  let coord_addr = Flip.fresh_addr flip in
+  Flip.register flip coord_addr (fun _ -> ());
+  let inject ~dst msg =
+    match
+      Flip.send flip
+        (Packet.make ~src:coord_addr ~dst
+           ~size:(Wire.size cl.Cluster.cost msg)
+           (Wire.Group msg))
+    with
+    | `Sent -> ()
+    | `No_route -> Alcotest.fail "injection: no route to victim"
+    | `Dropped -> Alcotest.fail "injection: wire dropped the packet"
+  in
+  (coord_addr, inject)
+
+let test_frozen_member_ignores_old_incarnation_traffic () =
+  (* Regression: a frozen member used to keep processing Data, Accept
+     and Bb_data from the incarnation it froze out of, advancing its
+     delivery frontier past what it had reported to the recovery
+     coordinator. *)
+  with_cluster 3 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        check_ok "join" (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      ignore (check_ok "warm" (Api.send_to_group g0 (body "w")));
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      Alcotest.(check (list string)) "warm delivery" [ "w" ] (message_bodies g1);
+      let k1 = Api.kernel g1 in
+      let info = Api.get_info_group g1 in
+      let seq0 = info.Api.next_seq and inc0 = info.Api.incarnation in
+      let coord_addr, inject = make_injector cl 2 in
+      ignore coord_addr;
+      (* Freeze member 1: an invite for a higher incarnation. *)
+      inject ~dst:(Kernel.kernel_addr k1)
+        (Wire.Invite { inc = forged_inc; coord = 9; coord_addr });
+      Engine.sleep cl.Cluster.engine (Time.ms 20);
+      (* Old-incarnation traffic at the frozen member.  The Data seq is
+         exactly the frontier, so a kernel with the bug delivers it on
+         the spot. *)
+      let payload = T.User (body "zombie") in
+      inject ~dst:(Kernel.kernel_addr k1)
+        (Wire.Data
+           { seq = seq0; sender = 0; msgid = 999; inc = inc0; payload;
+             needs_accept = false });
+      inject ~dst:(Kernel.kernel_addr k1)
+        (Wire.Accept { seq = seq0; sender = 0; msgid = 999; inc = inc0 });
+      inject ~dst:(Kernel.kernel_addr k1)
+        (Wire.Bb_data
+           { sender = 0; msgid = 1000; piggy = seq0 - 1; inc = inc0; payload });
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      Alcotest.(check int) "frontier unmoved while frozen" seq0
+        (Api.get_info_group g1).Api.next_seq;
+      Alcotest.(check (list string)) "nothing delivered while frozen" []
+        (message_bodies g1);
+      (* The forged recovery never completes, so the freeze resolves as
+         an expulsion — which doubles as proof the invite took hold. *)
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      Alcotest.(check bool) "frozen member concludes expelled" false
+        (Kernel.alive k1))
+
+let test_frozen_sequencer_defers_queued_sends () =
+  (* Regression: a sender co-located with the sequencer used to
+     self-assign sequence numbers even while Frozen, injecting new
+     messages into the incarnation a recovery was tearing down. *)
+  with_cluster 3 (fun cl ->
+      let g0 = Api.create_group (Cluster.flip cl 0) () in
+      let g1 =
+        check_ok "join" (Api.join_group (Cluster.flip cl 1) (Api.group_address g0))
+      in
+      ignore (check_ok "warm" (Api.send_to_group g1 (body "w")));
+      Engine.sleep cl.Cluster.engine (Time.ms 100);
+      Alcotest.(check (list string)) "warm delivery" [ "w" ] (message_bodies g1);
+      let k0 = Api.kernel g0 in
+      let seq0 = (Api.get_info_group g0).Api.next_seq in
+      let coord_addr, inject = make_injector cl 2 in
+      (* Freeze the sequencer's kernel. *)
+      inject ~dst:(Kernel.kernel_addr k0)
+        (Wire.Invite { inc = forged_inc; coord = 9; coord_addr });
+      Engine.sleep cl.Cluster.engine (Time.ms 20);
+      (* A send submitted on the sequencer's machine while frozen must
+         stay pending, not self-sequence. *)
+      let result = ref None in
+      Cluster.spawn cl (fun () ->
+          result := Some (Api.send_to_group g0 (body "late")));
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      Alcotest.(check int) "no sequence number handed out" seq0
+        (Api.get_info_group g0).Api.next_seq;
+      Alcotest.(check bool) "send still pending" true (!result = None);
+      Alcotest.(check (list string)) "member saw no frozen-era traffic" []
+        (message_bodies g1);
+      (* The forged coordinator never installs a new configuration, so
+         the frozen kernel concludes it was expelled and aborts the
+         queued send instead of sequencing it. *)
+      Engine.sleep cl.Cluster.engine (Time.sec 2);
+      match !result with
+      | Some (Error T.Send_aborted) -> ()
+      | Some (Ok _) -> Alcotest.fail "send was sequenced into a dead incarnation"
+      | Some (Error e) ->
+          Alcotest.failf "unexpected send outcome: %s" (T.error_to_string e)
+      | None -> Alcotest.fail "send still blocked after expulsion")
+
 let prop_survivors_agree_after_random_crash =
   QCheck.Test.make ~name:"survivors agree after a random crash + reset" ~count:8
     QCheck.(pair (int_range 3 5) (int_range 0 1000))
@@ -349,5 +468,9 @@ let suite =
       tc "acker crash then reset unblocks" test_acker_crash_then_reset_unblocks;
       tc "auto-heal recovers without a reset call"
         test_auto_heal_recovers_without_reset_call;
+      tc "frozen member ignores old-incarnation traffic"
+        test_frozen_member_ignores_old_incarnation_traffic;
+      tc "frozen sequencer defers queued sends"
+        test_frozen_sequencer_defers_queued_sends;
       QCheck_alcotest.to_alcotest prop_survivors_agree_after_random_crash;
     ] )

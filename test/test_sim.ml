@@ -392,9 +392,11 @@ let test_wheel_heavy_cancellation () =
 
 let test_wheel_cancelled_accounting () =
   let w = Timer_wheel.create () in
+  let g = Timer_wheel.make_group ~gid:0 ~label:"test" in
   let evs =
     List.init 10 (fun i ->
-        Timer_wheel.schedule w ~time:(1000 * (i + 1)) ~seq:i (fun () -> ()))
+        Timer_wheel.schedule w ~time:(1000 * (i + 1)) ~seq:i ~group:g (fun () ->
+            ()))
   in
   List.iteri (fun i e -> if i < 5 then Timer_wheel.cancel e) evs;
   (* Cancelling twice, or after the fact, must not double-count. *)
@@ -415,6 +417,64 @@ let test_wheel_cancelled_accounting () =
   Alcotest.(check int) "live events survived" 5 !live;
   Alcotest.(check int) "accounting drained" 0 (Timer_wheel.cancelled_pending w);
   Alcotest.(check bool) "empty" true (Timer_wheel.is_empty w)
+
+(* ----- process groups: the crash-stop unit ----- *)
+
+let test_cancel_group_kills_pending_timers () =
+  let eng = Engine.create () in
+  let g = Engine.create_group eng ~label:"victim" in
+  let fired = ref 0 and root_fired = ref 0 in
+  for i = 1 to 5 do
+    ignore (Engine.schedule ~group:g eng ~after:(i * 10) (fun () -> incr fired))
+  done;
+  ignore (Engine.schedule eng ~after:25 (fun () -> Engine.cancel_group eng g));
+  ignore (Engine.schedule eng ~after:100 (fun () -> incr root_fired));
+  Engine.run eng;
+  Alcotest.(check int) "events before the cancel ran" 2 !fired;
+  Alcotest.(check int) "root group unaffected" 1 !root_fired;
+  Alcotest.(check bool) "group dead" false (Engine.group_alive g)
+
+let test_cancel_group_kills_blocked_process () =
+  let eng = Engine.create () in
+  let g = Engine.create_group eng ~label:"victim" in
+  let ch = Channel.create () in
+  let got = ref None in
+  Engine.spawn ~group:g eng (fun () -> got := Some (Channel.recv eng ch));
+  ignore (Engine.schedule eng ~after:10 (fun () -> Engine.cancel_group eng g));
+  ignore (Engine.schedule eng ~after:20 (fun () -> Channel.send ch 42));
+  Engine.run eng;
+  Alcotest.(check bool) "blocked process never resumed" true (!got = None)
+
+let test_schedule_into_dead_group_is_inert () =
+  let eng = Engine.create () in
+  let g = Engine.create_group eng ~label:"victim" in
+  Engine.cancel_group eng g;
+  let fired = ref false in
+  ignore (Engine.schedule ~group:g eng ~after:5 (fun () -> fired := true));
+  (* with_group makes the dead group current; scheduling inherits it. *)
+  Engine.with_group eng g (fun () ->
+      ignore (Engine.schedule eng ~after:5 (fun () -> fired := true)));
+  Engine.run eng;
+  Alcotest.(check bool) "stillborn events" false !fired
+
+let test_group_inheritance_and_accounting () =
+  let eng = Engine.create () in
+  let g = Engine.create_group eng ~label:"child" in
+  let seen = ref [] in
+  Engine.spawn ~group:g eng (fun () ->
+      seen := Engine.group_label (Engine.current_group eng) :: !seen;
+      (* A process spawned without an explicit group inherits its
+         parent's, even across a sleep. *)
+      Engine.spawn eng (fun () ->
+          Engine.sleep eng 10;
+          seen := Engine.group_label (Engine.current_group eng) :: !seen));
+  Engine.run eng;
+  Alcotest.(check (list string)) "inherited group" [ "child"; "child" ]
+    (List.rev !seen);
+  Alcotest.(check bool) "events accounted to the group" true
+    (Engine.group_events g >= 2);
+  Alcotest.(check string) "root is current outside events" "root"
+    (Engine.group_label (Engine.current_group eng))
 
 let prop_pqueue_compact =
   QCheck.Test.make ~name:"pqueue compact matches filtered sorted model"
@@ -497,6 +557,11 @@ let suite =
       tc "timer wheel spans all levels" test_wheel_spans_levels;
       tc "timer wheel heavy cancellation" test_wheel_heavy_cancellation;
       tc "timer wheel cancel accounting" test_wheel_cancelled_accounting;
+      tc "cancel_group kills pending timers" test_cancel_group_kills_pending_timers;
+      tc "cancel_group kills blocked process"
+        test_cancel_group_kills_blocked_process;
+      tc "schedule into dead group is inert" test_schedule_into_dead_group_is_inert;
+      tc "group inheritance and accounting" test_group_inheritance_and_accounting;
       QCheck_alcotest.to_alcotest prop_pqueue_sorted;
       QCheck_alcotest.to_alcotest prop_pqueue_compact;
       QCheck_alcotest.to_alcotest prop_wheel_nested_scheduling;

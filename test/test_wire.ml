@@ -11,28 +11,46 @@ let c = Cost_model.default
 let user_msg payload =
   Wire.Req { sender = 1; msgid = 1; piggy = 0; inc = 0; payload = T.User payload }
 
+(* Uniform accounting: scalar fields are 4-byte words, addresses 8
+   bytes, flags 1 byte, on top of the fixed 28-byte group envelope. *)
+
 let test_data_sizes () =
-  (* group header 28 + user header 32 + payload *)
-  Alcotest.(check int) "0-byte request" 60 (Wire.size c (user_msg Bytes.empty));
-  Alcotest.(check int) "1 KB request" (60 + 1024)
+  (* group header 28 + sender/msgid/piggy/inc 16 + user header 32 *)
+  Alcotest.(check int) "0-byte request" 76 (Wire.size c (user_msg Bytes.empty));
+  Alcotest.(check int) "1 KB request" (76 + 1024)
     (Wire.size c (user_msg (Bytes.create 1024)));
   let data =
     Wire.Data
       { seq = 9; sender = 1; msgid = 1; inc = 0; payload = T.User Bytes.empty;
         needs_accept = false }
   in
-  Alcotest.(check int) "data equals request framing" 60 (Wire.size c data)
+  (* Data trades piggy for seq and adds the accept flag byte. *)
+  Alcotest.(check int) "data framing is request + flag" 77 (Wire.size c data)
 
 let test_control_messages_are_short () =
   (* The paper: protocol header size independent of group size, and
-     the accept is a short message. *)
+     the accept is a short message.  Control messages now charge their
+     scalar fields, but stay well under a payload-bearing frame. *)
   let accept = Wire.Accept { seq = 1; sender = 0; msgid = 1; inc = 0 } in
   let nack = Wire.Nack { from = 1; expected = 5; piggy = 4; inc = 0 } in
   let ack = Wire.Ack_tent { seq = 1; from = 2; inc = 0 } in
   List.iter
-    (fun m ->
-      Alcotest.(check int) (Wire.describe m) c.header_group (Wire.size c m))
-    [ accept; nack; ack ]
+    (fun (m, fields) ->
+      Alcotest.(check int) (Wire.describe m)
+        (c.header_group + (4 * fields))
+        (Wire.size c m))
+    [ (accept, 4); (nack, 4); (ack, 3) ];
+  (* Uniformity across control/membership messages that carry
+     addresses: an invite and a join request both charge the 8-byte
+     address they carry. *)
+  let addr = Amoeba_flip.Addr.of_int 3 in
+  Alcotest.(check int) "invite = 2 words + addr"
+    (c.header_group + 8 + 8)
+    (Wire.size c (Wire.Invite { inc = 1; coord = 0; coord_addr = addr }));
+  Alcotest.(check int) "join_req = addr" (c.header_group + 8)
+    (Wire.size c (Wire.Join_req { kaddr = addr }));
+  Alcotest.(check int) "fetch = 2 words" (c.header_group + 8)
+    (Wire.size c (Wire.Fetch { from_seq = 1; upto = 5 }))
 
 let test_full_header_stack_is_116 () =
   (* Ethernet 14 + flow control 2 + FLIP 40 + group 28 + user 32. *)
@@ -41,7 +59,8 @@ let test_full_header_stack_is_116 () =
   let on_wire =
     above_flip + c.header_ether + c.header_flow_control + c.header_flip
   in
-  Alcotest.(check int) "0-byte message on the wire" 116 on_wire
+  (* The 116 header bytes plus the request's four scalar fields. *)
+  Alcotest.(check int) "0-byte message on the wire" (116 + 16) on_wire
 
 let test_membership_payload_scales_with_members () =
   let members n = List.init n (fun i -> (i, Amoeba_flip.Addr.of_int i)) in
