@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net check clean
 
 all: build
 
@@ -35,6 +35,13 @@ bench-smoke:
 #   dune exec bin/amoeba.exe -- chaos --seed N
 chaos:
 	dune build @chaos-smoke
+
+# Invariant-checked runs under persistent adversarial link conditions
+# (also part of `dune runtest` via the chaos-net-smoke alias).  Replay
+# with e.g.
+#   dune exec bin/amoeba.exe -- chaos --seed N --net adversarial
+chaos-net:
+	dune build @chaos-net-smoke
 
 clean:
 	dune clean

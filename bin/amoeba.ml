@@ -26,6 +26,63 @@ let method_conv =
   in
   Arg.conv (parse, print)
 
+(* Named profiles of persistent link conditions for the delay and
+   chaos commands: the same shapes the adversarial swarm test uses, so
+   any profile can be replayed from the command line.  The bursty-*
+   variants vary Gilbert–Elliott burst severity for the
+   loss-vs-delivery-delay table in EXPERIMENTS.md. *)
+let net_profiles =
+  let open Amoeba_net.Ether in
+  let burst p_gb p_bg loss_bad =
+    { clean with gilbert = Some { p_gb; p_bg; loss_good = 0.005; loss_bad } }
+  in
+  [
+    ("clean", clean);
+    ("bursty-light", burst 0.01 0.4 0.3);
+    ("bursty", burst 0.02 0.25 0.6);
+    ("bursty-heavy", burst 0.05 0.15 0.9);
+    ("dup", { clean with dup_prob = 0.05 });
+    ("reorder", { clean with jitter_ns = Amoeba_sim.Time.ms 3 });
+    ("corrupt", { clean with corrupt_prob = 0.02 });
+    ( "adversarial",
+      {
+        gilbert =
+          Some { p_gb = 0.01; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
+        dup_prob = 0.05;
+        jitter_ns = Amoeba_sim.Time.ms 2;
+        corrupt_prob = 0.01;
+      } );
+  ]
+
+let net_conv =
+  let parse s =
+    match List.assoc_opt s net_profiles with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown net profile %S (%s)" s
+               (String.concat "|" (List.map fst net_profiles))))
+  in
+  let print fmt c =
+    Format.pp_print_string fmt
+      (match List.find_opt (fun (_, c') -> c' = c) net_profiles with
+      | Some (name, _) -> name
+      | None -> "<custom>")
+  in
+  Arg.conv (parse, print)
+
+let net_t =
+  Arg.(
+    value
+    & opt net_conv Amoeba_net.Ether.clean
+    & info [ "net" ]
+        ~doc:
+          "Persistent link conditions: clean, bursty-light, bursty, \
+           bursty-heavy (Gilbert\xe2\x80\x93Elliott loss), dup, reorder \
+           (delivery jitter), corrupt, or adversarial (all of them, \
+           moderate).")
+
 let members_t =
   Arg.(value & opt int 8 & info [ "m"; "members" ] ~doc:"Group size.")
 
@@ -39,9 +96,9 @@ let resilience_t =
   Arg.(value & opt int 0 & info [ "r"; "resilience" ] ~doc:"Resilience degree.")
 
 let delay_cmd =
-  let run members size method_ r =
+  let run members size method_ r net =
     let d =
-      E.broadcast_delay ~samples:20 ~resilience:r ~n:members ~size
+      E.broadcast_delay ~samples:20 ~resilience:r ~net ~n:members ~size
         ~send_method:method_ ()
     in
     Printf.printf
@@ -49,7 +106,7 @@ let delay_cmd =
       members size r d.E.mean_ms d.E.min_ms d.E.max_ms d.E.samples
   in
   Cmd.v (Cmd.info "delay" ~doc:"Measure broadcast delay (paper Figs 1/3/7).")
-    Term.(const run $ members_t $ size_t $ method_t $ resilience_t)
+    Term.(const run $ members_t $ size_t $ method_t $ resilience_t $ net_t)
 
 let throughput_cmd =
   let senders_t =
@@ -146,11 +203,11 @@ let chaos_cmd =
             "Explicit fault schedule (the format printed by a run), \
              overriding the seed-derived one.")
   in
-  let run seed members r method_ msgs schedule =
+  let run seed members r method_ msgs schedule net =
     let schedule = Option.map Fault.of_string schedule in
     let o =
       Chaos.run ~n:members ~resilience:r ~send_method:method_ ~msgs ?schedule
-        ~seed ()
+        ~net ~seed ()
     in
     Chaos.print_report o;
     if not (Chaos.ok o) then exit 1
@@ -162,7 +219,7 @@ let chaos_cmd =
           delivery, durability and incarnation invariants.")
     Term.(
       const run $ seed_t $ chaos_members_t $ resilience_t $ method_t $ msgs_t
-      $ schedule_t)
+      $ schedule_t $ net_t)
 
 let main =
   Cmd.group

@@ -22,6 +22,9 @@ type info = {
   retransmissions : int;
   status_solicitations : int;
   resets_survived : int;
+  duplicates_dropped : int;
+  corrupt_dropped : int;
+  reorders_absorbed : int;
 }
 
 let wrap flip k =
@@ -93,6 +96,9 @@ let get_info_group g =
     retransmissions = (Kernel.stats g.k).Kernel.retransmissions;
     status_solicitations = (Kernel.stats g.k).Kernel.status_solicitations;
     resets_survived = (Kernel.stats g.k).Kernel.resets_survived;
+    duplicates_dropped = (Kernel.stats g.k).Kernel.duplicates_dropped;
+    corrupt_dropped = (Kernel.stats g.k).Kernel.corrupt_dropped;
+    reorders_absorbed = (Kernel.stats g.k).Kernel.reorders_absorbed;
   }
 
 let kernel g = g.k

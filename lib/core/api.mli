@@ -34,6 +34,10 @@ type info = {
   status_solicitations : int;
       (** status requests multicast to unblock a full history *)
   resets_survived : int;  (** recovery incarnations installed *)
+  duplicates_dropped : int;
+      (** duplicated or stale frames refused by the receive paths *)
+  corrupt_dropped : int;  (** checksum-rejected damaged payloads *)
+  reorders_absorbed : int;  (** frames slotted despite arriving late *)
 }
 
 val create_group :

@@ -22,6 +22,11 @@ type stats = {
   mutable acks_collected : int;
   mutable status_solicitations : int;
   mutable resets_survived : int;
+  mutable corrupt_dropped : int;
+      (** packets whose group-header checksum rejected damaged payload *)
+  mutable reorders_absorbed : int;
+      (** data frames that arrived behind a higher sequence number and
+          were slotted into the window instead of being refused *)
 }
 
 type pending_send = {
@@ -77,7 +82,9 @@ type reset_run = {
   r_min : int;
   r_result : (int, error) result Ivar.t;
   mutable r_await : (mid * Addr.t) list;
-  mutable r_acked : (mid * Addr.t * seqno) list;  (** excludes self *)
+  mutable r_acked : (mid * Addr.t * seqno * int * seqno) list;
+      (** (mid, addr, last_stable, installed incarnation, seq where
+          that incarnation began); excludes self *)
   mutable r_tries : int;
   mutable r_rounds : int;
   mutable r_phase : reset_phase;
@@ -147,6 +154,12 @@ type t = {
   mutable join_replies : Wire.msg Channel.t;  (** used only while joining *)
   mutable run : reset_run option;
   mutable frozen_inc : int;  (** highest incarnation we acked an invite for *)
+  mutable inc_seq : seqno;
+      (** stream position where the current incarnation began: sequence
+          numbers from older incarnations are comparable only below it *)
+  mutable frozen_failover : bool;
+      (** a frozen-grace timeout already escalated to a recovery run of
+          our own; the next timeout makes the expulsion final *)
   mutable pending_leave : (unit, error) result Ivar.t option;
   mutable heal_waiting : int option;  (** nonce of an unanswered ping *)
   mutable heal_misses : int;
@@ -168,6 +181,8 @@ let new_stats () =
     acks_collected = 0;
     status_solicitations = 0;
     resets_survived = 0;
+    corrupt_dropped = 0;
+    reorders_absorbed = 0;
   }
 
 (* ----- small helpers ----- *)
@@ -495,7 +510,29 @@ and deliver_control t seq c =
         end
       end
   | Reset { incarnation; members } ->
-      post_event t (Group_reset { seq; incarnation; members })
+      if incarnation > t.inc && not (List.mem t.mid members) then begin
+        (* Replaying a reset we were not part of, whose configuration
+           dropped us: our identity died at this point of the stream
+           (and the mid may already belong to a later joiner), so any
+           recovery we are running with it is void.  Stop here rather
+           than deliver the successor's stream as a ghost. *)
+        t.life <- Expelled;
+        t.frozen_inc <- max t.frozen_inc incarnation;
+        post_event t Expelled;
+        (match t.run with
+        | Some run ->
+            ignore (Ivar.try_fill run.r_result (Error Not_enough_members));
+            t.run <- None
+        | None -> ());
+        match t.pending with
+        | Some p ->
+            t.pending <- None;
+            (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+            p.p_timer <- None;
+            ignore (Ivar.try_fill p.p_result (Error Send_aborted))
+        | None -> ()
+      end
+      else post_event t (Group_reset { seq; incarnation; members })
 
 and drain t =
   if t.life = Normal || t.life = Frozen then begin
@@ -815,8 +852,18 @@ and handle_at_sequencer t s msg =
 
 (* ----- member side ----- *)
 
-and member_data t ~seq ~sender ~msgid ~payload ~needs_accept =
-  if seq >= t.nxt then begin
+and member_data ?(count = true) t ~seq ~sender ~msgid ~payload ~needs_accept =
+  if seq < t.nxt then begin
+    (* Stale retransmission or duplicate of something already
+       delivered: at-most-once is enforced here.  [count] is off for
+       fetch-reply replay, which legitimately revisits old entries. *)
+    if count then t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+  end
+  else begin
+    if count && seq < t.max_seen then
+      (* Arrived behind a higher sequence number — a reordering the
+         window absorbs rather than refuses. *)
+      t.st.reorders_absorbed <- t.st.reorders_absorbed + 1;
     t.max_seen <- max t.max_seen seq;
     let slot =
       match Window.find t.slots seq with
@@ -826,7 +873,13 @@ and member_data t ~seq ~sender ~msgid ~payload ~needs_accept =
           Window.set t.slots seq s;
           s
     in
-    slot.s_data <- Some (sender, msgid, payload);
+    (match slot.s_data with
+    | Some _ ->
+        (* Duplicate of an undelivered slot.  Keep the first copy, but
+           fall through: the re-ack below must still happen, or a lost
+           Ack_tent could stall a resilient send forever. *)
+        if count then t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+    | None -> slot.s_data <- Some (sender, msgid, payload));
     if not needs_accept then slot.s_accepted <- true;
     (* Resilience: the r lowest-numbered members acknowledge.  The
        sequencer's own copy was counted at sequencing time. *)
@@ -841,7 +894,13 @@ and member_data t ~seq ~sender ~msgid ~payload ~needs_accept =
   end
 
 and member_accept t ~seq ~sender ~msgid =
-  if seq >= t.nxt then begin
+  if seq < t.nxt then
+    (* Accept for a sequence number already delivered: a duplicated or
+       stale frame, dropped without touching the window. *)
+    t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+  else begin
+    if seq < t.max_seen then
+      t.st.reorders_absorbed <- t.st.reorders_absorbed + 1;
     t.max_seen <- max t.max_seen seq;
     (* BB: marry the accept with buffered broadcast data.  Our own
        broadcast never loops back, but we hold the payload in the
@@ -880,7 +939,11 @@ and member_accept t ~seq ~sender ~msgid =
          slot.s_accepted <- true
      | None -> (
          match Window.find t.slots seq with
-         | Some slot -> slot.s_accepted <- true
+         | Some slot ->
+             if slot.s_accepted then
+               (* Duplicated accept for a slot already official. *)
+               t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+             else slot.s_accepted <- true
          | None ->
              (* Accept for data we never saw: remember the hole. *)
              Window.set t.slots seq { s_data = None; s_accepted = true }));
@@ -894,8 +957,19 @@ and member_accept t ~seq ~sender ~msgid =
 
 and member_bb_data t ~sender ~msgid ~payload =
   if sender <> t.mid then begin
-    Hashtbl.replace t.bb_wait (bb_key ~sender ~msgid) payload;
-    arm_repair t
+    if msgid <= last_msgid_of t sender then
+      (* Stale broadcast data for a message already delivered (a late
+         retransmission, or a duplicated frame arriving after its
+         accept).  Re-buffering it would plant a [bb_wait] entry no
+         accept will ever consume, and the repair timer would nack
+         forever on its account. *)
+      t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+    else if Hashtbl.mem t.bb_wait (bb_key ~sender ~msgid) then
+      t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
+    else begin
+      Hashtbl.replace t.bb_wait (bb_key ~sender ~msgid) payload;
+      arm_repair t
+    end
   end
 
 (* ----- recovery ----- *)
@@ -943,6 +1017,13 @@ let rec start_reset t ~min_members ~result ~inc =
   in
   t.run <- Some run;
   t.life <- Frozen;
+  (* Freezing voids every buffered-but-undelivered slot: we report
+     [last_stable] as our agreed position, and the recovery may assign
+     different messages to every sequence number beyond it.  A stale
+     tentative left in the window would otherwise shadow the replayed
+     authoritative entry for its slot (member_data keeps the first
+     payload it saw for a seq). *)
+  Window.drop_above t.slots (last_stable t);
   t.frozen_inc <- max t.frozen_inc inc;
   if run.r_rounds > 4 then finish_run t run (Error Not_enough_members)
   else begin
@@ -959,33 +1040,71 @@ and send_invites t run =
     run.r_await
 
 and collect_done t run =
-  let survivors = (t.mid, t.kaddr, last_stable t) :: run.r_acked in
-  if List.length survivors < run.r_min then
-    (* Not enough survivors: try again from the top (the paper's
-       algorithm "starts again until it succeeds or fails"). *)
-    start_reset t ~min_members:run.r_min ~result:run.r_result
-      ~inc:(bump_incarnation run.r_inc ~mid:t.mid)
+  let survivors =
+    (t.mid, t.kaddr, last_stable t, t.inc, t.inc_seq) :: run.r_acked
+  in
+  (* The authoritative position is the newest incarnation any survivor
+     has installed.  Bare sequence numbers from older incarnations are
+     comparable only below the point where that incarnation re-assigned
+     them: anyone who kept delivering at or past it (a paused sequencer
+     resumed onto a request backlog, say) holds a forked history that
+     no fetch can undo. *)
+  let best_inc, best_start =
+    List.fold_left
+      (fun (bi, bs) (_, _, _, ci, cs) -> if ci > bi then (ci, cs) else (bi, bs))
+      (t.inc, t.inc_seq) survivors
+  in
+  let clean (_, _, ls, ci, _) = ci = best_inc || ls < best_start in
+  if best_inc > t.inc && last_stable t >= best_start then begin
+    (* Our own stream is the fork: the paper's answer is expulsion,
+       not merging divergent histories. *)
+    t.life <- Expelled;
+    t.frozen_inc <- max t.frozen_inc run.r_inc;
+    post_event t Expelled;
+    finish_run t run (Error Not_enough_members);
+    match t.pending with
+    | Some p ->
+        t.pending <- None;
+        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+        p.p_timer <- None;
+        ignore (Ivar.try_fill p.p_result (Error Send_aborted))
+    | None -> ()
+  end
   else begin
-    let global_max =
-      List.fold_left (fun acc (_, _, s) -> max acc s) (-1) survivors
-    in
-    if last_stable t >= global_max then install_new_config t run ~global_max
+    (* Divergent ackers must not come along: left out of the new
+       configuration, their own recovery attempt will diagnose the
+       fork and expel them. *)
+    run.r_acked <- List.filter clean run.r_acked;
+    let survivors = List.filter clean survivors in
+    if List.length survivors < run.r_min then
+      (* Not enough survivors: try again from the top (the paper's
+         algorithm "starts again until it succeeds or fails"). *)
+      start_reset t ~min_members:run.r_min ~result:run.r_result
+        ~inc:(bump_incarnation run.r_inc ~mid:t.mid)
     else begin
-      let holder =
-        List.find_map
-          (fun (m, a, s) -> if s = global_max && m <> t.mid then Some a else None)
-          survivors
+      let global_max =
+        List.fold_left (fun acc (_, _, s, _, _) -> max acc s) (-1) survivors
       in
-      match holder with
-      | None -> install_new_config t run ~global_max:(last_stable t)
-      | Some holder ->
-          run.r_phase <- Fetching { holder; upto = global_max };
-          (* Invalidate any still-pending collect ticks. *)
-          t.reset_epoch <- t.reset_epoch + 1;
-          run.r_seq <- t.reset_epoch;
-          unicast t ~dst:holder
-            (Wire.Fetch { from_seq = t.nxt; upto = global_max });
-          arm_reset_tick t run.r_seq ~after:t.cost.probe_timeout_ns
+      if last_stable t >= global_max then install_new_config t run ~global_max
+      else begin
+        let holder =
+          List.find_map
+            (fun (m, a, s, _, _) ->
+              if s = global_max && m <> t.mid then Some a else None)
+            survivors
+        in
+        match holder with
+        | None -> install_new_config t run ~global_max:(last_stable t)
+        | Some holder ->
+            run.r_phase <- Fetching { holder; upto = global_max };
+            run.r_tries <- 0;
+            (* Invalidate any still-pending collect ticks. *)
+            t.reset_epoch <- t.reset_epoch + 1;
+            run.r_seq <- t.reset_epoch;
+            unicast t ~dst:holder
+              (Wire.Fetch { from_seq = t.nxt; upto = global_max });
+            arm_reset_tick t run.r_seq ~after:t.cost.probe_timeout_ns
+      end
     end
   end
 
@@ -995,7 +1114,8 @@ and install_new_config t run ~global_max =
   t.st.resets_survived <- t.st.resets_survived + 1;
   let members =
     List.sort compare
-      (List.map (fun (m, a, _) -> (m, a)) ((t.mid, t.kaddr, 0) :: run.r_acked))
+      ((t.mid, t.kaddr)
+      :: List.map (fun (m, a, _, _, _) -> (m, a)) run.r_acked)
   in
   set_members t members;
   (* Tentative messages that never became stable are discarded; their
@@ -1003,8 +1123,10 @@ and install_new_config t run ~global_max =
   Window.drop_above t.slots global_max;
   Hashtbl.reset t.bb_wait;
   t.max_seen <- max t.max_seen global_max;
+  t.inc_seq <- global_max + 1;
   become_sequencer t ~first_seq:(global_max + 1);
   t.life <- Normal;
+  t.frozen_failover <- false;
   List.iter
     (fun (m, a) ->
       if m <> t.mid then
@@ -1018,8 +1140,17 @@ and install_new_config t run ~global_max =
     ~piggy:(last_stable t)
     (Ctrl (Reset { incarnation = run.r_inc; members = List.map fst members }));
   (* Re-submit an interrupted send under the new sequencer; delivery
-     deduplication makes this safe. *)
-  (match t.pending with Some p -> submit_send t p | None -> ());
+     deduplication makes this safe.  The reset control just consumed a
+     fresh msgid of ours, so the pending send's older msgid would look
+     like a stale duplicate to our own dedup state: renumber it for
+     the new epoch (had it ever been delivered, the catch-up replay
+     above would have completed it). *)
+  (match t.pending with
+  | Some p ->
+      t.msgid_counter <- t.msgid_counter + 1;
+      p.p_msgid <- t.msgid_counter;
+      submit_send t p
+  | None -> ());
   finish_run t run (Ok (List.length members))
 
 let handle_invite t ~inc ~coord ~coord_addr =
@@ -1043,6 +1174,9 @@ let handle_invite t ~inc ~coord ~coord_addr =
     t.frozen_inc <- inc;
     if t.life = Normal then begin
       t.life <- Frozen;
+      (* Tentative slots are void from here on: the recovery we just
+         acked may reassign every seq past the position we report. *)
+      Window.drop_above t.slots (last_stable t);
       (* If the recovery never reaches us with a new configuration, we
          were declared dead: give up and report expulsion. *)
       ignore
@@ -1051,14 +1185,41 @@ let handle_invite t ~inc ~coord ~coord_addr =
            (fun () -> Channel.send t.inbox (Frozen_tick inc)))
     end;
     unicast t ~dst:coord_addr
-      (Wire.Invite_ack { mid = t.mid; last_stable = last_stable t; inc })
+      (Wire.Invite_ack
+         { mid = t.mid; last_stable = last_stable t; inc; cur_inc = t.inc;
+           inc_seq = t.inc_seq })
   end
   else if inc = t.frozen_inc then
     unicast t ~dst:coord_addr
-      (Wire.Invite_ack { mid = t.mid; last_stable = last_stable t; inc })
+      (Wire.Invite_ack
+         { mid = t.mid; last_stable = last_stable t; inc; cur_inc = t.inc;
+           inc_seq = t.inc_seq })
 
 let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
-  if inc >= t.frozen_inc && inc > t.inc then begin
+  if
+    inc >= t.frozen_inc && inc > t.inc
+    && (t.life = Normal || t.life = Frozen)
+    && not (List.mem_assoc t.mid members)
+  then begin
+    (* An authoritative configuration that does not include us: the
+       recovery declared us dead (we were unreachable while it ran).
+       Adopting it anyway would leave a ghost member delivering the
+       new stream — and our old mid can be reassigned to a later
+       joiner, whose join event we would then swallow as our own. *)
+    t.life <- Expelled;
+    t.frozen_inc <- max t.frozen_inc inc;
+    post_event t Expelled;
+    (match t.run with
+    | Some run -> finish_run t run (Error Not_enough_members)
+    | None -> ());
+    match t.pending with
+    | Some p ->
+        t.pending <- None;
+        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+        ignore (Ivar.try_fill p.p_result (Error Send_aborted))
+    | None -> ()
+  end
+  else if inc >= t.frozen_inc && inc > t.inc then begin
     t.inc <- inc;
     t.frozen_inc <- inc;
     t.st.resets_survived <- t.st.resets_survived + 1;
@@ -1068,7 +1229,9 @@ let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
     Window.drop_above t.slots last_seq;
     Hashtbl.reset t.bb_wait;
     t.max_seen <- max t.max_seen last_seq;
+    t.inc_seq <- last_seq + 1;
     t.life <- Normal;
+    t.frozen_failover <- false;
     (match t.run with
     | Some run -> finish_run t run (Ok (List.length members))
     | None -> ());
@@ -1084,30 +1247,58 @@ let handle_fetch_reply t entries =
      machinery so control messages take effect too. *)
   List.iter
     (fun (e : History.entry) ->
-      member_data t ~seq:e.seq ~sender:e.sender ~msgid:e.msgid ~payload:e.payload
-        ~needs_accept:false)
+      member_data ~count:false t ~seq:e.seq ~sender:e.sender ~msgid:e.msgid
+        ~payload:e.payload ~needs_accept:false)
     entries;
   match t.run with
   | Some ({ r_phase = Fetching { upto; _ }; _ } as run) ->
       if last_stable t >= upto then install_new_config t run ~global_max:upto
+      else if
+        match entries with
+        | [] -> true
+        | e :: _ -> e.History.seq > t.nxt
+      then begin
+        (* The holder's history starts past our position.  Histories
+           are pruned only once every member of the configuration has
+           acknowledged, so the stream can run out from under us only
+           if we were not in that configuration: we were dropped, and
+           our identity can never catch up.  Give up and report the
+           expulsion rather than re-fetch forever. *)
+        t.life <- Expelled;
+        t.frozen_inc <- max t.frozen_inc run.r_inc;
+        post_event t Expelled;
+        finish_run t run (Error Not_enough_members);
+        match t.pending with
+        | Some p ->
+            t.pending <- None;
+            (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+            p.p_timer <- None;
+            ignore (Ivar.try_fill p.p_result (Error Send_aborted))
+        | None -> ()
+      end
   | Some _ | None -> ()
 
 (* ----- incarnation filtering ----- *)
 
 let detect_expulsion t msg_inc =
   if msg_inc > t.inc && t.life = Normal && t.run = None then begin
-    (* A recovery we were not part of has moved on without us. *)
-    t.life <- Expelled;
-    post_event t Expelled;
-    (match t.pending with
-    | Some p ->
-        t.pending <- None;
-        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-        ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-    | None -> ());
-    true
+    (* A recovery we were not part of has moved on without us.  Under
+       reordering, the unicast [New_config] that includes us can still
+       be in flight behind the first new-incarnation multicast — so
+       freeze and give it a grace period instead of declaring
+       expulsion outright.  If the configuration never arrives, the
+       [Frozen_tick] below makes the expulsion final; if it does,
+       [handle_new_config] unfreezes us into the new incarnation. *)
+    t.life <- Frozen;
+    (* Whatever incarnation overtook us may have reassigned every seq
+       past our frontier: void the undelivered tentatives. *)
+    Window.drop_above t.slots (last_stable t);
+    t.frozen_inc <- max t.frozen_inc msg_inc;
+    ignore
+      (Engine.schedule ~group:t.k_group t.engine
+         ~after:(2 * t.cost.probe_timeout_ns)
+         (fun () -> Channel.send t.inbox (Frozen_tick msg_inc)))
   end
-  else false
 
 (* ----- the kernel process ----- *)
 
@@ -1128,7 +1319,7 @@ let handle_net t msg src =
         charge t t.cost.group_deliver_ns;
         member_data t ~seq ~sender ~msgid ~payload ~needs_accept
       end
-      else if inc <> t.inc then ignore (detect_expulsion t inc)
+      else if inc <> t.inc then detect_expulsion t inc
   | Wire.Accept { seq; sender; msgid; inc } ->
       if inc = t.inc && t.life <> Frozen then begin
         charge t t.cost.group_deliver_ns;
@@ -1137,7 +1328,7 @@ let handle_net t msg src =
         | None -> ());
         member_accept t ~seq ~sender ~msgid
       end
-      else if inc <> t.inc then ignore (detect_expulsion t inc)
+      else if inc <> t.inc then detect_expulsion t inc
   | Wire.Bb_data { sender; msgid; inc; payload; _ } ->
       if inc = t.inc && t.life <> Frozen then begin
         match t.seqs with
@@ -1148,7 +1339,7 @@ let handle_net t msg src =
             charge t t.cost.group_deliver_ns;
             member_bb_data t ~sender ~msgid ~payload
       end
-      else if inc <> t.inc then ignore (detect_expulsion t inc)
+      else if inc <> t.inc then detect_expulsion t inc
   | Wire.Req _ | Wire.Ack_tent _ | Wire.Nack _ | Wire.Status _
   | Wire.Join_req _ | Wire.Leave_req _ -> (
       match t.seqs with
@@ -1176,13 +1367,13 @@ let handle_net t msg src =
   | Wire.Invite { inc; coord; coord_addr } ->
       charge t t.cost.group_deliver_ns;
       handle_invite t ~inc ~coord ~coord_addr
-  | Wire.Invite_ack { mid; last_stable = ls; inc } -> (
+  | Wire.Invite_ack { mid; last_stable = ls; inc; cur_inc; inc_seq } -> (
       match t.run with
       | Some ({ r_phase = Collect; _ } as run) when inc = run.r_inc ->
           if List.mem_assoc mid run.r_await then begin
             let addr = List.assoc mid run.r_await in
             run.r_await <- List.remove_assoc mid run.r_await;
-            run.r_acked <- (mid, addr, ls) :: run.r_acked;
+            run.r_acked <- (mid, addr, ls, cur_inc, inc_seq) :: run.r_acked;
             if run.r_await = [] then collect_done t run
           end
       | Some _ | None -> ())
@@ -1278,8 +1469,17 @@ let handle_reset_tick t epoch =
       | Fetching { holder; upto } ->
           if last_stable t >= upto then install_new_config t run ~global_max:upto
           else begin
-            unicast t ~dst:holder (Wire.Fetch { from_seq = t.nxt; upto });
-            arm_reset_tick t run.r_seq ~after:t.cost.probe_timeout_ns
+            run.r_tries <- run.r_tries + 1;
+            if run.r_tries > t.cost.probe_retries then
+              (* The holder went silent mid-fetch: start over and let a
+                 fresh collect pick a live holder (bounded by the round
+                 cap, like a failed collect). *)
+              start_reset t ~min_members:run.r_min ~result:run.r_result
+                ~inc:(next_incarnation t)
+            else begin
+              unicast t ~dst:holder (Wire.Fetch { from_seq = t.nxt; upto });
+              arm_reset_tick t run.r_seq ~after:t.cost.probe_timeout_ns
+            end
           end
       | Adopting ->
           (* The superseding coordinator never delivered: take over. *)
@@ -1345,15 +1545,42 @@ let kernel_loop t () =
        | Reset_tick epoch -> handle_reset_tick t epoch
        | Heal_tick -> handle_heal_tick t
        | Frozen_tick inc ->
-           if t.life = Frozen && t.run = None && t.inc < inc then begin
-             t.life <- Expelled;
-             post_event t Expelled;
-             match t.pending with
-             | Some p ->
-                 t.pending <- None;
-                 (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-                 ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-             | None -> ()
+           if t.life = Frozen && t.inc < inc then begin
+             let retick after =
+               ignore
+                 (Engine.schedule ~group:t.k_group t.engine ~after (fun () ->
+                      Channel.send t.inbox (Frozen_tick inc)))
+             in
+             if t.run <> None then
+               (* A recovery is still in flight; judge it when it is
+                  done, not mid-run. *)
+               retick (2 * t.cost.probe_timeout_ns)
+             else if not t.frozen_failover then begin
+               (* The configuration we froze for never arrived.  That
+                  is ambiguous: we may have been dropped, but the
+                  coordinator (or just its unicast to us) may equally
+                  have died.  Probe the difference with a recovery of
+                  our own — fetch-replaying the authoritative stream
+                  either re-installs us or proves the expulsion (a
+                  replayed reset that excludes us expels in
+                  [deliver_control]).  If even that resolves nothing,
+                  the next tick makes the expulsion final. *)
+               t.frozen_failover <- true;
+               start_reset t
+                 ~min_members:((t.member_count / 2) + 1)
+                 ~result:(Ivar.create ()) ~inc:(next_incarnation t);
+               retick (2 * t.cost.probe_timeout_ns)
+             end
+             else begin
+               t.life <- Expelled;
+               post_event t Expelled;
+               match t.pending with
+               | Some p ->
+                   t.pending <- None;
+                   (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+                   ignore (Ivar.try_fill p.p_result (Error Send_aborted))
+               | None -> ()
+             end
            end);
     loop ()
   in
@@ -1405,17 +1632,22 @@ let make flip ~cfg ~gaddr =
       reset_epoch = 0;
       run = None;
       frozen_inc = 0;
+      inc_seq = 0;
+      frozen_failover = false;
       pending_leave = None;
     }
   in
-  Flip.register flip t.kaddr (fun p ->
-      match p.Packet.body with
-      | Wire.Group msg -> Channel.send t.inbox (Net (msg, p.Packet.src))
-      | _ -> ());
-  Flip.register_group flip gaddr (fun p ->
-      match p.Packet.body with
-      | Wire.Group msg -> Channel.send t.inbox (Net (msg, p.Packet.src))
-      | _ -> ());
+  (* Total rx: [Wire.decode] never raises out of the NIC path.  A
+     payload damaged in flight fails the group checksum here and is
+     counted, never interpreted. *)
+  let rx (p : Packet.t) =
+    match Wire.decode p.Packet.body with
+    | Ok msg -> Channel.send t.inbox (Net (msg, p.Packet.src))
+    | Error `Corrupt -> t.st.corrupt_dropped <- t.st.corrupt_dropped + 1
+    | Error `Foreign -> ()
+  in
+  Flip.register flip t.kaddr rx;
+  Flip.register_group flip gaddr rx;
   Engine.spawn ~group:t.k_group t.engine (kernel_loop t);
   t
 

@@ -53,6 +53,12 @@ type stats = {
   mutable resets_survived : int;
       (** recovery incarnations this member installed (as coordinator
           or by accepting a new configuration) *)
+  mutable corrupt_dropped : int;
+      (** packets whose group-header checksum rejected payload damaged
+          in flight *)
+  mutable reorders_absorbed : int;
+      (** data/accept frames that arrived behind a higher sequence
+          number and were slotted into the window instead of refused *)
 }
 
 val create_group : Flip.t -> ?config:config -> unit -> t

@@ -40,7 +40,13 @@ type msg =
     }
   | Leave_req of { mid : mid }
   | Invite of { inc : int; coord : mid; coord_addr : Amoeba_flip.Addr.t }
-  | Invite_ack of { mid : mid; last_stable : seqno; inc : int }
+  | Invite_ack of {
+      mid : mid;
+      last_stable : seqno;
+      inc : int;
+      cur_inc : int;  (** the acker's installed incarnation *)
+      inc_seq : seqno;  (** stream position where [cur_inc] began *)
+    }
   | Fetch of { from_seq : seqno; upto : seqno }
   | Fetch_reply of { entries : History.entry list }
   | New_config of {
@@ -79,7 +85,7 @@ let size (c : Amoeba_net.Cost_model.t) msg =
     | Join_req _ -> addr_bytes  (* kaddr *)
     | Leave_req _ -> word  (* mid *)
     | Invite _ -> (2 * word) + addr_bytes  (* inc, coord, coord_addr *)
-    | Invite_ack _ -> 3 * word  (* mid, last_stable, inc *)
+    | Invite_ack _ -> 5 * word  (* mid, last_stable, inc, cur_inc, inc_seq *)
     | Fetch _ -> 2 * word  (* from_seq, upto *)
     | Join_reply { members; _ } ->
         (* mid, inc, next_seq, seq_mid + member table *)
@@ -100,6 +106,23 @@ let size (c : Amoeba_net.Cost_model.t) msg =
     | _ -> 0
   in
   c.header_group + body + payload
+
+(* Total decode of a received FLIP packet body.  The group layer
+   carries its own checksum inside [header_group]; a packet whose
+   payload was damaged in flight arrives wrapped in [Packet.Corrupt]
+   and fails that check here, so malformed input becomes an error the
+   rx path counts instead of an exception out of the NIC handler. *)
+let rec decode (body : Amoeba_flip.Packet.body) =
+  match body with
+  | Group msg -> Ok msg
+  | Amoeba_flip.Packet.Corrupt inner -> (
+      (* The checksum rejects the damaged bytes whatever they used to
+         be; recursing only distinguishes "was ours" from foreign
+         traffic for the counters. *)
+      match decode inner with
+      | Ok _ | Error `Corrupt -> Error `Corrupt
+      | Error `Foreign -> Error `Foreign)
+  | _ -> Error `Foreign
 
 let describe = function
   | Req _ -> "req"

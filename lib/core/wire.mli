@@ -55,7 +55,13 @@ type msg =
   | Leave_req of { mid : mid }
   (* Recovery *)
   | Invite of { inc : int; coord : mid; coord_addr : Amoeba_flip.Addr.t }
-  | Invite_ack of { mid : mid; last_stable : seqno; inc : int }
+  | Invite_ack of {
+      mid : mid;
+      last_stable : seqno;
+      inc : int;
+      cur_inc : int;  (** the acker's installed incarnation *)
+      inc_seq : seqno;  (** stream position where [cur_inc] began *)
+    }
   | Fetch of { from_seq : seqno; upto : seqno }
   | Fetch_reply of { entries : History.entry list }
   | New_config of {
@@ -69,6 +75,13 @@ type Amoeba_flip.Packet.body += Group of msg
 
 val size : Amoeba_net.Cost_model.t -> msg -> int
 (** Bytes above the FLIP header. *)
+
+val decode : Amoeba_flip.Packet.body -> (msg, [ `Corrupt | `Foreign ]) result
+(** Total decode of a received packet body.  [`Corrupt] means the
+    group-header checksum rejected a payload damaged in flight
+    ({!Amoeba_flip.Packet.Corrupt}); [`Foreign] means the packet was
+    never ours.  Never raises — malformed input is a counted error,
+    not an exception out of the NIC rx path. *)
 
 val describe : msg -> string
 (** Constructor name, for logs and tests. *)

@@ -21,10 +21,15 @@ module Addr_tbl = Hashtbl.Make (struct
 end)
 
 type reassembly = {
+  seen : bool array;
+      (** per-fragment arrival bitmap: a duplicated fragment must not
+          count towards completion, or reassembly would finish with a
+          fragment still missing *)
   mutable received : int;
   total : int;
   first_seen : Time.t;
   whole : Packet.t;
+  mutable corrupt : bool;  (** some fragment arrived payload-damaged *)
 }
 
 type t = {
@@ -35,6 +40,12 @@ type t = {
   pending_locates : int Channel.t list ref Addr_tbl.t;
   partial : (int * int, reassembly) Hashtbl.t;  (** (station, msg_id) *)
   mutable next_msg_id : int;
+  mutable n_corrupt_dropped : int;
+      (** frames whose header checksum failed on receipt *)
+  mutable n_dup_fragments : int;
+  mutable n_invalid_fragments : int;
+      (** fragments whose metadata was out of range or disagreed with
+          the reassembly entry *)
 }
 
 let locate_timeout = Time.ms 5
@@ -75,32 +86,51 @@ let purge_stale t =
     List.iter (Hashtbl.remove t.partial) stale
   end
 
-let on_data t ~station (f : fragment) =
+let deliver_maybe_corrupt t (p : Packet.t) ~corrupt =
+  if corrupt then deliver_local t { p with Packet.body = Packet.Corrupt p.Packet.body }
+  else deliver_local t p
+
+let on_data ?(corrupt = false) t ~station (f : fragment) =
   work t (cost t).Cost_model.flip_rx_ns;
-  if f.frags = 1 then deliver_local t f.packet
+  if f.frags <= 0 || f.frag < 0 || f.frag >= f.frags then
+    (* Out-of-range metadata: a damaged or forged fragment header must
+       not index the bitmap or create an entry that can never fill. *)
+    t.n_invalid_fragments <- t.n_invalid_fragments + 1
+  else if f.frags = 1 then deliver_maybe_corrupt t f.packet ~corrupt
   else begin
     purge_stale t;
     let key = (station, f.msg_id) in
-    let r =
-      match Hashtbl.find_opt t.partial key with
-      | Some r -> r
-      | None ->
-          let r =
-            {
-              received = 0;
-              total = f.frags;
-              first_seen = Engine.now (eng t);
-              whole = f.packet;
-            }
-          in
-          Hashtbl.add t.partial key r;
-          r
-    in
-    r.received <- r.received + 1;
-    if r.received = r.total then begin
-      Hashtbl.remove t.partial key;
-      deliver_local t r.whole
-    end
+    match Hashtbl.find_opt t.partial key with
+    | Some r when r.total <> f.frags ->
+        (* Fragment count disagrees with the entry its siblings
+           created: one of them lied. *)
+        t.n_invalid_fragments <- t.n_invalid_fragments + 1
+    | Some r when r.seen.(f.frag) -> t.n_dup_fragments <- t.n_dup_fragments + 1
+    | existing ->
+        let r =
+          match existing with
+          | Some r -> r
+          | None ->
+              let r =
+                {
+                  seen = Array.make f.frags false;
+                  received = 0;
+                  total = f.frags;
+                  first_seen = Engine.now (eng t);
+                  whole = f.packet;
+                  corrupt = false;
+                }
+              in
+              Hashtbl.add t.partial key r;
+              r
+        in
+        r.seen.(f.frag) <- true;
+        r.received <- r.received + 1;
+        if corrupt then r.corrupt <- true;
+        if r.received = r.total then begin
+          Hashtbl.remove t.partial key;
+          deliver_maybe_corrupt t r.whole ~corrupt:r.corrupt
+        end
   end
 
 let on_whois t addr =
@@ -131,11 +161,29 @@ let on_iam t ~addr ~station =
       List.iter (fun ch -> Channel.send ch station) !waiters;
       Addr_tbl.remove t.pending_locates addr
 
+(* A frame arrived with flipped bits.  The byte offset of the damage
+   decides which layer notices: inside the wire-header region the FLIP
+   header checksum fails and the frame is dropped whole; beyond it the
+   headers verify but the payload is garbage, so a Data fragment
+   travels up wrapped in {!Packet.Corrupt} for the layer above to
+   reject by its own checksum.  Either way nothing corrupt is ever
+   interpreted as a valid message. *)
+let on_corrupted t ~station ~(orig : Frame.body) ~byte =
+  let c = cost t in
+  match orig with
+  | Data f when byte >= flip_wire_header c ->
+      on_data ~corrupt:true t ~station f
+  | _ ->
+      (* Header damage — or a control frame, which is header-only. *)
+      work t c.Cost_model.flip_rx_ns;
+      t.n_corrupt_dropped <- t.n_corrupt_dropped + 1
+
 let on_frame t (frame : Frame.t) =
   match frame.body with
   | Data f -> on_data t ~station:frame.src f
   | Whois addr -> on_whois t addr
   | Iam { addr; station } -> on_iam t ~addr ~station
+  | Frame.Corrupted { orig; byte } -> on_corrupted t ~station:frame.src ~orig ~byte
   | _ -> ()
 
 let create machine =
@@ -148,6 +196,9 @@ let create machine =
       pending_locates = Addr_tbl.create 8;
       partial = Hashtbl.create 32;
       next_msg_id = 0;
+      n_corrupt_dropped = 0;
+      n_dup_fragments = 0;
+      n_invalid_fragments = 0;
     }
   in
   Nic.set_handler (Machine.nic machine) (on_frame t);
@@ -288,6 +339,10 @@ let multicast t (packet : Packet.t) =
     ~dest:(Frame.Multicast (Addr.multicast_id packet.dst))
 
 let locate_cache_size t = Addr_tbl.length t.route_cache
+let corrupt_dropped t = t.n_corrupt_dropped
+let dup_fragments t = t.n_dup_fragments
+let invalid_fragments t = t.n_invalid_fragments
+let partial_count t = Hashtbl.length t.partial
 
 let packet_of_frame (frame : Frame.t) =
   match frame.body with Data f -> Some f.packet | _ -> None

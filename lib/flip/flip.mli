@@ -52,6 +52,28 @@ val max_fragment : t -> int
 val locate_cache_size : t -> int
 (** Number of cached address-to-station routes (for tests). *)
 
+(** {1 Adversarial-delivery counters}
+
+    The receive path tolerates frames a hostile network hands it:
+    header-corrupt frames fail the FLIP header checksum and are
+    dropped whole; payload-corrupt Data fragments travel up wrapped in
+    {!Packet.Corrupt} for the layer above to reject; duplicated and
+    metadata-invalid fragments are discarded without advancing
+    reassembly. *)
+
+val corrupt_dropped : t -> int
+(** Frames dropped because the header checksum failed on receipt. *)
+
+val dup_fragments : t -> int
+(** Duplicate fragments discarded by the reassembly bitmap. *)
+
+val invalid_fragments : t -> int
+(** Fragments with out-of-range metadata, or a fragment count that
+    disagreed with the entry their siblings created. *)
+
+val partial_count : t -> int
+(** Reassembly entries currently buffered (for the purge tests). *)
+
 val packet_of_frame : Amoeba_net.Frame.t -> Packet.t option
 (** Peeks at the FLIP packet inside a data frame (any fragment), for
     fault-injection filters in tests and benchmarks. *)

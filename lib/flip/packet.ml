@@ -1,5 +1,6 @@
 type body = ..
 type body += Empty
+type body += Corrupt of body
 
 type t = {
   src : Addr.t;

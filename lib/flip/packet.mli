@@ -10,6 +10,12 @@ type body = ..
 
 type body += Empty
 
+type body += Corrupt of body
+(** Payload damaged in flight but not caught by the FLIP header
+    checksum: the datagram arrives, yet its contents are garbage.  The
+    layer above must reject it by its own checksum ([Wire.decode])
+    rather than interpret it. *)
+
 type t = {
   src : Addr.t;
   dst : Addr.t;

@@ -19,27 +19,38 @@ type outcome = {
   partition_drops : int;
   rx_overflows : int;
   machine_restarts : int;
+  duplicates_dropped : int;  (** kernel-refused duplicate/stale frames *)
+  corrupt_dropped : int;  (** group-checksum rejections, summed over kernels *)
+  reorders_absorbed : int;
+  flip_checksum_drops : int;  (** header-corrupt frames dropped at FLIP *)
+  oneway_drops : int;
+  cond_losses : int;  (** Gilbert–Elliott losses *)
+  dups_injected : int;
+  corruptions_injected : int;
 }
 
 let ok o = Checker.all_ok o.verdicts
 
 (* Durability is only promised while failures stay within the
-   resilience degree.  Partitions and pauses can cut a minority (or a
-   stalled sequencer) off with completed-but-undistributed messages —
-   the "more than r failures" regime where the paper makes no
-   guarantee — so any such schedule turns the durability check off. *)
+   resilience degree.  Partitions, one-way cuts and pauses can cut a
+   minority (or a stalled sequencer) off with
+   completed-but-undistributed messages — the "more than r failures"
+   regime where the paper makes no guarantee — so any such schedule
+   turns the durability check off.  Loss (uniform or bursty),
+   duplication, jitter and corruption are exactly what the NACK
+   machinery repairs, so they leave the check on. *)
 let durability_applies ~resilience sched =
   Fault.crash_count sched <= resilience
   && not
        (List.exists
           (fun s ->
             match s.Fault.action with
-            | Fault.Partition _ | Fault.Pause _ -> true
+            | Fault.Partition _ | Fault.Pause _ | Fault.Oneway _ -> true
             | _ -> false)
           sched)
 
 let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
-    ?(horizon = Time.ms 2000) ?schedule ~seed () =
+    ?(horizon = Time.ms 2000) ?schedule ?(net = Ether.clean) ~seed () =
   let sched =
     match schedule with
     | Some s -> s
@@ -47,6 +58,17 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
   in
   let c = Cluster.create ~seed ~n () in
   let eng = c.Cluster.engine in
+  (* Persistent adversarial conditions for the whole active phase,
+     cleared shortly after the horizon — before the flush sends — so
+     tail-gap repair runs on a quiet net, the same contract the
+     schedule's bounded bursts obey (every burst ends by
+     horizon + 800ms). *)
+  if net <> Ether.clean then begin
+    Ether.set_conditions c.Cluster.ether net;
+    ignore
+      (Engine.schedule eng ~after:(horizon + Time.sec 1) (fun () ->
+           Ether.set_conditions c.Cluster.ether Ether.clean))
+  end;
   let crashed = Array.make n false in
   List.iter
     (fun s ->
@@ -121,7 +143,11 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
             add_stream (Printf.sprintf "m%d" i) (not crashed.(i)) i g;
             spawn_sender i g;
             spawn_flush i g
-        | Error e -> failwith ("chaos setup join failed: " ^ error_to_string e)
+        | Error _ ->
+            (* A hostile enough net can defeat the join handshake's
+               bounded retries; the member simply never joins.  On a
+               quiet net setup joins always succeed. *)
+            ()
       done;
       (* Rebooted machines come back with fresh state and rejoin as
          new members; their streams are partial, never "full". *)
@@ -148,6 +174,23 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
         { Checker.label; events = List.rev !evs; full })
       !streams
   in
+  if Sys.getenv_opt "CHAOS_DEBUG" <> None then
+    List.iter
+      (fun s ->
+        Printf.eprintf "%s:" s.Checker.label;
+        List.iter
+          (fun e ->
+            match e with
+            | Message { seq; sender; body } ->
+                Printf.eprintf " %d(m%d:%s)" seq sender (Bytes.to_string body)
+            | Member_joined { seq; mid } -> Printf.eprintf " %d(join%d)" seq mid
+            | Member_left { seq; mid } -> Printf.eprintf " %d(left%d)" seq mid
+            | Group_reset { seq; incarnation; _ } ->
+                Printf.eprintf " %d(reset@%d)" seq incarnation
+            | Expelled -> Printf.eprintf " EXPELLED")
+          s.Checker.events;
+        Printf.eprintf "\n")
+      streams;
   let verdicts =
     Checker.run
       ~durability_applies:(durability_applies ~resilience sched)
@@ -176,6 +219,19 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
       Array.fold_left
         (fun acc m -> acc + Machine.restarts m)
         0 c.Cluster.machines;
+    duplicates_dropped = sum (fun i -> i.Api.duplicates_dropped);
+    corrupt_dropped = sum (fun i -> i.Api.corrupt_dropped);
+    reorders_absorbed = sum (fun i -> i.Api.reorders_absorbed);
+    flip_checksum_drops =
+      (let acc = ref 0 in
+       for i = 0 to n - 1 do
+         acc := !acc + Amoeba_flip.Flip.corrupt_dropped (Cluster.flip c i)
+       done;
+       !acc);
+    oneway_drops = Ether.oneway_drops c.Cluster.ether;
+    cond_losses = Ether.cond_losses c.Cluster.ether;
+    dups_injected = Ether.duplicates_injected c.Cluster.ether;
+    corruptions_injected = Ether.corruptions_injected c.Cluster.ether;
   }
 
 let print_report o =
@@ -196,6 +252,15 @@ let print_report o =
     o.nacks o.retransmissions o.solicitations o.resets o.machine_restarts;
   Printf.printf "network:   %d frames lost, %d partition drops, %d rx overflows\n"
     o.frames_lost o.partition_drops o.rx_overflows;
+  Printf.printf
+    "adversary: %d burst losses, %d oneway drops, %d dups injected, %d \
+     corruptions injected\n"
+    o.cond_losses o.oneway_drops o.dups_injected o.corruptions_injected;
+  Printf.printf
+    "absorbed:  %d duplicates dropped, %d corrupt dropped (%d at flip), %d \
+     reorders absorbed\n"
+    o.duplicates_dropped o.corrupt_dropped o.flip_checksum_drops
+    o.reorders_absorbed;
   if not o.durability_checked then
     Printf.printf "note:      durability not applicable to this schedule\n";
   Printf.printf "verdict:   %s\n" (if ok o then "PASS" else "FAIL")

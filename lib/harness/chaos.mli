@@ -27,6 +27,17 @@ type outcome = {
   partition_drops : int;  (** receptions suppressed by partitions *)
   rx_overflows : int;  (** frames lost to full receive rings *)
   machine_restarts : int;
+  duplicates_dropped : int;
+      (** duplicate/stale frames refused by kernel receive paths *)
+  corrupt_dropped : int;
+      (** group-checksum rejections of damaged payloads, over kernels *)
+  reorders_absorbed : int;  (** late frames slotted instead of refused *)
+  flip_checksum_drops : int;
+      (** header-corrupt frames dropped whole at the FLIP layer *)
+  oneway_drops : int;  (** receptions suppressed by one-way cuts *)
+  cond_losses : int;  (** frames lost to Gilbert–Elliott bursts *)
+  dups_injected : int;
+  corruptions_injected : int;
 }
 
 val run :
@@ -36,6 +47,7 @@ val run :
   ?msgs:int ->
   ?horizon:Time.t ->
   ?schedule:Fault.schedule ->
+  ?net:Amoeba_net.Ether.conditions ->
   seed:int ->
   unit ->
   outcome
@@ -44,14 +56,21 @@ val run :
     messages over the first 2/3 of [horizon] (default 2s) plus one
     flush message after the faults end, applies the schedule (default:
     {!Fault.random} from [seed]), runs 8 simulated seconds past the
-    horizon so recovery can settle, and checks all four invariants. *)
+    horizon so recovery can settle, and checks all four invariants.
+
+    [net] installs persistent link conditions (bursty loss,
+    duplication, jitter, corruption) for the whole active phase; they
+    are cleared one second after the horizon so tail repair and the
+    flush run on a quiet net, like the schedule's bounded bursts. *)
 
 val ok : outcome -> bool
 
 val durability_applies : resilience:int -> Fault.schedule -> bool
 (** Whether a schedule stays within the regime where completed sends
     are guaranteed durable: at most [resilience] crashes and no
-    partitions or pauses (either can sever a member — or a stalled
-    sequencer — holding completed messages the survivors discard). *)
+    partitions, one-way cuts or pauses (any can sever a member — or a
+    stalled sequencer — holding completed messages the survivors
+    discard).  Loss, duplication, jitter and corruption do not turn
+    the check off: repairing those is the protocol's whole claim. *)
 
 val print_report : outcome -> unit

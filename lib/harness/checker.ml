@@ -119,14 +119,44 @@ let no_dup_no_skip streams =
   v "no-dup-no-skip" (List.rev !problems)
 
 (* I3 — durability: a send that returned [Ok] is delivered by every
-   member that observed the whole run (joined at creation, never
-   crashed or expelled).  Only meaningful when the fault schedule
-   stays within the resilience degree; the caller gates it. *)
+   member that observed the whole run (never crashed or expelled).  A
+   member whose join was itself delayed — e.g. by a hostile net losing
+   its join handshake — legitimately starts mid-history, so each
+   stream vouches only for sends sequenced at or after its first
+   event; a send nobody delivered is a violation everywhere.  Only
+   meaningful when the fault schedule stays within the resilience
+   degree; the caller gates it. *)
 let durability ~streams ~completed =
   let full = List.filter (fun s -> s.full && not (expelled s)) streams in
+  (* Where each completed send landed in the total order, from
+     whichever stream delivered it (total-order makes this
+     unambiguous). *)
+  let send_seq = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (function
+          | Message { seq; sender; body } ->
+              let key = (sender, Bytes.to_string body) in
+              if not (Hashtbl.mem send_seq key) then
+                Hashtbl.replace send_seq key seq
+          | _ -> ())
+        s.events)
+    streams;
   let problems = ref [] in
   List.iter
     (fun s ->
+      let first_seq =
+        List.fold_left
+          (fun acc e -> match acc with Some _ -> acc | None -> seq_of e)
+          None s.events
+      in
+      let covered (origin, body) =
+        match (Hashtbl.find_opt send_seq (origin, body), first_seq) with
+        | Some seq, Some first -> seq >= first
+        | Some _, None -> false  (* empty stream vouches for nothing *)
+        | None, _ -> true  (* delivered nowhere: a problem for everyone *)
+      in
       let seen = Hashtbl.create 64 in
       List.iter
         (function
@@ -136,7 +166,8 @@ let durability ~streams ~completed =
         s.events;
       List.iter
         (fun (origin, body) ->
-          if not (Hashtbl.mem seen (origin, body)) then
+          if covered (origin, body) && not (Hashtbl.mem seen (origin, body))
+          then
             problems :=
               Printf.sprintf "%s never delivered completed send %S from %d"
                 s.label body origin

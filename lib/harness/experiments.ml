@@ -61,12 +61,15 @@ let build_group ?(resilience = 0) ?(send_method = T.Pb) ?history cl ~n =
   creator :: joiners
 
 let broadcast_delay ?(cost = Cost_model.default) ?(samples = 20)
-    ?(resilience = 0) ~n ~size ~send_method () =
+    ?(resilience = 0) ?(net = Ether.clean) ~n ~size ~send_method () =
   let cl = Cluster.create ~cost ~n:(max n 2) () in
   let result = ref { mean_ms = 0.; min_ms = 0.; max_ms = 0.; samples = 0 } in
   Cluster.spawn cl (fun () ->
       let groups = build_group ~resilience ~send_method cl ~n in
       List.iter (drain_events cl) groups;
+      (* Adversarial conditions apply to the measurement loop only;
+         setup runs on a quiet net, like the paper's warm testbed. *)
+      if net <> Ether.clean then Ether.set_conditions cl.Cluster.ether net;
       (* The paper measures a sender on a different machine than the
          sequencer. *)
       let sender = if n > 1 then List.nth groups 1 else List.hd groups in
@@ -79,7 +82,12 @@ let broadcast_delay ?(cost = Cost_model.default) ?(samples = 20)
         let t0 = Cluster.now cl in
         (match Api.send_to_group sender payload with
         | Ok _ -> Stats.add stats (Time.to_ms (Cluster.now cl - t0))
-        | Error e -> failwith ("send failed: " ^ T.error_to_string e));
+        | Error e ->
+            (* Under injected loss a send may exhaust its bounded
+               retries; that sample is simply not a delay.  On a clean
+               net a failure is a real bug. *)
+            if net = Ether.clean then
+              failwith ("send failed: " ^ T.error_to_string e));
         (* A short pause between sends, as in a measurement loop. *)
         Engine.sleep cl.Cluster.engine (Time.us 200)
       done;

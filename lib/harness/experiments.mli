@@ -16,6 +16,7 @@ val broadcast_delay :
   ?cost:Amoeba_net.Cost_model.t ->
   ?samples:int ->
   ?resilience:int ->
+  ?net:Amoeba_net.Ether.conditions ->
   n:int ->
   size:int ->
   send_method:Types.send_method ->
@@ -23,7 +24,10 @@ val broadcast_delay :
   delay_result
 (** Figures 1, 3 and 7: one member (on a different machine than the
     sequencer when [n > 1]) broadcasts continuously; every member
-    receives.  Reports the SendToGroup delay. *)
+    receives.  Reports the SendToGroup delay.  [net] installs
+    persistent link conditions for the measurement loop (setup stays
+    clean); a send that exhausts its retries under injected loss is
+    dropped from the sample set rather than failing the run. *)
 
 type throughput_result = {
   msgs_per_sec : float;

@@ -9,6 +9,11 @@ type action =
   | Partition of int list * int list
   | Heal
   | Loss_burst of float * Time.t
+  | Oneway of int * int
+  | Burst of float * float * float * Time.t
+  | Duplicate of float * Time.t
+  | Jitter of int * Time.t
+  | Corrupt of float * Time.t
 
 type step = { at : Time.t; action : action }
 type schedule = step list
@@ -40,6 +45,47 @@ let fire ?(on_restart = fun _ -> ()) (c : Cluster.t) action =
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
              Ether.set_loss_rate c.Cluster.ether prev))
+  | Oneway (src, dst) -> Ether.cut_oneway c.Cluster.ether ~src ~dst
+  | Burst (p_gb, p_bg, loss_bad, dur) ->
+      let e = c.Cluster.ether in
+      let prev = (Ether.conditions e).Ether.gilbert in
+      Ether.set_conditions e
+        {
+          (Ether.conditions e) with
+          Ether.gilbert = Some { Ether.p_gb; p_bg; loss_good = 0.; loss_bad };
+        };
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
+             (* Restore only our own field, reading the then-current
+                conditions: overlapping condition bursts of different
+                kinds must compose, not clobber each other. *)
+             Ether.set_conditions e
+               { (Ether.conditions e) with Ether.gilbert = prev }))
+  | Duplicate (prob, dur) ->
+      let e = c.Cluster.ether in
+      let prev = (Ether.conditions e).Ether.dup_prob in
+      Ether.set_conditions e { (Ether.conditions e) with Ether.dup_prob = prob };
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
+             Ether.set_conditions e
+               { (Ether.conditions e) with Ether.dup_prob = prev }))
+  | Jitter (ns, dur) ->
+      let e = c.Cluster.ether in
+      let prev = (Ether.conditions e).Ether.jitter_ns in
+      Ether.set_conditions e { (Ether.conditions e) with Ether.jitter_ns = ns };
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
+             Ether.set_conditions e
+               { (Ether.conditions e) with Ether.jitter_ns = prev }))
+  | Corrupt (prob, dur) ->
+      let e = c.Cluster.ether in
+      let prev = (Ether.conditions e).Ether.corrupt_prob in
+      Ether.set_conditions e
+        { (Ether.conditions e) with Ether.corrupt_prob = prob };
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
+             Ether.set_conditions e
+               { (Ether.conditions e) with Ether.corrupt_prob = prev }))
 
 let apply ?on_restart c sched =
   let now = Cluster.now c in
@@ -71,9 +117,12 @@ let random ~seed ~n ?(horizon = Time.ms 2000) () =
     let dur = int (Time.ms 50) (Time.ms 500) in
     push (rand_t ()) (Loss_burst (rate, dur))
   in
+  (* Probabilities are generated in 1/1000 steps so the %g text form
+     round-trips exactly (see the text-form comment below). *)
+  let milli lo hi = float_of_int (int lo hi) /. 1000. in
   let n_events = int 2 5 in
   for _ = 1 to n_events do
-    match int 0 3 with
+    match int 0 8 with
     | 0 when !crash_budget > 0 ->
         decr crash_budget;
         let i = Random.State.int st n in
@@ -102,7 +151,26 @@ let random ~seed ~n ?(horizon = Time.ms 2000) () =
         let at = rand_t () in
         push at (Partition (pick true, pick false));
         push (at + int (Time.ms 100) (Time.ms 800)) Heal
-    | _ -> loss_burst ()
+    | 3 -> loss_burst ()
+    | 4 when n >= 2 ->
+        (* One-way cut: [dst] goes deaf to [src] but keeps talking.
+           Healed with a full heal, like partitions. *)
+        let src = Random.State.int st n in
+        let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+        let at = rand_t () in
+        push at (Oneway (src, dst));
+        push (at + int (Time.ms 100) (Time.ms 800)) Heal
+    | 5 ->
+        push (rand_t ())
+          (Burst (milli 5 50, milli 100 500, milli 300 900,
+                  int (Time.ms 100) (Time.ms 800)))
+    | 6 ->
+        push (rand_t ()) (Duplicate (milli 20 200, int (Time.ms 100) (Time.ms 800)))
+    | 7 ->
+        push (rand_t ())
+          (Jitter (int (Time.us 200) (Time.ms 3), int (Time.ms 100) (Time.ms 800)))
+    | _ ->
+        push (rand_t ()) (Corrupt (milli 5 50, int (Time.ms 100) (Time.ms 800)))
   done;
   sort (List.rev !steps)
 
@@ -122,6 +190,12 @@ let action_to_string = function
   | Partition (a, b) -> Printf.sprintf "part %s/%s" (ids a) (ids b)
   | Heal -> "heal"
   | Loss_burst (rate, dur) -> Printf.sprintf "loss %g %d" rate dur
+  | Oneway (src, dst) -> Printf.sprintf "oneway %d %d" src dst
+  | Burst (p_gb, p_bg, loss_bad, dur) ->
+      Printf.sprintf "burst %g %g %g %d" p_gb p_bg loss_bad dur
+  | Duplicate (prob, dur) -> Printf.sprintf "dup %g %d" prob dur
+  | Jitter (ns, dur) -> Printf.sprintf "jitter %d %d" ns dur
+  | Corrupt (prob, dur) -> Printf.sprintf "corrupt %g %d" prob dur
 
 let to_string sched =
   String.concat "; "
@@ -141,6 +215,16 @@ let action_of_string s =
       | _ -> invalid_arg ("Fault.of_string: bad partition " ^ s))
   | [ "heal" ] -> Heal
   | [ "loss"; rate; dur ] -> Loss_burst (float_of_string rate, int_of_string dur)
+  | [ "oneway"; src; dst ] -> Oneway (int_of_string src, int_of_string dst)
+  | [ "burst"; p_gb; p_bg; loss_bad; dur ] ->
+      Burst
+        ( float_of_string p_gb,
+          float_of_string p_bg,
+          float_of_string loss_bad,
+          int_of_string dur )
+  | [ "dup"; prob; dur ] -> Duplicate (float_of_string prob, int_of_string dur)
+  | [ "jitter"; ns; dur ] -> Jitter (int_of_string ns, int_of_string dur)
+  | [ "corrupt"; prob; dur ] -> Corrupt (float_of_string prob, int_of_string dur)
   | _ -> invalid_arg ("Fault.of_string: bad action " ^ s)
 
 let of_string str =

@@ -21,6 +21,24 @@ type action =
   | Loss_burst of float * Time.t
       (** [(rate, dur)]: random frame loss at [rate] for [dur], then
           the previous loss rate is restored *)
+  | Oneway of int * int
+      (** [(src, dst)]: directed cut — frames from station [src] never
+          reach [dst] while the reverse path stays up.  Removed by
+          [Heal], like partitions. *)
+  | Burst of float * float * float * Time.t
+      (** [(p_gb, p_bg, loss_bad, dur)]: Gilbert–Elliott correlated
+          loss on every link for [dur] (good-state loss 0), then the
+          previous condition is restored *)
+  | Duplicate of float * Time.t
+      (** [(prob, dur)]: each delivered frame arrives twice with
+          probability [prob] *)
+  | Jitter of int * Time.t
+      (** [(ns, dur)]: per-frame delivery delay uniform in [0, ns], so
+          frames can overtake each other *)
+  | Corrupt of float * Time.t
+      (** [(prob, dur)]: each delivered copy has bits flipped at a
+          random byte offset with probability [prob]; checksums must
+          catch it *)
 
 type step = { at : Time.t; action : action }
 (** [at] is absolute simulated time. *)
@@ -36,8 +54,10 @@ val apply : ?on_restart:(int -> unit) -> Cluster.t -> schedule -> unit
 val random : seed:int -> n:int -> ?horizon:Time.t -> unit -> schedule
 (** A seeded random schedule for an [n]-machine cluster, with faults
     in [50ms, horizon] (default 2s).  Pure function of [seed]: it uses
-    its own RNG, not the engine's.  Pauses are paired with resumes and
-    partitions with heals; at most [(n-1)/2] machines crash, so a
+    its own RNG, not the engine's.  Pauses are paired with resumes,
+    partitions and one-way cuts with heals, and condition bursts
+    (Gilbert–Elliott loss, duplication, jitter, corruption) carry
+    their own bounded duration; at most [(n-1)/2] machines crash, so a
     majority quorum always survives for recovery. *)
 
 val crash_count : schedule -> int

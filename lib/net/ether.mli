@@ -77,6 +77,75 @@ val partition_drops : t -> int
 (** Deliveries suppressed by partitions (counted per receiver, unlike
     {!frames_lost} which counts whole frames). *)
 
+(** {2 One-way cuts}
+
+    A directed partition: frames from [src] never reach [dst] while
+    the reverse direction stays up — a failing transceiver or
+    asymmetric routing fault.  Nastier than a symmetric cut because
+    the deaf side still hears everyone and believes the net healthy. *)
+
+val cut_oneway : t -> src:int -> dst:int -> unit
+
+val heal_oneway : t -> src:int -> dst:int -> unit
+
+val oneway_cut : t -> src:int -> dst:int -> bool
+
+val oneway_drops : t -> int
+(** Deliveries suppressed by one-way cuts (counted per receiver). *)
+
+(** {2 Link conditions}
+
+    Adversarial per-link behaviour beyond uniform loss: correlated
+    (bursty) loss via a two-state Gilbert–Elliott channel,
+    duplication, reordering via per-frame delivery jitter, and payload
+    corruption.  Conditions apply per {e directed} link; a default
+    applies to every link without an override.  With no conditions,
+    directed cuts or partitions installed, delivery takes the original
+    fast path — the guard is two cheap reads per frame. *)
+
+type gilbert = {
+  p_gb : float;  (** good → bad transition probability, per frame *)
+  p_bg : float;  (** bad → good *)
+  loss_good : float;  (** loss probability while in the good state *)
+  loss_bad : float;  (** loss probability while in the bad state *)
+}
+
+type conditions = {
+  gilbert : gilbert option;  (** bursty loss; [None] = lossless *)
+  dup_prob : float;  (** probability a delivered frame arrives twice *)
+  jitter_ns : int;
+      (** each delivery is delayed by a uniform draw from
+          [0, jitter_ns], so later frames can overtake earlier ones *)
+  corrupt_prob : float;
+      (** probability a delivered copy has a bit flipped at a random
+          byte offset; receivers' checksums must catch it *)
+}
+
+val clean : conditions
+(** No loss, duplication, jitter or corruption. *)
+
+val set_conditions : t -> conditions -> unit
+(** Sets the default conditions for every link without a per-link
+    override, and resets the default Gilbert–Elliott channel to the
+    good state. *)
+
+val conditions : t -> conditions
+
+val set_link_conditions : t -> src:int -> dst:int -> conditions option -> unit
+(** Overrides the conditions on one directed link ([None] removes the
+    override, falling back to the default). *)
+
+val link_conditions : t -> src:int -> dst:int -> conditions option
+
+val cond_losses : t -> int
+(** Deliveries suppressed by Gilbert–Elliott loss (per receiver). *)
+
+val duplicates_injected : t -> int
+
+val corruptions_injected : t -> int
+
+val frames_jittered : t -> int
+
 (** {1 Statistics} *)
 
 val collisions : t -> int

@@ -10,6 +10,13 @@ type body = ..
 
 type body += Empty
 
+type body += Corrupted of { orig : body; byte : int }
+(** A frame mangled in flight by fault injection.  [byte] is the
+    offset of the flipped bits within [size_on_wire]: receivers decide
+    from it which header's checksum catches the damage.  The original
+    body is kept so layered models can tell what {e would} have
+    arrived — it must never be delivered as valid payload. *)
+
 type dest =
   | Unicast of int  (** station id *)
   | Multicast of int  (** multicast group id *)

@@ -97,6 +97,97 @@ let prop_schedule_roundtrip =
       let s = Fault.random ~seed ~n () in
       Fault.of_string (Fault.to_string s) = s)
 
+(* ----- adversarial link conditions -----
+
+   Directed runs pin each receive-path hardening through the counters
+   it exposes: the invariants must hold AND the adversary must really
+   have fired AND the kernel must report absorbing it.  A second swarm
+   then runs random fault schedules on top of persistently hostile
+   link conditions. *)
+
+let step at action = { Fault.at; action }
+
+let test_duplication_absorbed () =
+  let o =
+    Chaos.run ~n:4 ~seed:11
+      ~schedule:[ step (Time.ms 100) (Fault.Duplicate (1.0, Time.ms 1_500)) ]
+      ()
+  in
+  Alcotest.(check bool) "invariants hold" true (Chaos.ok o);
+  Alcotest.(check bool) "wire duplicated frames" true (o.Chaos.dups_injected > 0);
+  Alcotest.(check bool) "kernels dropped duplicates" true
+    (o.Chaos.duplicates_dropped > 0)
+
+let test_reordering_absorbed () =
+  let o =
+    Chaos.run ~n:4 ~seed:12
+      ~schedule:[ step (Time.ms 100) (Fault.Jitter (Time.ms 30, Time.ms 1_500)) ]
+      ()
+  in
+  Alcotest.(check bool) "invariants hold" true (Chaos.ok o);
+  Alcotest.(check bool) "kernels absorbed reorderings" true
+    (o.Chaos.reorders_absorbed > 0)
+
+let test_corruption_caught_by_checksums () =
+  let o =
+    Chaos.run ~n:4 ~seed:13
+      ~schedule:[ step (Time.ms 100) (Fault.Corrupt (0.05, Time.ms 1_500)) ]
+      ()
+  in
+  Alcotest.(check bool) "invariants hold" true (Chaos.ok o);
+  Alcotest.(check bool) "corruptions were injected" true
+    (o.Chaos.corruptions_injected > 0);
+  Alcotest.(check bool) "every one was checksum-rejected somewhere" true
+    (o.Chaos.corrupt_dropped + o.Chaos.flip_checksum_drops > 0)
+
+let test_oneway_cut_survived () =
+  let o =
+    Chaos.run ~n:4 ~seed:14
+      ~schedule:
+        [ step (Time.ms 200) (Fault.Oneway (0, 2)); step (Time.ms 900) Fault.Heal ]
+      ()
+  in
+  Alcotest.(check bool) "invariants hold" true (Chaos.ok o);
+  Alcotest.(check bool) "the cut suppressed deliveries" true
+    (o.Chaos.oneway_drops > 0)
+
+let test_loss_burst_repaired () =
+  let o =
+    Chaos.run ~n:4 ~seed:15
+      ~schedule:
+        [ step (Time.ms 100) (Fault.Burst (0.05, 0.3, 0.9, Time.ms 1_200)) ]
+      ()
+  in
+  Alcotest.(check bool) "invariants hold" true (Chaos.ok o);
+  Alcotest.(check bool) "the burst lost frames" true (o.Chaos.cond_losses > 0);
+  Alcotest.(check bool) "nacks repaired the gaps" true (o.Chaos.nacks > 0)
+
+(* Persistent moderately-hostile conditions on every link for the
+   whole active phase, under the same random schedules as the main
+   swarm. *)
+let adversarial_net =
+  {
+    Amoeba_net.Ether.gilbert =
+      Some
+        {
+          Amoeba_net.Ether.p_gb = 0.01;
+          p_bg = 0.3;
+          loss_good = 0.002;
+          loss_bad = 0.4;
+        };
+    dup_prob = 0.05;
+    jitter_ns = Time.ms 2;
+    corrupt_prob = 0.01;
+  }
+
+let prop_adversarial_swarm =
+  QCheck.Test.make
+    ~name:"swarm: invariants hold on a hostile net under random schedules"
+    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+      Chaos.ok
+        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
+           ~net:adversarial_net ~seed ()))
+
 let prop_chaos_deterministic =
   QCheck.Test.make ~name:"chaos runs replay bit-identically from a seed"
     ~count:12
@@ -352,7 +443,13 @@ let suite =
       tc "crashed machine schedules zero events"
         test_crashed_machine_schedules_zero_events;
       tc "checker catches violations" test_checker_catches_violations;
+      tc "duplication absorbed" test_duplication_absorbed;
+      tc "reordering absorbed" test_reordering_absorbed;
+      tc "corruption caught by checksums" test_corruption_caught_by_checksums;
+      tc "one-way cut survived" test_oneway_cut_survived;
+      tc "loss burst repaired" test_loss_burst_repaired;
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
+      QCheck_alcotest.to_alcotest ~rand prop_adversarial_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;
       QCheck_alcotest.to_alcotest ~rand prop_chaos_deterministic;
     ] )

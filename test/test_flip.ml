@@ -208,6 +208,138 @@ let test_lost_fragment_means_no_delivery () =
   Engine.run w.eng;
   Alcotest.(check int) "only the warm-up delivered" 1 !got
 
+(* ----- adversarial delivery: the rx path under a hostile wire ----- *)
+
+let warm_route w a b =
+  (* Run the WHOIS/IAM exchange on a quiet net so later fault filters
+     only ever see data fragments. *)
+  ignore (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:0 Packet.Empty));
+  Engine.sleep w.eng (Time.ms 5)
+
+let test_duplicate_fragments_deliver_once () =
+  let w = make_world 2 in
+  let a = Flip.fresh_addr (flip w 0) and b = Flip.fresh_addr (flip w 1) in
+  Flip.register (flip w 0) a (fun _ -> ());
+  let got = ref 0 in
+  Flip.register (flip w 1) b (fun _ -> incr got);
+  Engine.spawn w.eng (fun () ->
+      warm_route w a b;
+      Ether.set_conditions w.ether { Ether.clean with Ether.dup_prob = 1.0 };
+      ignore (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:4_000 Packet.Empty));
+      Engine.sleep w.eng (Time.ms 50));
+  Engine.run w.eng;
+  Alcotest.(check int) "reassembled exactly once" 2 !got;
+  (* warm-up + one reassembly: 2 *)
+  Alcotest.(check bool) "duplicate fragments were discarded" true
+    (Flip.dup_fragments (flip w 1) > 0)
+
+let test_reordered_fragments_reassemble () =
+  (* Heavy delivery jitter permutes the fragment train; the arrival
+     bitmap still completes the packet exactly once. *)
+  let w = make_world 2 in
+  let a = Flip.fresh_addr (flip w 0) and b = Flip.fresh_addr (flip w 1) in
+  Flip.register (flip w 0) a (fun _ -> ());
+  let sizes = ref [] in
+  Flip.register (flip w 1) b (fun p -> sizes := p.Packet.size :: !sizes);
+  Engine.spawn w.eng (fun () ->
+      warm_route w a b;
+      Ether.set_conditions w.ether { Ether.clean with Ether.jitter_ns = Time.ms 10 };
+      ignore (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:8_000 Packet.Empty));
+      Engine.sleep w.eng (Time.ms 100));
+  Engine.run w.eng;
+  Alcotest.(check (list int)) "one full-size delivery despite reordering"
+    [ 8_000; 0 ] !sizes;
+  Alcotest.(check bool) "the wire really did reorder" true
+    (Ether.frames_jittered w.ether > 0)
+
+let test_header_corruption_drops_whole_frame () =
+  (* A 0-byte packet is all headers on the wire, so a flipped bit
+     always lands in the header region: the FLIP checksum rejects the
+     frame and nothing reaches the endpoint. *)
+  let w = make_world 2 in
+  let a = Flip.fresh_addr (flip w 0) and b = Flip.fresh_addr (flip w 1) in
+  Flip.register (flip w 0) a (fun _ -> ());
+  let got = ref 0 in
+  Flip.register (flip w 1) b (fun _ -> incr got);
+  Engine.spawn w.eng (fun () ->
+      warm_route w a b;
+      Ether.set_conditions w.ether { Ether.clean with Ether.corrupt_prob = 1.0 };
+      ignore (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:0 Packet.Empty));
+      Engine.sleep w.eng (Time.ms 20));
+  Engine.run w.eng;
+  Alcotest.(check int) "only the warm-up arrived" 1 !got;
+  Alcotest.(check int) "header checksum drop counted" 1
+    (Flip.corrupt_dropped (flip w 1))
+
+let test_payload_corruption_travels_wrapped () =
+  (* With a large payload most flipped bits land beyond the header
+     region: the headers verify, and the damaged packet must travel up
+     wrapped in [Packet.Corrupt] — never as a valid body. *)
+  let w = make_world 2 in
+  let a = Flip.fresh_addr (flip w 0) and b = Flip.fresh_addr (flip w 1) in
+  Flip.register (flip w 0) a (fun _ -> ());
+  let clean = ref 0 and wrapped = ref 0 in
+  Flip.register (flip w 1) b (fun p ->
+      match p.Packet.body with
+      | Packet.Corrupt _ -> incr wrapped
+      | _ -> incr clean);
+  Engine.spawn w.eng (fun () ->
+      warm_route w a b;
+      Ether.set_conditions w.ether { Ether.clean with Ether.corrupt_prob = 1.0 };
+      for _ = 1 to 5 do
+        ignore
+          (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:1_400 Packet.Empty))
+      done;
+      Engine.sleep w.eng (Time.ms 50));
+  Engine.run w.eng;
+  Alcotest.(check int) "warm-up was the only clean delivery" 1 !clean;
+  Alcotest.(check bool) "payload damage arrived wrapped" true (!wrapped > 0);
+  Alcotest.(check int) "all five were injected" 5
+    (Ether.corruptions_injected w.ether);
+  Alcotest.(check int) "every copy was wrapped or dropped" 5
+    (!wrapped + Flip.corrupt_dropped (flip w 1))
+
+let test_stale_reassembly_entries_purged () =
+  (* Losing the tail fragment of many messages piles up partial
+     reassembly entries; once the table is big enough, entries older
+     than a second are purged on the next arrival, so a lossy peer
+     cannot pin memory forever. *)
+  let w = make_world 2 in
+  let a = Flip.fresh_addr (flip w 0) and b = Flip.fresh_addr (flip w 1) in
+  Flip.register (flip w 0) a (fun _ -> ());
+  let got = ref 0 in
+  Flip.register (flip w 1) b (fun _ -> incr got);
+  Engine.spawn w.eng (fun () ->
+      warm_route w a b;
+      (* Drop every second data fragment: each 2-fragment packet loses
+         its tail and leaves a partial entry. *)
+      let data_frames = ref 0 in
+      Ether.set_drop_fun w.ether
+        (Some
+           (fun f ->
+             match Flip.packet_of_frame f with
+             | Some _ ->
+                 incr data_frames;
+                 !data_frames mod 2 = 0
+             | None -> false));
+      for _ = 1 to 300 do
+        ignore
+          (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:2_000 Packet.Empty))
+      done;
+      Engine.sleep w.eng (Time.ms 10);
+      Alcotest.(check int) "all partials buffered" 300
+        (Flip.partial_count (flip w 1));
+      (* Age them past the purge threshold, then send one more
+         half-delivered packet to trigger the lazy sweep. *)
+      Engine.sleep w.eng (Time.ms 1_100);
+      ignore
+        (Flip.send (flip w 0) (Packet.make ~src:a ~dst:b ~size:2_000 Packet.Empty));
+      Engine.sleep w.eng (Time.ms 10);
+      Alcotest.(check int) "stale entries purged, fresh one kept" 1
+        (Flip.partial_count (flip w 1)));
+  Engine.run w.eng;
+  Alcotest.(check int) "no half packet was ever delivered" 1 !got
+
 let prop_fragment_count =
   QCheck.Test.make ~name:"fragment count = ceil(size / max_fragment)" ~count:100
     QCheck.(int_range 0 100_000)
@@ -242,5 +374,12 @@ let suite =
       tc "crashed destination is no_route" test_crashed_destination_is_no_route;
       tc "locate retries through loss" test_locate_retries_through_loss;
       tc "lost fragment suppresses delivery" test_lost_fragment_means_no_delivery;
+      tc "duplicate fragments deliver once" test_duplicate_fragments_deliver_once;
+      tc "reordered fragments reassemble" test_reordered_fragments_reassemble;
+      tc "header corruption drops the frame"
+        test_header_corruption_drops_whole_frame;
+      tc "payload corruption travels wrapped"
+        test_payload_corruption_travels_wrapped;
+      tc "stale reassembly entries purged" test_stale_reassembly_entries_purged;
       QCheck_alcotest.to_alcotest prop_fragment_count;
     ] )

@@ -263,6 +263,169 @@ let test_work_records_trace_spans () =
   let layers = List.map fst (Trace.by_layer tr) in
   Alcotest.(check (list string)) "layers recorded" [ "group"; "user" ] layers
 
+(* ----- adversarial link conditions ----- *)
+
+let test_oneway_cut_is_directed () =
+  let eng, _, ether = make_world () in
+  let got = ref [] in
+  let p0 = Ether.attach ether ~rx:(fun f -> got := (0, f) :: !got) in
+  let p1 = Ether.attach ether ~rx:(fun f -> got := (1, f) :: !got) in
+  ignore p0;
+  Ether.cut_oneway ether ~src:0 ~dst:1;
+  Engine.spawn eng (fun () ->
+      ignore (Ether.transmit ether p0 (frame ~src:0 ~dest:(Frame.Unicast 1) 1));
+      ignore (Ether.transmit ether p1 (frame ~src:1 ~dest:(Frame.Unicast 0) 2)));
+  Engine.run eng;
+  (* 0 -> 1 suppressed, 1 -> 0 delivered: the deaf side still hears. *)
+  Alcotest.(check (list int)) "only the reverse path delivers" [ 0 ]
+    (List.map fst !got);
+  Alcotest.(check int) "directed drop counted" 1 (Ether.oneway_drops ether);
+  Alcotest.(check bool) "cut is queryable" true
+    (Ether.oneway_cut ether ~src:0 ~dst:1
+    && not (Ether.oneway_cut ether ~src:1 ~dst:0));
+  Ether.heal_oneway ether ~src:0 ~dst:1;
+  Alcotest.(check bool) "healed" false (Ether.oneway_cut ether ~src:0 ~dst:1)
+
+let test_gilbert_bursty_loss () =
+  (* A channel that enters the bad state on the first frame and never
+     leaves, with certain loss while bad: every frame is swallowed.
+     The complementary setting (never leaves the good state, lossless
+     there) delivers everything — the loss is state-, not
+     frame-correlated. *)
+  let eng, _, ether = make_world () in
+  let got = ref 0 in
+  let _p0 = Ether.attach ether ~rx:(fun _ -> incr got) in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  let burst g =
+    { Ether.clean with Ether.gilbert = Some g }
+  in
+  Ether.set_conditions ether
+    (burst { Ether.p_gb = 1.0; p_bg = 0.0; loss_good = 0.0; loss_bad = 1.0 });
+  Engine.spawn eng (fun () ->
+      for i = 1 to 5 do
+        ignore
+          (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast i))
+      done;
+      (* Same channel shape, but the bad state is unreachable. *)
+      Ether.set_conditions ether
+        (burst { Ether.p_gb = 0.0; p_bg = 0.0; loss_good = 0.0; loss_bad = 1.0 });
+      for i = 6 to 10 do
+        ignore
+          (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast i))
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "bad state swallows all, good state none" 5 !got;
+  Alcotest.(check int) "losses counted" 5 (Ether.cond_losses ether)
+
+let test_duplication_delivers_twice () =
+  let eng, _, ether = make_world () in
+  let got = ref 0 in
+  let _p0 = Ether.attach ether ~rx:(fun _ -> incr got) in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  Ether.set_conditions ether { Ether.clean with Ether.dup_prob = 1.0 };
+  Engine.spawn eng (fun () ->
+      for i = 1 to 3 do
+        ignore
+          (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast i))
+      done);
+  Engine.run eng;
+  Alcotest.(check int) "every frame arrives twice" 6 !got;
+  Alcotest.(check int) "duplicates counted" 3 (Ether.duplicates_injected ether)
+
+let test_jitter_can_reorder () =
+  (* With delivery jitter far larger than the inter-frame gap, a long
+     train of frames arrives permuted for some seed — delivery order
+     is no longer transmission order. *)
+  let eng, _, ether = make_world () in
+  let order = ref [] in
+  let _p0 =
+    Ether.attach ether ~rx:(fun f ->
+        match f.Frame.body with Tag i -> order := i :: !order | _ -> ())
+  in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  Ether.set_conditions ether { Ether.clean with Ether.jitter_ns = Time.ms 10 };
+  Engine.spawn eng (fun () ->
+      for i = 1 to 12 do
+        ignore
+          (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast i))
+      done);
+  Engine.run eng;
+  let order = List.rev !order in
+  Alcotest.(check int) "nothing lost" 12 (List.length order);
+  Alcotest.(check (list int)) "every frame still arrives"
+    (List.init 12 (fun i -> i + 1))
+    (List.sort compare order);
+  Alcotest.(check bool) "arrival order differs from send order" true
+    (order <> List.init 12 (fun i -> i + 1));
+  Alcotest.(check bool) "jittered deliveries counted" true
+    (Ether.frames_jittered ether > 0)
+
+let test_corruption_wraps_body () =
+  let eng, _, ether = make_world () in
+  let got = ref [] in
+  let _p0 = Ether.attach ether ~rx:(fun f -> got := f :: !got) in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  Ether.set_conditions ether { Ether.clean with Ether.corrupt_prob = 1.0 };
+  Engine.spawn eng (fun () ->
+      ignore
+        (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast 9)));
+  Engine.run eng;
+  (match !got with
+  | [ f ] -> (
+      match f.Frame.body with
+      | Frame.Corrupted { orig = Tag 9; byte } ->
+          Alcotest.(check bool) "damage offset within the frame" true
+            (byte >= 0 && byte < f.Frame.size_on_wire)
+      | _ -> Alcotest.fail "body not wrapped as Corrupted")
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  Alcotest.(check int) "corruption counted" 1 (Ether.corruptions_injected ether)
+
+let test_per_link_conditions_override_default () =
+  (* Conditions are per directed link: a total-loss override on
+     1 -> 0 starves port 0 while port 2 still hears the same
+     broadcasts. *)
+  let eng, _, ether = make_world () in
+  let got = ref [] in
+  let _p0 = Ether.attach ether ~rx:(fun _ -> got := 0 :: !got) in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  let _p2 = Ether.attach ether ~rx:(fun _ -> got := 2 :: !got) in
+  let total_loss =
+    {
+      Ether.clean with
+      Ether.gilbert =
+        Some { Ether.p_gb = 1.0; p_bg = 0.0; loss_good = 0.0; loss_bad = 1.0 };
+    }
+  in
+  Ether.set_link_conditions ether ~src:1 ~dst:0 (Some total_loss);
+  Engine.spawn eng (fun () ->
+      for i = 1 to 3 do
+        ignore
+          (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast i))
+      done);
+  Engine.run eng;
+  Alcotest.(check (list int)) "only the clean link delivers" [ 2; 2; 2 ] !got;
+  Alcotest.(check bool) "override queryable" true
+    (Ether.link_conditions ether ~src:1 ~dst:0 = Some total_loss
+    && Ether.link_conditions ether ~src:1 ~dst:2 = None);
+  Ether.set_link_conditions ether ~src:1 ~dst:0 None;
+  Alcotest.(check bool) "override removed" true
+    (Ether.link_conditions ether ~src:1 ~dst:0 = None)
+
+let test_conditions_clear_restores_fast_path () =
+  let eng, _, ether = make_world () in
+  let got = ref 0 in
+  let _p0 = Ether.attach ether ~rx:(fun _ -> incr got) in
+  let p1 = Ether.attach ether ~rx:(fun _ -> ()) in
+  Ether.set_conditions ether { Ether.clean with Ether.dup_prob = 1.0 };
+  Ether.set_conditions ether Ether.clean;
+  Engine.spawn eng (fun () ->
+      ignore
+        (Ether.transmit ether p1 (frame ~src:(Ether.port_id p1) ~dest:Frame.Broadcast 1)));
+  Engine.run eng;
+  Alcotest.(check int) "clean again: one copy" 1 !got;
+  Alcotest.(check int) "no residual duplication" 0
+    (Ether.duplicates_injected ether)
+
 let test_excessive_collisions_drop () =
   (* A medium jammed by an adversarial filter never lets anyone win:
      senders give up after 16 attempts and report Dropped. *)
@@ -343,5 +506,14 @@ let suite =
       tc "work records trace spans" test_work_records_trace_spans;
       tc "contention resolves via backoff" test_excessive_collisions_drop;
       tc "interrupt accounting" test_interrupt_accounting;
+      tc "one-way cut is directed" test_oneway_cut_is_directed;
+      tc "gilbert-elliott loss is bursty" test_gilbert_bursty_loss;
+      tc "duplication delivers twice" test_duplication_delivers_twice;
+      tc "jitter reorders deliveries" test_jitter_can_reorder;
+      tc "corruption wraps the body" test_corruption_wraps_body;
+      tc "per-link conditions override default"
+        test_per_link_conditions_override_default;
+      tc "clearing conditions restores the fast path"
+        test_conditions_clear_restores_fast_path;
       QCheck_alcotest.to_alcotest prop_many_senders_all_frames_delivered;
     ] )

@@ -364,11 +364,18 @@ let test_frozen_member_ignores_old_incarnation_traffic () =
         (Api.get_info_group g1).Api.next_seq;
       Alcotest.(check (list string)) "nothing delivered while frozen" []
         (message_bodies g1);
-      (* The forged recovery never completes, so the freeze resolves as
-         an expulsion — which doubles as proof the invite took hold. *)
+      (* The forged recovery never completes: after the grace period
+         the frozen member probes with a recovery of its own, finds the
+         group still standing, and re-forms it under a fresh
+         incarnation instead of dying on a forged invite. *)
       Engine.sleep cl.Cluster.engine (Time.sec 2);
-      Alcotest.(check bool) "frozen member concludes expelled" false
-        (Kernel.alive k1))
+      Alcotest.(check bool) "frozen member recovers" true (Kernel.alive k1);
+      Alcotest.(check bool) "fresh incarnation installed" true
+        ((Api.get_info_group g1).Api.incarnation > inc0);
+      ignore (check_ok "post-recovery send" (Api.send_to_group g0 (body "after")));
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      Alcotest.(check (list string)) "delivery resumes" [ "after" ]
+        (message_bodies g1))
 
 let test_frozen_sequencer_defers_queued_sends () =
   (* Regression: a sender co-located with the sequencer used to
@@ -400,16 +407,18 @@ let test_frozen_sequencer_defers_queued_sends () =
       Alcotest.(check bool) "send still pending" true (!result = None);
       Alcotest.(check (list string)) "member saw no frozen-era traffic" []
         (message_bodies g1);
-      (* The forged coordinator never installs a new configuration, so
-         the frozen kernel concludes it was expelled and aborts the
-         queued send instead of sequencing it. *)
+      (* The forged coordinator never installs a new configuration:
+         after the grace period the frozen sequencer re-forms the
+         group itself and the deferred send goes out under the new
+         incarnation — never into the one the forged invite froze. *)
       Engine.sleep cl.Cluster.engine (Time.sec 2);
-      match !result with
-      | Some (Error T.Send_aborted) -> ()
-      | Some (Ok _) -> Alcotest.fail "send was sequenced into a dead incarnation"
+      (match !result with
+      | Some (Ok _) -> ()
       | Some (Error e) ->
-          Alcotest.failf "unexpected send outcome: %s" (T.error_to_string e)
-      | None -> Alcotest.fail "send still blocked after expulsion")
+          Alcotest.failf "queued send died: %s" (T.error_to_string e)
+      | None -> Alcotest.fail "send still blocked after recovery");
+      Alcotest.(check (list string)) "deferred send delivered post-reset"
+        [ "late" ] (message_bodies g1))
 
 let prop_survivors_agree_after_random_crash =
   QCheck.Test.make ~name:"survivors agree after a random crash + reset" ~count:8

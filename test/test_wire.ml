@@ -72,6 +72,35 @@ let test_membership_payload_scales_with_members () =
   Alcotest.(check bool) "grows with membership" true (reply 10 > reply 2);
   Alcotest.(check int) "12 bytes per member" (8 * 12) (reply 10 - reply 2)
 
+let test_decode_total () =
+  (* decode never raises and never interprets damaged bytes: a body
+     wrapped in [Packet.Corrupt] fails the group checksum whatever it
+     used to be, and traffic of other protocols is [`Foreign]. *)
+  let msg = user_msg Bytes.empty in
+  Alcotest.(check bool) "intact group message decodes" true
+    (Wire.decode (Wire.Group msg) = Ok msg);
+  Alcotest.(check bool) "corrupt group message rejected" true
+    (Wire.decode (Amoeba_flip.Packet.Corrupt (Wire.Group msg)) = Error `Corrupt);
+  Alcotest.(check bool) "doubly-wrapped corruption still rejected" true
+    (Wire.decode
+       (Amoeba_flip.Packet.Corrupt (Amoeba_flip.Packet.Corrupt (Wire.Group msg)))
+    = Error `Corrupt);
+  Alcotest.(check bool) "foreign body is foreign" true
+    (Wire.decode Amoeba_flip.Packet.Empty = Error `Foreign);
+  Alcotest.(check bool) "corrupt foreign body stays foreign" true
+    (Wire.decode (Amoeba_flip.Packet.Corrupt Amoeba_flip.Packet.Empty)
+    = Error `Foreign)
+
+let test_invite_ack_carries_position () =
+  (* The recovery protocol compares positions across incarnations, so
+     an invite-ack charges five scalar fields. *)
+  let ack =
+    Wire.Invite_ack
+      { mid = 1; last_stable = 9; inc = 2; cur_inc = 1; inc_seq = 4 }
+  in
+  Alcotest.(check int) "invite_ack = 5 words" (c.header_group + 20)
+    (Wire.size c ack)
+
 let test_describe_covers_all () =
   (* describe is used in logs; spot-check a few. *)
   Alcotest.(check string) "req" "req" (Wire.describe (user_msg Bytes.empty));
@@ -89,5 +118,7 @@ let suite =
       tc "control messages are header-only" test_control_messages_are_short;
       tc "full header stack is 116 bytes" test_full_header_stack_is_116;
       tc "membership payload scales" test_membership_payload_scales_with_members;
+      tc "decode is total on malformed input" test_decode_total;
+      tc "invite_ack carries stream position" test_invite_ack_carries_position;
       tc "describe labels" test_describe_covers_all;
     ] )
