@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service check clean
 
 all: build
 
@@ -14,6 +14,7 @@ check:
 	dune runtest
 	dune build @chaos-smoke
 	dune build @bench-smoke
+	dune build @service-smoke
 
 build:
 	dune build
@@ -42,6 +43,13 @@ chaos:
 #   dune exec bin/amoeba.exe -- chaos --seed N --net adversarial
 chaos-net:
 	dune build @chaos-net-smoke
+
+# Fixed-seed sharded-service workloads with per-shard invariant checks,
+# including sequencer- and follower-crash runs (also part of
+# `dune runtest` via the service-smoke alias).  Replay with e.g.
+#   dune exec bin/amoeba.exe -- workload --shards 4 --seed 11
+service:
+	dune build @service-smoke
 
 clean:
 	dune clean

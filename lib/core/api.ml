@@ -60,11 +60,15 @@ let leave_group g = Kernel.leave g.k
    the thread context switch (paper Figure 2 / Table 3). *)
 let user_cost g = Machine.work g.machine ~layer:"user" g.cost.context_switch_ns
 
-let send_to_group g body =
+let send_to_group ?(copy = true) g body =
   user_cost g;
   (* The message is taken at call time: the caller may reuse its
-     buffer immediately (Amoeba copies into the kernel too). *)
-  let result = Kernel.send g.k (Bytes.copy body) in
+     buffer immediately (Amoeba copies into the kernel too).  A caller
+     that hands over a buffer it will never touch again passes
+     [~copy:false] and saves the allocation; zero-length bodies have
+     nothing to alias and are never copied. *)
+  let owned = if copy && Bytes.length body > 0 then Bytes.copy body else body in
+  let result = Kernel.send g.k owned in
   (* Waking the blocked sending thread costs a second switch. *)
   user_cost g;
   result

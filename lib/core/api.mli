@@ -70,7 +70,11 @@ val join_group :
 
 val leave_group : group -> (unit, error) result
 
-val send_to_group : group -> bytes -> (seqno, error) result
+val send_to_group : ?copy:bool -> group -> bytes -> (seqno, error) result
+(** [copy] (default true) mirrors Amoeba's user→kernel copy: the
+    message is taken at call time so the caller may reuse its buffer.
+    Library layers that frame into a fresh buffer per send pass
+    [~copy:false] to hand the buffer over and skip the allocation. *)
 
 val receive_from_group : group -> event
 (** Blocks until the next totally-ordered event (message, membership

@@ -164,6 +164,11 @@ type t = {
   mutable heal_waiting : int option;  (** nonce of an unanswered ping *)
   mutable heal_misses : int;
   mutable heal_nonce : int;
+  mutable heal_frontier : seqno;
+      (** sequencer-side heal: stable frontier seen at the last tick.
+          Tentatives stuck awaiting accepts while this stands still
+          mean an acker died — a plain member's silence is invisible
+          to the ping path, which only watches the sequencer. *)
   mutable reset_epoch : int;
       (** tick-stamp generator for this kernel's reset runs.  Per
           kernel, not process-global: epochs must never leak between
@@ -1426,26 +1431,52 @@ let handle_solicit_tick t =
 
 (* Auto-heal: a plain member pings the sequencer on a heartbeat; after
    enough unanswered pings it initiates recovery itself, requiring a
-   majority of the current membership to survive. *)
+   majority of the current membership to survive.
+
+   The sequencer needs the mirror-image watch.  A ping tells a member
+   the sequencer lives, but nothing tells the sequencer a member died
+   — and with resilience > 0 a dead acker wedges every send forever:
+   the tentative waits for an accept ack that will never come.  So on
+   the same heartbeat the sequencer checks for tentatives stuck
+   awaiting acks while the stable frontier stands still; enough
+   stalled ticks in a row and it starts a recovery, whose collect
+   phase declares the silent members dead and expels them. *)
 let handle_heal_tick t =
-  (if t.life = Normal && t.seqs = None && t.member_count > 1 then begin
-     (match t.heal_waiting with
-     | Some _ ->
-         t.heal_misses <- t.heal_misses + 1;
-         if t.heal_misses > t.cost.probe_retries then begin
-           t.heal_waiting <- None;
-           t.heal_misses <- 0;
-           let majority = (t.member_count / 2) + 1 in
-           start_reset t ~min_members:majority ~result:(Ivar.create ())
-             ~inc:(next_incarnation t)
+  (if t.life = Normal && t.member_count > 1 then
+     match t.seqs with
+     | None -> (
+         (match t.heal_waiting with
+         | Some _ ->
+             t.heal_misses <- t.heal_misses + 1;
+             if t.heal_misses > t.cost.probe_retries then begin
+               t.heal_waiting <- None;
+               t.heal_misses <- 0;
+               let majority = (t.member_count / 2) + 1 in
+               start_reset t ~min_members:majority ~result:(Ivar.create ())
+                 ~inc:(next_incarnation t)
+             end
+         | None -> ());
+         if t.life = Normal then begin
+           t.heal_nonce <- t.heal_nonce + 1;
+           t.heal_waiting <- Some t.heal_nonce;
+           unicast_mid t ~mid:t.seq_mid (Wire.Ping { nonce = t.heal_nonce })
+         end)
+     | Some s ->
+         t.heal_waiting <- None;
+         let stuck =
+           Hashtbl.fold (fun _ tent acc -> acc || tent.t_wait <> []) s.tents false
+         in
+         if stuck && s.stable_frontier = t.heal_frontier then begin
+           t.heal_misses <- t.heal_misses + 1;
+           if t.heal_misses > t.cost.probe_retries then begin
+             t.heal_misses <- 0;
+             start_reset t
+               ~min_members:((t.member_count / 2) + 1)
+               ~result:(Ivar.create ()) ~inc:(next_incarnation t)
+           end
          end
-     | None -> ());
-     if t.life = Normal then begin
-       t.heal_nonce <- t.heal_nonce + 1;
-       t.heal_waiting <- Some t.heal_nonce;
-       unicast_mid t ~mid:t.seq_mid (Wire.Ping { nonce = t.heal_nonce })
-     end
-   end
+         else t.heal_misses <- 0;
+         t.heal_frontier <- s.stable_frontier
    else begin
      t.heal_waiting <- None;
      t.heal_misses <- 0
@@ -1629,6 +1660,7 @@ let make flip ~cfg ~gaddr =
       heal_waiting = None;
       heal_misses = 0;
       heal_nonce = 0;
+      heal_frontier = -1;
       reset_epoch = 0;
       run = None;
       frozen_inc = 0;

@@ -42,6 +42,8 @@ module Make (App : APP) = struct
     checkpoint : (Stable_store.t * int) option;
     snapshots : (int * bytes) Channel.t;  (** applied count, state *)
     snap_addr : Addr.t;
+    tap : (T.event -> unit) option;
+        (** observer of the raw delivery stream (chaos checkers) *)
   }
 
   let ckpt_key g = Printf.sprintf "rsm:%d" (Addr.to_int (Api.group_address g))
@@ -94,7 +96,7 @@ module Make (App : APP) = struct
         end
 
   let parse_counted payload =
-    match String.index_opt (Bytes.to_string payload) ' ' with
+    match Bytes.index_opt payload ' ' with
     | None -> None
     | Some i ->
         let count = int_of_string (Bytes.sub_string payload 0 i) in
@@ -128,15 +130,17 @@ module Make (App : APP) = struct
 
   let applier t () =
     let rec loop () =
-      (match Api.receive_from_group t.g with
+      let ev = Api.receive_from_group t.g in
+      (match t.tap with Some f -> f ev | None -> ());
+      (match ev with
       | T.Message { seq; sender; body } -> handle_message t ~seq ~sender body
       | T.Member_joined _ | T.Member_left _ | T.Group_reset _ -> ()
       | T.Expelled -> ());
-      loop ()
+      match ev with T.Expelled -> () | _ -> loop ()
     in
     loop ()
 
-  let make flip g ~checkpoint ~seed =
+  let make flip g ~checkpoint ~seed ~tap =
     let machine = Flip.machine flip in
     let st, n_applied = Option.value seed ~default:(App.initial, 0) in
     let t =
@@ -151,6 +155,7 @@ module Make (App : APP) = struct
         checkpoint;
         snapshots = Channel.create ();
         snap_addr = Flip.fresh_addr flip;
+        tap;
       }
     in
     (* Snapshots for state transfer arrive over RPC. *)
@@ -165,16 +170,28 @@ module Make (App : APP) = struct
     Engine.spawn t.engine (applier t);
     t
 
-  let create flip ?(resilience = 0) ?(send_method = T.Pb) ?checkpoint ?seed () =
-    let g = Api.create_group flip ~resilience ~send_method () in
-    make flip g ~checkpoint ~seed
+  let create flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
+      ?checkpoint ?seed ?tap () =
+    let g = Api.create_group flip ~resilience ~send_method ~auto_heal () in
+    make flip g ~checkpoint ~seed ~tap
 
   let address t = Api.group_address t.g
   let group t = t.g
 
+  (* The exact on-stream bytes of an update, framed in one allocation
+     (the submit hot path: no [Bytes.cat] of a one-byte tag). *)
+  let wire_of_update u =
+    let enc = App.encode_update u in
+    let n = Bytes.length enc in
+    let framed = Bytes.create (n + 1) in
+    Bytes.set framed 0 tag_update;
+    Bytes.blit enc 0 framed 1 n;
+    framed
+
   let submit t u =
-    Api.send_to_group t.g
-      (Bytes.cat (Bytes.make 1 tag_update) (App.encode_update u))
+    (* The framed buffer is fresh and never reused: hand it to the
+       kernel without the user→kernel defensive copy. *)
+    Api.send_to_group ~copy:false t.g (wire_of_update u)
 
   let state t = t.st
   let applied t = t.n_applied
@@ -224,11 +241,12 @@ module Make (App : APP) = struct
     in
     attempt 1
 
-  let join flip ?(resilience = 0) ?(send_method = T.Pb) ?checkpoint addr =
-    match Api.join_group flip ~resilience ~send_method addr with
+  let join flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
+      ?checkpoint ?tap addr =
+    match Api.join_group flip ~resilience ~send_method ~auto_heal addr with
     | Error e -> Error e
     | Ok g -> (
-        let t = make flip g ~checkpoint ~seed:None in
+        let t = make flip g ~checkpoint ~seed:None ~tap in
         (* Alone in the group?  Then there is nothing to transfer. *)
         let info = Api.get_info_group g in
         if List.length info.Api.members <= 1 then Ok t

@@ -43,21 +43,29 @@ module Make (App : APP) : sig
     Flip.t ->
     ?resilience:int ->
     ?send_method:Types.send_method ->
+    ?auto_heal:bool ->
     ?checkpoint:Stable_store.t * int ->
     ?seed:App.state * int ->
+    ?tap:(Types.event -> unit) ->
     unit ->
     t
   (** Creates the group with this machine as first replica.
       [?checkpoint:(store, k)] writes a consistent snapshot to stable
       storage every [k] applied updates.  [?seed] starts from a
       recovered checkpoint (state and its update count) instead of
-      [App.initial]. *)
+      [App.initial].  [?auto_heal] turns on in-kernel failure
+      detection, so a replicated service recovers from a crashed
+      sequencer without application involvement.  [?tap] observes
+      every raw delivery-stream event before it is applied — the hook
+      the chaos checker uses to collect per-replica streams. *)
 
   val join :
     Flip.t ->
     ?resilience:int ->
     ?send_method:Types.send_method ->
+    ?auto_heal:bool ->
     ?checkpoint:Stable_store.t * int ->
+    ?tap:(Types.event -> unit) ->
     Addr.t ->
     (t, Types.error) result
   (** Joins and performs atomic state transfer: blocks until this
@@ -72,6 +80,12 @@ module Make (App : APP) : sig
 
   val submit : t -> App.update -> (Types.seqno, Types.error) result
   (** Blocking totally-ordered update. *)
+
+  val wire_of_update : App.update -> bytes
+  (** The exact on-stream bytes {!submit} broadcasts for an update —
+      what a delivery-stream tap will observe as the message body
+      (used by checkers to match completed submits against delivered
+      events). *)
 
   val state : t -> App.state
   (** This replica's current state (reads are local, as in the

@@ -49,8 +49,10 @@ let durability_applies ~resilience sched =
             | _ -> false)
           sched)
 
-let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
-    ?(horizon = Time.ms 2000) ?schedule ?(net = Ether.clean) ~seed () =
+let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
+    ?(msgs = 4) ?(horizon = Time.ms 2000) ?schedule ?(net = Ether.clean) ~seed
+    () =
+  if groups < 1 then invalid_arg "Chaos.run: groups < 1";
   let sched =
     match schedule with
     | Some s -> s
@@ -76,19 +78,25 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
       | Fault.Crash i -> crashed.(i) <- true
       | _ -> ())
     sched;
-  let groups = ref [] in
+  let handles = ref [] in
+  (* Streams and completed sends are tagged with the group index, so
+     the invariants can be checked independently per group: each group
+     is its own total order — the partitioned-service contract. *)
   let streams = ref [] in
-  let completed = ref [] in
+  let completed = Array.init groups (fun _ -> ref []) in
   let started = ref 0 and n_ok = ref 0 and n_err = ref 0 in
   (* Application processes run *on* their machine ([Cluster.spawn_on]):
      a crash is fail-stop for the whole host, so collectors and senders
      are crash-stopped with it by the engine's process groups — no
      application-layer liveness checks needed.  The old application
      does not come back on restart; a reboot starts a fresh member. *)
-  let add_stream label full i g =
-    groups := g :: !groups;
+  let label j i =
+    if groups = 1 then Printf.sprintf "m%d" i else Printf.sprintf "g%d:m%d" j i
+  in
+  let add_stream j lbl full i g =
+    handles := g :: !handles;
     let evs = ref [] in
-    streams := (label, evs, full) :: !streams;
+    streams := (j, lbl, evs, full) :: !streams;
     Cluster.spawn_on c i (fun () ->
         let rec collect () =
           let e = Api.receive_from_group g in
@@ -97,21 +105,21 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
         in
         collect ())
   in
-  let record_send mid body g =
+  let record_send j mid body g =
     incr started;
     match Api.send_to_group g (Bytes.of_string body) with
     | Ok _ ->
         incr n_ok;
-        completed := (mid, body) :: !completed
+        completed.(j) := (mid, body) :: !(completed.(j))
     | Error _ -> incr n_err
   in
-  let spawn_sender i g =
+  let spawn_sender j i g =
     let mid = (Api.get_info_group g).Api.my_mid in
     let gap = max (Time.ms 1) (horizon * 2 / 3 / max 1 msgs) in
     Cluster.spawn_on c i (fun () ->
-        Engine.sleep eng (Time.ms 30 + (mid * Time.ms 7));
+        Engine.sleep eng (Time.ms 30 + (mid * Time.ms 7) + (j * Time.ms 3));
         for k = 1 to msgs do
-          record_send mid (Printf.sprintf "o%d.%d" mid k) g;
+          record_send j mid (Printf.sprintf "o%d.%d" mid k) g;
           Engine.sleep eng gap
         done)
   in
@@ -119,89 +127,122 @@ let run ?(n = 4) ?(resilience = 0) ?(send_method = Pb) ?(msgs = 4)
      partitions healed) gives every member that silently lost the
      tail of the stream a later sequence number to notice the gap
      against, so NACK repair can run before the invariants are read. *)
-  let spawn_flush i g =
+  let spawn_flush j i g =
     let mid = (Api.get_info_group g).Api.my_mid in
     Cluster.spawn_on c i (fun () ->
         Engine.sleep eng (max 0 (horizon + Time.sec 3 - Engine.now eng));
-        record_send mid (Printf.sprintf "o%d.%d" mid (msgs + 1)) g)
+        record_send j mid (Printf.sprintf "o%d.%d" mid (msgs + 1)) g)
   in
+  let addrs = Array.make groups None in
   Cluster.spawn c (fun () ->
-      let g0 =
-        Api.create_group (Cluster.flip c 0) ~resilience ~send_method
-          ~auto_heal:true ()
-      in
-      let addr = Api.group_address g0 in
-      add_stream "m0" (not crashed.(0)) 0 g0;
-      spawn_sender 0 g0;
-      spawn_flush 0 g0;
-      for i = 1 to n - 1 do
-        match
-          Api.join_group (Cluster.flip c i) ~resilience ~send_method
-            ~auto_heal:true addr
-        with
-        | Ok g ->
-            add_stream (Printf.sprintf "m%d" i) (not crashed.(i)) i g;
-            spawn_sender i g;
-            spawn_flush i g
-        | Error _ ->
-            (* A hostile enough net can defeat the join handshake's
-               bounded retries; the member simply never joins.  On a
-               quiet net setup joins always succeed. *)
-            ()
+      (* Group [j]'s creator — and thus its sequencer — is machine
+         [j mod n]: concurrent groups spread their sequencers like a
+         shard map does, and all share the one wire. *)
+      for j = 0 to groups - 1 do
+        let creator = j mod n in
+        let gj =
+          Api.create_group (Cluster.flip c creator) ~resilience ~send_method
+            ~auto_heal:true ()
+        in
+        let addr = Api.group_address gj in
+        addrs.(j) <- Some addr;
+        add_stream j (label j creator) (not crashed.(creator)) creator gj;
+        spawn_sender j creator gj;
+        spawn_flush j creator gj;
+        for k = 1 to n - 1 do
+          let i = (creator + k) mod n in
+          match
+            Api.join_group (Cluster.flip c i) ~resilience ~send_method
+              ~auto_heal:true addr
+          with
+          | Ok g ->
+              add_stream j (label j i) (not crashed.(i)) i g;
+              spawn_sender j i g;
+              spawn_flush j i g
+          | Error _ ->
+              (* A hostile enough net can defeat the join handshake's
+                 bounded retries; the member simply never joins.  On a
+                 quiet net setup joins always succeed. *)
+              ()
+        done
       done;
       (* Rebooted machines come back with fresh state and rejoin as
          new members; their streams are partial, never "full". *)
       (* The rejoin runs on the rebooted machine's fresh group: if the
          host crashes again mid-join, the joiner dies with it. *)
       let on_restart i =
-        Cluster.spawn_on c i (fun () ->
-            match
-              Api.join_group (Cluster.flip c i) ~resilience ~send_method
-                ~auto_heal:true addr
-            with
-            | Ok g ->
-                add_stream
-                  (Printf.sprintf "m%d+%d" i
-                     (Machine.restarts (Cluster.machine c i)))
-                  false i g
-            | Error _ -> ())
+        for j = 0 to groups - 1 do
+          match addrs.(j) with
+          | None -> ()
+          | Some addr ->
+              Cluster.spawn_on c i (fun () ->
+                  match
+                    Api.join_group (Cluster.flip c i) ~resilience ~send_method
+                      ~auto_heal:true addr
+                  with
+                  | Ok g ->
+                      add_stream j
+                        (Printf.sprintf "%s+%d" (label j i)
+                           (Machine.restarts (Cluster.machine c i)))
+                        false i g
+                  | Error _ -> ())
+        done
       in
       Fault.apply ~on_restart c sched);
   Cluster.run ~until:(horizon + Time.sec 8) c;
-  let streams =
-    List.rev_map
-      (fun (label, evs, full) ->
-        { Checker.label; events = List.rev !evs; full })
-      !streams
+  let streams_of j =
+    List.filter (fun (j', _, _, _) -> j' = j) !streams
+    |> List.rev_map (fun (_, label, evs, full) ->
+           { Checker.label; events = List.rev !evs; full })
   in
   if Sys.getenv_opt "CHAOS_DEBUG" <> None then
-    List.iter
-      (fun s ->
-        Printf.eprintf "%s:" s.Checker.label;
-        List.iter
-          (fun e ->
-            match e with
-            | Message { seq; sender; body } ->
-                Printf.eprintf " %d(m%d:%s)" seq sender (Bytes.to_string body)
-            | Member_joined { seq; mid } -> Printf.eprintf " %d(join%d)" seq mid
-            | Member_left { seq; mid } -> Printf.eprintf " %d(left%d)" seq mid
-            | Group_reset { seq; incarnation; _ } ->
-                Printf.eprintf " %d(reset@%d)" seq incarnation
-            | Expelled -> Printf.eprintf " EXPELLED")
-          s.Checker.events;
-        Printf.eprintf "\n")
-      streams;
+    for j = 0 to groups - 1 do
+      List.iter
+        (fun s ->
+          Printf.eprintf "%s:" s.Checker.label;
+          List.iter
+            (fun e ->
+              match e with
+              | Message { seq; sender; body } ->
+                  Printf.eprintf " %d(m%d:%s)" seq sender (Bytes.to_string body)
+              | Member_joined { seq; mid } ->
+                  Printf.eprintf " %d(join%d)" seq mid
+              | Member_left { seq; mid } -> Printf.eprintf " %d(left%d)" seq mid
+              | Group_reset { seq; incarnation; _ } ->
+                  Printf.eprintf " %d(reset@%d)" seq incarnation
+              | Expelled -> Printf.eprintf " EXPELLED")
+            s.Checker.events;
+          Printf.eprintf "\n")
+        (streams_of j)
+    done;
+  let dur_applies = durability_applies ~resilience sched in
+  (* One independent checker run per group: each group promises its
+     own total order, never anything across groups. *)
   let verdicts =
-    Checker.run
-      ~durability_applies:(durability_applies ~resilience sched)
-      ~streams ~completed:!completed ()
+    List.concat
+      (List.init groups (fun j ->
+           let vs =
+             Checker.run ~durability_applies:dur_applies ~streams:(streams_of j)
+               ~completed:!(completed.(j)) ()
+           in
+           if groups = 1 then vs
+           else
+             List.map
+               (fun v ->
+                 {
+                   v with
+                   Checker.invariant = Printf.sprintf "g%d:%s" j v.Checker.invariant;
+                 })
+               vs))
   in
-  let sum f = List.fold_left (fun acc g -> acc + f (Api.get_info_group g)) 0 !groups in
+  let sum f =
+    List.fold_left (fun acc g -> acc + f (Api.get_info_group g)) 0 !handles
+  in
   {
     seed;
     schedule = sched;
     verdicts;
-    durability_checked = durability_applies ~resilience sched;
+    durability_checked = dur_applies;
     sends_started = !started;
     sends_completed = !n_ok;
     sends_aborted = !n_err;

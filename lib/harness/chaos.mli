@@ -42,6 +42,7 @@ type outcome = {
 
 val run :
   ?n:int ->
+  ?groups:int ->
   ?resilience:int ->
   ?send_method:Types.send_method ->
   ?msgs:int ->
@@ -51,12 +52,18 @@ val run :
   seed:int ->
   unit ->
   outcome
-(** [run ~seed ()] builds an [n]-machine cluster (default 4), forms a
-    group with [auto_heal] on, has every member send [msgs] tagged
-    messages over the first 2/3 of [horizon] (default 2s) plus one
-    flush message after the faults end, applies the schedule (default:
-    {!Fault.random} from [seed]), runs 8 simulated seconds past the
-    horizon so recovery can settle, and checks all four invariants.
+(** [run ~seed ()] builds an [n]-machine cluster (default 4), forms
+    [groups] concurrent groups (default 1) with [auto_heal] on — group
+    [j] created by machine [j mod n], every machine a member of every
+    group, all sharing the one Ethernet — has every member send [msgs]
+    tagged messages per group over the first 2/3 of [horizon] (default
+    2s) plus one flush message after the faults end, applies the
+    schedule (default: {!Fault.random} from [seed]), runs 8 simulated
+    seconds past the horizon so recovery can settle, and checks all
+    four invariants {e independently per group} (verdicts are prefixed
+    ["g<j>:"] when [groups > 1]): each group is its own total order,
+    and traffic on one group must never leak into, duplicate within,
+    or reorder another.
 
     [net] installs persistent link conditions (bursty loss,
     duplication, jitter, corruption) for the whole active phase; they

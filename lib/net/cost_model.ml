@@ -75,6 +75,23 @@ let default =
 
 let mc68030 = default
 
+(* The same stations timed against a faster wire: byte time,
+   interframe gap, slot time and jam are fixed *bit* counts in the
+   Ethernet spec, so they scale inversely with the bit rate.
+   Host-side costs (interrupts, copies, protocol CPU) are untouched —
+   on a fast wire the machines, not the medium, become the
+   bottleneck, which is the regime the shard-scaling experiments
+   probe.  [with_mbps 10 default = default]. *)
+let with_mbps mbps t =
+  if mbps < 1 then invalid_arg "Cost_model.with_mbps: mbps < 1";
+  {
+    t with
+    wire_ns_per_byte = 8_000 / mbps;
+    interframe_gap_ns = 96_000 / mbps;
+    slot_time_ns = 512_000 / mbps;
+    jam_ns = 32_000 / mbps;
+  }
+
 let headers_total t =
   t.header_ether + t.header_flow_control + t.header_flip + t.header_group
   + t.header_user

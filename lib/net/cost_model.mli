@@ -59,6 +59,15 @@ val default : t
 val mc68030 : t
 (** Alias of {!default}: the paper's testbed. *)
 
+val with_mbps : int -> t -> t
+(** The same stations on a faster (or slower) Ethernet: rescales the
+    bit-timed medium constants (byte time, interframe gap, slot time,
+    jam) to the given bit rate, leaving every host-side cost alone.
+    [with_mbps 10 default = default].  On the paper's 10 Mbit/s the
+    shared wire saturates near 850 service ops/s regardless of shard
+    count; a faster wire moves the bottleneck back onto the machines
+    so per-shard sequencers can scale. *)
+
 val headers_total : t -> int
 (** 116 bytes in the paper: Ethernet 14 + flow control 2 + FLIP 40 +
     group 28 + user 32. *)

@@ -14,9 +14,15 @@ module Runtime = struct
   }
 
   (* Wire format inside a group message: the object name, the writer's
-     operation id, then the raw operation bytes. *)
+     operation id, then the raw operation bytes.  Framed in a single
+     allocation — this path runs once per broadcast operation. *)
   let encode ~name ~op_id op =
-    Bytes.cat (Bytes.of_string (Printf.sprintf "%s\n%d\n" name op_id)) op
+    let header = Printf.sprintf "%s\n%d\n" name op_id in
+    let hn = String.length header and on = Bytes.length op in
+    let framed = Bytes.create (hn + on) in
+    Bytes.blit_string header 0 framed 0 hn;
+    Bytes.blit op 0 framed hn on;
+    framed
 
   let decode body =
     let s = Bytes.to_string body in
@@ -125,7 +131,7 @@ module Make (O : OBJ) = struct
     let iv = Ivar.create () in
     Hashtbl.replace h.pending op_id iv;
     match
-      Api.send_to_group rt.Runtime.g
+      Api.send_to_group ~copy:false rt.Runtime.g
         (Runtime.encode ~name:h.name ~op_id (O.encode_op op))
     with
     | Error e ->

@@ -1,0 +1,163 @@
+module Smap = Map.Make (String)
+
+(* Update wire format (inside the group's 'U' frame):
+     "P<uid> <klen> <key><value>"   put
+     "D<uid> <key>"                 delete
+   State wire format: a run of "<klen> <vlen> <key><value>" records. *)
+module Store = struct
+  type state = string Smap.t
+
+  type update =
+    | Put of { uid : int; key : string; value : string }
+    | Del of { uid : int; key : string }
+
+  let initial = Smap.empty
+
+  let apply s = function
+    | Put { key; value; _ } -> Smap.add key value s
+    | Del { key; _ } -> Smap.remove key s
+
+  let encode_update = function
+    | Put { uid; key; value } ->
+        Bytes.of_string
+          (Printf.sprintf "P%d %d %s%s" uid (String.length key) key value)
+    | Del { uid; key } -> Bytes.of_string (Printf.sprintf "D%d %s" uid key)
+
+  let decode_update b =
+    let s = Bytes.to_string b in
+    let len = String.length s in
+    if len = 0 then None
+    else
+      match s.[0] with
+      | 'P' -> (
+          match String.index_opt s ' ' with
+          | None -> None
+          | Some i1 -> (
+              match String.index_from_opt s (i1 + 1) ' ' with
+              | None -> None
+              | Some i2 -> (
+                  match
+                    ( int_of_string_opt (String.sub s 1 (i1 - 1)),
+                      int_of_string_opt (String.sub s (i1 + 1) (i2 - i1 - 1)) )
+                  with
+                  | Some uid, Some klen
+                    when klen >= 0 && i2 + 1 + klen <= len ->
+                      let key = String.sub s (i2 + 1) klen in
+                      let value =
+                        String.sub s (i2 + 1 + klen) (len - i2 - 1 - klen)
+                      in
+                      Some (Put { uid; key; value })
+                  | _ -> None)))
+      | 'D' -> (
+          match String.index_opt s ' ' with
+          | None -> None
+          | Some i -> (
+              match int_of_string_opt (String.sub s 1 (i - 1)) with
+              | Some uid -> Some (Del { uid; key = String.sub s (i + 1) (len - i - 1) })
+              | None -> None))
+      | _ -> None
+
+  let encode_state s =
+    let buf = Buffer.create 256 in
+    Smap.iter
+      (fun k v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %s%s" (String.length k) (String.length v) k v))
+      s;
+    Bytes.of_string (Buffer.contents buf)
+
+  let decode_state b =
+    let s = Bytes.to_string b in
+    let len = String.length s in
+    let rec go pos acc =
+      if pos >= len then Some acc
+      else
+        match String.index_from_opt s pos ' ' with
+        | None -> None
+        | Some i1 -> (
+            match String.index_from_opt s (i1 + 1) ' ' with
+            | None -> None
+            | Some i2 -> (
+                match
+                  ( int_of_string_opt (String.sub s pos (i1 - pos)),
+                    int_of_string_opt (String.sub s (i1 + 1) (i2 - i1 - 1)) )
+                with
+                | Some klen, Some vlen
+                  when klen >= 0 && vlen >= 0 && i2 + 1 + klen + vlen <= len ->
+                    let k = String.sub s (i2 + 1) klen in
+                    let v = String.sub s (i2 + 1 + klen) vlen in
+                    go (i2 + 1 + klen + vlen) (Smap.add k v acc)
+                | _ -> None))
+    in
+    go 0 Smap.empty
+end
+
+module Rsm_store = Amoeba_grouplib.Rsm.Make (Store)
+
+(* Request wire format (over RPC):
+     "G<key>"              get
+     "P<klen> <key><value>"  put
+     "D<key>"              delete
+   Reply wire format:
+     "V<value>" | "N" | "K" | "W<shard>" | "E<reason>" *)
+
+type request = Get of string | Put of string * string | Del of string
+
+type reply =
+  | Value of string
+  | Not_found
+  | Written
+  | Wrong_shard of int
+  | Busy of string
+
+let request_key = function Get k -> k | Put (k, _) -> k | Del k -> k
+
+let encode_request = function
+  | Get k -> Bytes.of_string ("G" ^ k)
+  | Put (k, v) ->
+      Bytes.of_string (Printf.sprintf "P%d %s%s" (String.length k) k v)
+  | Del k -> Bytes.of_string ("D" ^ k)
+
+let decode_request b =
+  let s = Bytes.to_string b in
+  let len = String.length s in
+  if len = 0 then None
+  else
+    match s.[0] with
+    | 'G' -> Some (Get (String.sub s 1 (len - 1)))
+    | 'D' -> Some (Del (String.sub s 1 (len - 1)))
+    | 'P' -> (
+        match String.index_opt s ' ' with
+        | None -> None
+        | Some i -> (
+            match int_of_string_opt (String.sub s 1 (i - 1)) with
+            | Some klen when klen >= 0 && i + 1 + klen <= len ->
+                Some
+                  (Put
+                     ( String.sub s (i + 1) klen,
+                       String.sub s (i + 1 + klen) (len - i - 1 - klen) ))
+            | _ -> None))
+    | _ -> None
+
+let encode_reply = function
+  | Value v -> Bytes.of_string ("V" ^ v)
+  | Not_found -> Bytes.of_string "N"
+  | Written -> Bytes.of_string "K"
+  | Wrong_shard s -> Bytes.of_string (Printf.sprintf "W%d" s)
+  | Busy msg -> Bytes.of_string ("E" ^ msg)
+
+let decode_reply b =
+  let s = Bytes.to_string b in
+  let len = String.length s in
+  if len = 0 then None
+  else
+    match s.[0] with
+    | 'V' -> Some (Value (String.sub s 1 (len - 1)))
+    | 'N' when len = 1 -> Some Not_found
+    | 'K' when len = 1 -> Some Written
+    | 'W' -> (
+        match int_of_string_opt (String.sub s 1 (len - 1)) with
+        | Some shard -> Some (Wrong_shard shard)
+        | None -> None)
+    | 'E' -> Some (Busy (String.sub s 1 (len - 1)))
+    | _ -> None

@@ -1,0 +1,46 @@
+(** The replicated application hosted by each shard — a string
+    key/value store — plus the request/reply wire protocol spoken
+    between routers and replicas over {!Amoeba_rpc.Rpc}.
+
+    Every write carries a service-wide unique [uid], which makes
+    updates idempotent to the eye of the chaos checker (two retries of
+    the same logical write are distinct stream bodies) and lets the
+    at-least-once router retry across a failover without tripping the
+    no-duplicates invariant. *)
+
+module Smap : Map.S with type key = string
+
+(** The [Rsm.APP] instance replicated inside each shard's group. *)
+module Store : sig
+  type state = string Smap.t
+
+  type update =
+    | Put of { uid : int; key : string; value : string }
+    | Del of { uid : int; key : string }
+
+  val initial : state
+  val apply : state -> update -> state
+  val encode_update : update -> bytes
+  val decode_update : bytes -> update option
+  val encode_state : state -> bytes
+  val decode_state : bytes -> state option
+end
+
+module Rsm_store : module type of Amoeba_grouplib.Rsm.Make (Store)
+
+(** {1 Router/replica request protocol} *)
+
+type request = Get of string | Put of string * string | Del of string
+
+type reply =
+  | Value of string  (** [Get] hit *)
+  | Not_found  (** [Get] miss *)
+  | Written  (** write sequenced and applied locally *)
+  | Wrong_shard of int  (** contacted replica does not own this key *)
+  | Busy of string  (** transient failure; the router should retry *)
+
+val request_key : request -> string
+val encode_request : request -> bytes
+val decode_request : bytes -> request option
+val encode_reply : reply -> bytes
+val decode_reply : bytes -> reply option

@@ -1,0 +1,195 @@
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_flip
+open Amoeba_core
+module Rpc = Amoeba_rpc.Rpc
+
+type reply =
+  | Value of string
+  | Not_found
+  | Written
+  | Failed of string
+
+type stats = {
+  ops : int;
+  retries : int;
+  failovers : int;
+  redirects : int;
+  probes_dead : int;
+}
+
+type shard_state = {
+  queue : (Kv.request * reply Ivar.t) Channel.t;
+  eps : Service.endpoint array;
+  suspect : bool array;
+  reserve : bool array;
+      (* endpoints on the shard's sequencer host: kept out of the
+         rotation while any other replica answers, so the sequencer
+         machine spends its cycles ordering, not serving RPCs *)
+  mutable rr : int;  (* round-robin cursor over replicas *)
+}
+
+type t = {
+  engine : Engine.t;
+  map : Shard_map.t;
+  shards : shard_state array;
+  det : Failure_detector.t;
+  timeout : Time.t;
+  attempts : int;
+  mutable s_ops : int;
+  mutable s_retries : int;
+  mutable s_failovers : int;
+  mutable s_redirects : int;
+  mutable s_probes_dead : int;
+}
+
+(* Next replica to try: round-robin over the ones not currently
+   suspected dead, leaving the sequencer host's endpoints in reserve
+   while any follower answers.  If every replica is suspect, forgive
+   them all — the detector can be wrong, and a healed shard must
+   become reachable again. *)
+let pick ss =
+  let n = Array.length ss.eps in
+  let usable i = not ss.suspect.(i) in
+  if not (Array.exists Fun.id (Array.init n usable)) then
+    Array.fill ss.suspect 0 n false;
+  let follower_up =
+    Array.exists Fun.id
+      (Array.init n (fun i -> usable i && not ss.reserve.(i)))
+  in
+  let want i = usable i && ((not follower_up) || not ss.reserve.(i)) in
+  let rec go tries =
+    let i = ss.rr mod n in
+    ss.rr <- ss.rr + 1;
+    if (not (want i)) && tries < 2 * n then go (tries + 1) else i
+  in
+  go 0
+
+(* Endpoints on one machine share fate: a dead-host verdict for one
+   condemns its whole pool, so the rotation skips them all instead of
+   burning a timeout-and-probe cycle per sibling. *)
+let suspect_host ss host =
+  Array.iteri
+    (fun j ep -> if ep.Service.ep_host = host then ss.suspect.(j) <- true)
+    ss.eps
+
+let perform t client ss req =
+  let payload = Kv.encode_request req in
+  let rec go attempt =
+    if attempt > t.attempts then Failed "attempts exhausted"
+    else begin
+      if attempt > 1 then t.s_retries <- t.s_retries + 1;
+      let i = pick ss in
+      let ep = ss.eps.(i) in
+      match Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout ~retries:1 payload with
+      | Ok bytes -> (
+          ss.suspect.(i) <- false;
+          match Kv.decode_reply bytes with
+          | Some (Kv.Value v) -> Value v
+          | Some Kv.Not_found -> Not_found
+          | Some Kv.Written -> Written
+          | Some (Kv.Wrong_shard _) ->
+              (* Static map: can only happen on a stale/buggy peer.
+                 Re-enqueue on the shard the key really hashes to. *)
+              t.s_redirects <- t.s_redirects + 1;
+              let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+              let iv = Ivar.create () in
+              Channel.send t.shards.(s).queue (req, iv);
+              Ivar.read t.engine iv
+          | Some (Kv.Busy _) ->
+              (* The shard is recovering; give it a moment. *)
+              Engine.sleep t.engine (Time.ms (25 * attempt));
+              go (attempt + 1)
+          | None -> go (attempt + 1))
+      | Error `No_route ->
+          (* FLIP could not locate the endpoint.  A dead host looks
+             like this, but so does a congested wire eating the locate
+             probes — so step aside briefly before hammering another
+             replica. *)
+          t.s_failovers <- t.s_failovers + 1;
+          suspect_host ss ep.Service.ep_host;
+          Engine.sleep t.engine (Time.ms (5 * attempt));
+          go (attempt + 1)
+      | Error `Timeout ->
+          (* Slow or dead?  Ask the failure detector, like the group
+             kernel would. *)
+          if Failure_detector.probe t.det ep.Service.ep_probe then go (attempt + 1)
+          else begin
+            t.s_probes_dead <- t.s_probes_dead + 1;
+            t.s_failovers <- t.s_failovers + 1;
+            suspect_host ss ep.Service.ep_host;
+            go (attempt + 1)
+          end
+    end
+  in
+  go 1
+
+let worker t flip ss () =
+  let client = Rpc.client flip in
+  let rec loop () =
+    let req, iv = Channel.recv t.engine ss.queue in
+    ignore (Ivar.try_fill iv (perform t client ss req));
+    loop ()
+  in
+  loop ()
+
+let create flip ?(pipeline = 4) ?(timeout = Time.ms 250) ?(attempts = 12) ~map
+    ~endpoints () =
+  let machine = Flip.machine flip in
+  let engine = Machine.engine machine in
+  let t =
+    {
+      engine;
+      map;
+      shards =
+        Array.mapi
+          (fun shard eps ->
+            let seq_host = Shard_map.sequencer_host map shard in
+            {
+              queue = Channel.create ();
+              eps;
+              suspect = Array.make (Array.length eps) false;
+              reserve =
+                Array.map
+                  (fun ep -> ep.Service.ep_host = seq_host)
+                  eps;
+              rr = 0;
+            })
+          endpoints;
+      det = Failure_detector.create flip;
+      timeout;
+      attempts;
+      s_ops = 0;
+      s_retries = 0;
+      s_failovers = 0;
+      s_redirects = 0;
+      s_probes_dead = 0;
+    }
+  in
+  Array.iter
+    (fun ss ->
+      for _ = 1 to pipeline do
+        Engine.spawn engine ~group:(Machine.group machine) (worker t flip ss)
+      done)
+    t.shards;
+  t
+
+let request t req =
+  t.s_ops <- t.s_ops + 1;
+  let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+  let iv = Ivar.create () in
+  Channel.send t.shards.(s).queue (req, iv);
+  Ivar.read t.engine iv
+
+let get t k = request t (Kv.Get k)
+let put t k v = request t (Kv.Put (k, v))
+let del t k = request t (Kv.Del k)
+
+let stats t =
+  {
+    ops = t.s_ops;
+    retries = t.s_retries;
+    failovers = t.s_failovers;
+    redirects = t.s_redirects;
+    probes_dead = t.s_probes_dead;
+  }

@@ -1,0 +1,61 @@
+(** The client front-end of the sharded service.
+
+    A router lives on a client machine.  It hashes each request's key
+    through the {!Shard_map}, queues it on that shard's pipeline, and
+    a pool of worker processes per shard performs the RPCs — so one
+    slow shard never blocks traffic to the others, and each shard
+    sustains several in-flight requests at once.
+
+    Requests spread round-robin over the shard's replicas (any replica
+    can serve a read from its local copy or submit a write — the
+    group's sequencer orders writes regardless of which member submits
+    them).  Failure handling is at-least-once with idempotent,
+    uid-tagged updates: on an RPC timeout the router probes the
+    replica's failure detector — a {e slow} replica is retried, a
+    {e dead} one is marked suspect and the request fails over to the
+    next replica.  [Busy] replies (a shard mid-recovery) back off and
+    retry; [Wrong_shard] redirects re-hash onto the right shard. *)
+
+open Amoeba_sim
+open Amoeba_flip
+
+type t
+
+val create :
+  Flip.t ->
+  ?pipeline:int ->
+  ?timeout:Time.t ->
+  ?attempts:int ->
+  map:Shard_map.t ->
+  endpoints:Service.endpoint array array ->
+  unit ->
+  t
+(** [pipeline] (default 4) is the number of concurrent workers per
+    shard; [timeout] (default 250 ms) bounds each RPC attempt;
+    [attempts] (default 12) bounds retries/failovers per request; a
+    dead-host verdict suspects every endpoint on that machine at
+    once, so one failover spends one attempt however many endpoints
+    the victim served. *)
+
+type reply =
+  | Value of string
+  | Not_found
+  | Written
+  | Failed of string  (** all attempts exhausted *)
+
+val get : t -> string -> reply
+
+val put : t -> string -> string -> reply
+
+val del : t -> string -> reply
+(** Blocking operations — call from a process. *)
+
+type stats = {
+  ops : int;  (** operations accepted *)
+  retries : int;  (** extra attempts on a live replica *)
+  failovers : int;  (** switched replica after a suspected death *)
+  redirects : int;  (** [Wrong_shard] replies followed *)
+  probes_dead : int;  (** failure-detector verdicts of "dead" *)
+}
+
+val stats : t -> stats

@@ -1,0 +1,208 @@
+open Amoeba_sim
+open Amoeba_flip
+open Amoeba_core
+open Amoeba_harness
+module T = Types
+module R = Kv.Rsm_store
+module Rpc = Amoeba_rpc.Rpc
+
+type endpoint = {
+  ep_shard : int;
+  ep_host : int;
+  ep_addr : Addr.t;
+  ep_probe : Addr.t;
+}
+
+type replica = {
+  r_shard : int;
+  r_host : int;
+  r_rsm : R.t;
+  r_events : T.event list ref;  (* newest first; only if recording *)
+}
+
+type t = {
+  cluster : Cluster.t;
+  map : Shard_map.t;
+  resilience : int;
+  recording : bool;
+  mutable replicas : replica list array;  (* per shard, creator first *)
+  mutable eps : endpoint array array;
+  completed_w : (T.mid * string) list ref array;  (* newest first *)
+  uid : int ref;
+  mutable n_reads : int;
+  mutable n_writes_ok : int;
+  mutable n_writes_busy : int;
+}
+
+let map t = t.map
+let endpoints t = t.eps
+let reads t = t.n_reads
+let writes_ok t = t.n_writes_ok
+let writes_busy t = t.n_writes_busy
+
+let submit_write t r u =
+  match R.submit r.r_rsm u with
+  | Ok _ ->
+      t.n_writes_ok <- t.n_writes_ok + 1;
+      if t.recording then begin
+        let mid = (Api.get_info_group (R.group r.r_rsm)).Api.my_mid in
+        t.completed_w.(r.r_shard) :=
+          (mid, Bytes.to_string (R.wire_of_update u))
+          :: !(t.completed_w.(r.r_shard))
+      end;
+      Kv.Written
+  | Error e ->
+      t.n_writes_busy <- t.n_writes_busy + 1;
+      Kv.Busy (T.error_to_string e)
+
+let handle t r payload =
+  let reply =
+    match Kv.decode_request payload with
+    | None -> Kv.Busy "bad-request"
+    | Some req ->
+        let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+        if s <> r.r_shard then Kv.Wrong_shard s
+        else (
+          match req with
+          | Kv.Get k ->
+              t.n_reads <- t.n_reads + 1;
+              (match Kv.Smap.find_opt k (R.state r.r_rsm) with
+              | Some v -> Kv.Value v
+              | None -> Kv.Not_found)
+          | Kv.Put (k, v) ->
+              incr t.uid;
+              submit_write t r (Kv.Store.Put { uid = !(t.uid); key = k; value = v })
+          | Kv.Del k ->
+              incr t.uid;
+              submit_write t r (Kv.Store.Del { uid = !(t.uid); key = k }))
+  in
+  Amoeba_rpc.Types_rpc.Reply (Kv.encode_reply reply)
+
+let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?checkpoint
+    ?(record = false) ?(eps_per_replica = 4) () =
+  let eng = cl.Cluster.engine in
+  let shards = Shard_map.shards map in
+  let t =
+    {
+      cluster = cl;
+      map;
+      resilience;
+      recording = record;
+      replicas = Array.make shards [];
+      eps = [||];
+      completed_w = Array.init shards (fun _ -> ref []);
+      uid = ref 0;
+      n_reads = 0;
+      n_writes_ok = 0;
+      n_writes_busy = 0;
+    }
+  in
+  (* One failure-detector responder per machine, shared by all the
+     replicas it hosts; created lazily, inside the machine's lifecycle
+     group so it dies with the host. *)
+  let detectors = Hashtbl.create 8 in
+  let probe_addr host =
+    match Hashtbl.find_opt detectors host with
+    | Some a -> a
+    | None ->
+        let iv = Ivar.create () in
+        Cluster.spawn_on cl host (fun () ->
+            Ivar.fill iv
+              (Failure_detector.address
+                 (Failure_detector.create (Cluster.flip cl host))));
+        let a = Ivar.read eng iv in
+        Hashtbl.add detectors host a;
+        a
+  in
+  (* Brings one replica up on [host]: create or join the shard's
+     group, then serve the request protocol at [eps_per_replica] fresh
+     endpoints.  RPC endpoints service one request at a time, and a
+     write holds its endpoint for the whole submit round-trip — so a
+     single endpoint would cap the replica near 1/latency ops/s.  A
+     small pool of endpoints over the same replica is the classic
+     server worker pool, and the kernel inbox serialises the
+     concurrent submits.  All of it runs on the host machine, so a
+     crash takes the replica and its endpoints down together. *)
+  let start_replica ~shard ~host ~creator =
+    let iv = Ivar.create () in
+    Cluster.spawn_on cl host (fun () ->
+        let flip = Cluster.flip cl host in
+        let events = ref [] in
+        let tap =
+          if record then Some (fun ev -> events := ev :: !events) else None
+        in
+        let rsm =
+          match creator with
+          | None ->
+              Ok
+                (R.create flip ~resilience ~send_method ~auto_heal:true
+                   ?checkpoint ?tap ())
+          | Some addr ->
+              R.join flip ~resilience ~send_method ~auto_heal:true ?checkpoint
+                ?tap addr
+        in
+        match rsm with
+        | Error e -> failwith ("Service.deploy: join failed: " ^ T.error_to_string e)
+        | Ok rsm ->
+            let r = { r_shard = shard; r_host = host; r_rsm = rsm; r_events = events } in
+            let probe = probe_addr host in
+            let eps =
+              List.init eps_per_replica (fun _ ->
+                  let addr = Flip.fresh_addr flip in
+                  let (_ : Rpc.server) = Rpc.serve flip ~addr (handle t r) in
+                  { ep_shard = shard; ep_host = host; ep_addr = addr;
+                    ep_probe = probe })
+            in
+            Ivar.fill iv (r, eps));
+    iv
+  in
+  t.eps <-
+    Array.init shards (fun shard ->
+        let hosts = Shard_map.replica_hosts t.map shard in
+        let iv0 = start_replica ~shard ~host:(List.hd hosts) ~creator:None in
+        let r0, eps0 = Ivar.read eng iv0 in
+        t.replicas.(shard) <- [ r0 ];
+        let addr = R.address r0.r_rsm in
+        let rest =
+          List.concat_map
+            (fun host ->
+              let iv = start_replica ~shard ~host ~creator:(Some addr) in
+              let r, eps = Ivar.read eng iv in
+              t.replicas.(shard) <- t.replicas.(shard) @ [ r ];
+              eps)
+            (List.tl hosts)
+        in
+        Array.of_list (eps0 @ rest));
+  t
+
+let applied t shard =
+  List.map (fun r -> (r.r_host, R.applied r.r_rsm)) t.replicas.(shard)
+
+let checker_streams t ~shard ~crashed =
+  List.map
+    (fun r ->
+      {
+        Checker.label = Printf.sprintf "s%d/m%d" r.r_shard r.r_host;
+        events = List.rev !(r.r_events);
+        full = not (crashed r.r_host);
+      })
+    t.replicas.(shard)
+
+let completed t ~shard = List.rev !(t.completed_w.(shard))
+
+let check t ~crashed =
+  let is_crashed h = List.mem h crashed in
+  List.init (Shard_map.shards t.map) (fun shard ->
+      let streams = checker_streams t ~shard ~crashed:is_crashed in
+      let dead_replicas =
+        List.length
+          (List.filter is_crashed (Shard_map.replica_hosts t.map shard))
+      in
+      let verdicts =
+        Checker.run
+          ~durability_applies:(dead_replicas <= t.resilience)
+          ~streams
+          ~completed:(completed t ~shard)
+          ()
+      in
+      (shard, verdicts))

@@ -1,0 +1,82 @@
+(** The server side of the sharded service: one {!Amoeba_grouplib.Rsm}
+    key/value replica group per shard, deployed over a
+    {!Amoeba_harness.Cluster} according to a {!Shard_map}.
+
+    Each replica exposes an RPC endpoint speaking the {!Kv} request
+    protocol; writes are submitted to the shard's totally-ordered
+    group (so every replica of a shard applies the same update
+    sequence), reads are answered from the local copy.  Each host also
+    runs a failure-detector responder, which routers probe to tell a
+    slow replica from a dead one.  Replica groups are created with
+    [auto_heal] on: when a shard's sequencer machine crashes, the
+    surviving replicas expel it and elect a new sequencer without any
+    help from this layer. *)
+
+open Amoeba_flip
+open Amoeba_core
+open Amoeba_harness
+
+type endpoint = {
+  ep_shard : int;
+  ep_host : int;  (** machine index in the cluster *)
+  ep_addr : Addr.t;  (** RPC request endpoint *)
+  ep_probe : Addr.t;  (** failure-detector responder on that host *)
+}
+
+type t
+
+val deploy :
+  Cluster.t ->
+  map:Shard_map.t ->
+  ?resilience:int ->
+  ?send_method:Types.send_method ->
+  ?checkpoint:Amoeba_grouplib.Stable_store.t * int ->
+  ?record:bool ->
+  ?eps_per_replica:int ->
+  unit ->
+  t
+(** Creates every shard's group and joins its replicas (atomic state
+    transfer included), per the map's placement.  Blocking — call it
+    from a cluster process; it returns once all replicas are up.
+    [resilience] (default 1) is each group's resilience degree.
+    [checkpoint] enables consistent checkpointing on every replica.
+    [record] (default false) taps every replica's delivery stream and
+    logs every completed write, so {!check} can run the chaos
+    invariants per shard after a faulted run.  [eps_per_replica]
+    (default 4) is the RPC worker pool per replica: endpoints service
+    one request at a time and a write occupies its endpoint for the
+    whole submit round-trip, so a pool is what lets one replica hold
+    several writes in flight. *)
+
+val map : t -> Shard_map.t
+
+val endpoints : t -> endpoint array array
+(** Per shard, the sequencer host's pool first — what a {!Router}
+    needs.  Round-robin over the whole array spreads load evenly over
+    replicas and over each replica's endpoint pool. *)
+
+val applied : t -> int -> (int * int) list
+(** [applied t shard] is [(host, updates applied)] per live replica. *)
+
+val reads : t -> int
+
+val writes_ok : t -> int
+
+val writes_busy : t -> int
+(** Writes refused with a transient [Busy] reply (submit failed, e.g.
+    mid-recovery) — the router retries these. *)
+
+val checker_streams :
+  t -> shard:int -> crashed:(int -> bool) -> Checker.stream list
+(** Per-replica delivery streams of one shard (empty unless deployed
+    with [~record:true]).  [crashed host] marks streams that must not
+    be held to the durability invariant. *)
+
+val completed : t -> shard:int -> (Types.mid * string) list
+(** Completed writes of one shard, as (member, on-stream bytes) — the
+    checker's durability obligations. *)
+
+val check : t -> crashed:int list -> (int * Checker.verdict list) list
+(** Runs all four chaos invariants independently per shard.
+    Durability applies to a shard only when the crashed machines
+    hosting its replicas number at most the resilience degree. *)

@@ -1,0 +1,99 @@
+(* Consistent hashing of keys onto shards, and deterministic placement
+   of each shard's replicas (sequencer host first) over the machine
+   pool. *)
+
+type t = {
+  shards : int;
+  replication : int;
+  hosts : int array;
+  ring : (int * int) array;  (* (point, shard), sorted by point *)
+}
+
+(* 64-bit FNV-1a with a splitmix64 finaliser (plain FNV has weak
+   high-bit avalanche on short similar strings, which skews the ring
+   badly), folded into OCaml's 63-bit native int.  Deterministic
+   across runs — unlike [Hashtbl.hash] no seeding is involved — so
+   every router and replica agrees on the ring forever. *)
+let fnv1a s =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := mul (logxor !h (of_int (Char.code c))) 0x100000001b3L)
+    s;
+  let z = !h in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int z land Stdlib.max_int
+
+let create ?(virtual_nodes = 64) ?(replication = 3) ~shards ~hosts () =
+  if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
+  if replication < 1 then invalid_arg "Shard_map.create: replication < 1";
+  if hosts = [] then invalid_arg "Shard_map.create: no hosts";
+  if virtual_nodes < 1 then invalid_arg "Shard_map.create: virtual_nodes < 1";
+  let hosts = Array.of_list hosts in
+  let replication = min replication (Array.length hosts) in
+  let ring =
+    Array.init (shards * virtual_nodes) (fun i ->
+        let shard = i / virtual_nodes and vnode = i mod virtual_nodes in
+        (fnv1a (Printf.sprintf "shard-%d#%d" shard vnode), shard))
+  in
+  Array.sort compare ring;
+  { shards; replication; hosts; ring }
+
+let shards t = t.shards
+let replication t = t.replication
+let hosts t = Array.to_list t.hosts
+
+(* First ring point clockwise from the key's hash (wrapping). *)
+let shard_of_key t key =
+  let h = fnv1a key in
+  let n = Array.length t.ring in
+  (* Binary search for the first point >= h. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  snd t.ring.(if !lo = n then 0 else !lo)
+
+let sequencer_host t i =
+  if i < 0 || i >= t.shards then invalid_arg "Shard_map.sequencer_host";
+  t.hosts.(i mod Array.length t.hosts)
+
+(* The sequencer's CPU is each shard's scarce resource (the paper's
+   central measurement), so followers keep off the sequencer machines
+   entirely whenever the pool is big enough: they are drawn
+   round-robin from the hosts that sequence no shard, which both keeps
+   a shard's members pairwise distinct and spreads follower load
+   evenly.  When every host sequences some shard (shards >= hosts)
+   there is nowhere to hide, and followers fall back to striding
+   across the whole pool. *)
+let replica_hosts t i =
+  if i < 0 || i >= t.shards then invalid_arg "Shard_map.replica_hosts";
+  let h = Array.length t.hosts in
+  let seq = t.hosts.(i mod h) in
+  let followers = t.replication - 1 in
+  let free =
+    if t.shards >= h then [||]
+    else Array.sub t.hosts t.shards (h - t.shards)
+  in
+  if Array.length free >= followers then
+    seq
+    :: List.init followers (fun j ->
+           free.(((i * followers) + j) mod Array.length free))
+  else
+    let step = max 1 (h / t.replication) in
+    List.init t.replication (fun j -> t.hosts.((i + (j * step)) mod h))
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d shard(s), replication %d, hosts %a@," t.shards
+    t.replication
+    Fmt.(brackets (list ~sep:(any ", ") int))
+    (Array.to_list t.hosts);
+  for i = 0 to t.shards - 1 do
+    Fmt.pf ppf "shard %d: sequencer m%d, replicas %a@," i (sequencer_host t i)
+      Fmt.(list ~sep:(any ", ") (fmt "m%d"))
+      (replica_hosts t i)
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,58 @@
+(** Partitioning a key space over N independent totally-ordered
+    groups.
+
+    The paper's own measurements (section 4) put the throughput
+    ceiling at the sequencer: one CPU stamps every message, so a
+    single group cannot exceed ~815 msg/s no matter how many machines
+    join it.  The standard escape — the paper's Figure 6, and Ring
+    Paxos's partitioned deployments — is to run many disjoint groups
+    and spread their sequencers over distinct machines.  A shard map
+    is the static piece of that design: a consistent-hash ring mapping
+    keys to shards, plus a deterministic placement of each shard's
+    replicas with the {e sequencer-hosting} replica (the group
+    creator) spread across distinct machines. *)
+
+type t
+
+val create :
+  ?virtual_nodes:int ->
+  ?replication:int ->
+  shards:int ->
+  hosts:int list ->
+  unit ->
+  t
+(** [create ~shards ~hosts ()] builds the map.  [hosts] are the
+    machine indices available to host replicas.  [replication]
+    (default 3, clamped to the host count) is the number of replicas
+    per shard.  Placement is deterministic: shard [i]'s sequencer
+    lives on [hosts.(i mod h)] — distinct machines whenever
+    [shards <= h] — and its remaining replicas stride across the host
+    list so no machine is hit twice by one shard.  [virtual_nodes]
+    (default 64) sets the ring resolution per shard.
+
+    @raise Invalid_argument on an empty host list, [shards < 1] or
+    [replication < 1]. *)
+
+val shards : t -> int
+
+val replication : t -> int
+
+val hosts : t -> int list
+
+val shard_of_key : t -> string -> int
+(** Consistent: a pure function of the key and the ring (FNV-1a over
+    the key, nearest virtual node clockwise).  Every router and every
+    replica computes the same answer with no coordination. *)
+
+val sequencer_host : t -> int -> int
+(** The machine whose replica creates shard [i]'s group — and
+    therefore hosts its sequencer (the creator is member 0). *)
+
+val replica_hosts : t -> int -> int list
+(** All machines holding a replica of shard [i], sequencer host
+    first.  Pairwise distinct; follower replicas avoid every
+    sequencer host whenever the pool has enough non-sequencing
+    machines (the sequencer's cycles are the shard's scarce
+    resource). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+open Amoeba_sim
+open Amoeba_harness
+
+type dist = Uniform | Zipf of float
+type mode = Closed of int | Open of float
+
+type spec = {
+  keys : int;
+  value_bytes : int;
+  read_ratio : float;
+  dist : dist;
+  mode : mode;
+  duration : Time.t;
+  seed : int;
+}
+
+type result = {
+  attempted : int;
+  completed : int;
+  failed : int;
+  ops_per_sec : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  reads : int;
+  writes : int;
+  per_shard : int array;
+}
+
+(* Key popularity: uniform, or Zipf by inverse-CDF lookup over
+   precomputed cumulative weights (exact, no rejection loop). *)
+let make_sampler spec =
+  match spec.dist with
+  | Uniform -> fun rng -> Random.State.int rng spec.keys
+  | Zipf alpha ->
+      let cum = Array.make spec.keys 0.0 in
+      let total = ref 0.0 in
+      for i = 0 to spec.keys - 1 do
+        total := !total +. (1.0 /. (float_of_int (i + 1) ** alpha));
+        cum.(i) <- !total
+      done;
+      let total = !total in
+      fun rng ->
+        let u = Random.State.float rng total in
+        let lo = ref 0 and hi = ref (spec.keys - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if cum.(mid) < u then lo := mid + 1 else hi := mid
+        done;
+        !lo
+
+type acc = {
+  stats : Stats.t;
+  mutable attempted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable reads : int;
+  mutable writes : int;
+  per_shard : int array;
+  mutable in_flight : int;
+}
+
+let one_op eng ~map ~acc ~sampler ~spec ~rng router =
+  let key = "k" ^ string_of_int (sampler rng) in
+  let is_read = Random.State.float rng 1.0 < spec.read_ratio in
+  acc.attempted <- acc.attempted + 1;
+  acc.in_flight <- acc.in_flight + 1;
+  let t0 = Engine.now eng in
+  let reply =
+    if is_read then Router.get router key
+    else begin
+      (* Values carry a unique stamp then pad to size: distinct bodies
+         keep the checker's no-duplicates invariant meaningful. *)
+      let stamp = Printf.sprintf "v%d." acc.attempted in
+      let pad = max 0 (spec.value_bytes - String.length stamp) in
+      Router.put router key (stamp ^ String.make pad 'x')
+    end
+  in
+  let dt_ms = Time.to_ms (Engine.now eng - t0) in
+  acc.in_flight <- acc.in_flight - 1;
+  match reply with
+  | Router.Failed _ -> acc.failed <- acc.failed + 1
+  | Router.Value _ | Router.Not_found | Router.Written ->
+      acc.completed <- acc.completed + 1;
+      Stats.add acc.stats dt_ms;
+      if is_read then acc.reads <- acc.reads + 1
+      else acc.writes <- acc.writes + 1;
+      let s = Shard_map.shard_of_key map key in
+      acc.per_shard.(s) <- acc.per_shard.(s) + 1
+
+let run cl ~routers ~map spec =
+  let eng = cl.Cluster.engine in
+  let acc =
+    {
+      stats = Stats.create ();
+      attempted = 0;
+      completed = 0;
+      failed = 0;
+      reads = 0;
+      writes = 0;
+      per_shard = Array.make (Shard_map.shards map) 0;
+      in_flight = 0;
+    }
+  in
+  let sampler = make_sampler spec in
+  let routers = Array.of_list routers in
+  let nr = Array.length routers in
+  if nr = 0 then invalid_arg "Workload.run: no routers";
+  let stop = Engine.now eng + spec.duration in
+  (match spec.mode with
+  | Closed n ->
+      let remaining = ref n in
+      let all_done = Ivar.create () in
+      for i = 0 to n - 1 do
+        let rng = Random.State.make [| spec.seed; 0x6b1d; i |] in
+        let router = routers.(i mod nr) in
+        Cluster.spawn cl (fun () ->
+            while Engine.now eng < stop do
+              one_op eng ~map ~acc ~sampler ~spec ~rng router
+            done;
+            decr remaining;
+            if !remaining = 0 then Ivar.fill all_done ())
+      done;
+      Ivar.read eng all_done
+  | Open rate ->
+      if rate <= 0.0 then invalid_arg "Workload.run: rate <= 0";
+      let arrivals = Random.State.make [| spec.seed; 0x09e4 |] in
+      let i = ref 0 in
+      while Engine.now eng < stop do
+        (* Poisson arrivals: exponential inter-arrival times. *)
+        let u = Random.State.float arrivals 1.0 in
+        let dt = -.log (1.0 -. u) /. rate in
+        Engine.sleep eng (Time.ns (int_of_float (dt *. 1e9)));
+        if Engine.now eng < stop then begin
+          let k = !i in
+          incr i;
+          let rng = Random.State.make [| spec.seed; 0x09e5; k |] in
+          Cluster.spawn cl (fun () ->
+              one_op eng ~map ~acc ~sampler ~spec ~rng routers.(k mod nr))
+        end
+      done;
+      (* Drain in-flight operations, bounded by a grace period. *)
+      let deadline = Engine.now eng + Time.sec 3 in
+      while acc.in_flight > 0 && Engine.now eng < deadline do
+        Engine.sleep eng (Time.ms 10)
+      done);
+  let dur_s = Time.to_sec spec.duration in
+  {
+    attempted = acc.attempted;
+    completed = acc.completed;
+    failed = acc.failed;
+    ops_per_sec = (if dur_s > 0.0 then float_of_int acc.completed /. dur_s else 0.0);
+    mean_ms = Stats.mean acc.stats;
+    p50_ms = Stats.percentile acc.stats 50.0;
+    p95_ms = Stats.percentile acc.stats 95.0;
+    p99_ms = Stats.percentile acc.stats 99.0;
+    max_ms = Stats.max_value acc.stats;
+    reads = acc.reads;
+    writes = acc.writes;
+    per_shard = acc.per_shard;
+  }
+
+let pp_result ppf (r : result) =
+  Fmt.pf ppf
+    "@[<v>%d attempted, %d completed, %d failed (%.0f ops/s)@,\
+     latency ms: mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f@,\
+     %d reads, %d writes; per shard: %a@]"
+    r.attempted r.completed r.failed r.ops_per_sec r.mean_ms r.p50_ms r.p95_ms
+    r.p99_ms r.max_ms r.reads r.writes
+    Fmt.(brackets (list ~sep:comma int))
+    (Array.to_list r.per_shard)

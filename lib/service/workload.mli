@@ -1,0 +1,53 @@
+(** A deterministic workload engine for the sharded service.
+
+    Drives one or more {!Router}s with a synthetic key/value load and
+    measures what the paper measured — throughput and latency — at the
+    service level: open-loop (Poisson arrivals at a fixed rate) or
+    closed-loop (N clients, think time zero), uniform or Zipfian key
+    popularity, a configurable read/write mix.  All randomness is
+    seeded per client, so a run is exactly reproducible given the
+    cluster seed and the spec. *)
+
+open Amoeba_sim
+open Amoeba_harness
+
+type dist =
+  | Uniform
+  | Zipf of float  (** skew exponent; 0.99 is the YCSB default *)
+
+type mode =
+  | Closed of int  (** this many clients, each one op at a time *)
+  | Open of float  (** Poisson arrivals, ops per simulated second *)
+
+type spec = {
+  keys : int;  (** key space size; keys are ["k0"].. *)
+  value_bytes : int;
+  read_ratio : float;  (** 0.0 = write-only, 1.0 = read-only *)
+  dist : dist;
+  mode : mode;
+  duration : Time.t;  (** measurement window *)
+  seed : int;  (** workload seed (independent of the cluster's) *)
+}
+
+type result = {
+  attempted : int;
+  completed : int;
+  failed : int;  (** [Router.Failed] replies (attempts exhausted) *)
+  ops_per_sec : float;  (** completed ops per simulated second *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  reads : int;
+  writes : int;
+  per_shard : int array;  (** completed ops by shard *)
+}
+
+val run :
+  Cluster.t -> routers:Router.t list -> map:Shard_map.t -> spec -> result
+(** Blocking — call from a cluster process.  Clients round-robin over
+    [routers].  Returns once the window has elapsed and in-flight
+    operations have drained (a short grace period). *)
+
+val pp_result : Format.formatter -> result -> unit

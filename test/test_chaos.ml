@@ -188,6 +188,29 @@ let prop_adversarial_swarm =
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
            ~net:adversarial_net ~seed ()))
 
+let test_multigroup_invariants_per_group () =
+  (* Three concurrent groups share the wire (sequencers on machines 0,
+     1 and 2); machine 1 — one group's sequencer, a plain member of
+     the others — crashes on a hostile net.  Every group must uphold
+     its own invariants independently. *)
+  let o =
+    Chaos.run ~n:4 ~groups:3 ~resilience:1 ~seed:16
+      ~schedule:[ step (Time.ms 400) (Fault.Crash 1) ]
+      ~net:adversarial_net ()
+  in
+  Alcotest.(check bool) "per-group invariants hold" true (Chaos.ok o);
+  Alcotest.(check int) "four verdicts per group" 12
+    (List.length o.Chaos.verdicts);
+  Alcotest.(check bool) "durability was in force" true o.Chaos.durability_checked
+
+let prop_multigroup_deterministic =
+  QCheck.Test.make ~name:"multi-group chaos replays bit-identically"
+    ~count:6
+    QCheck.(int_range 0 9_999)
+    (fun seed ->
+      let a = Chaos.run ~groups:2 ~seed () and b = Chaos.run ~groups:2 ~seed () in
+      a = b)
+
 let prop_chaos_deterministic =
   QCheck.Test.make ~name:"chaos runs replay bit-identically from a seed"
     ~count:12
@@ -448,8 +471,11 @@ let suite =
       tc "corruption caught by checksums" test_corruption_caught_by_checksums;
       tc "one-way cut survived" test_oneway_cut_survived;
       tc "loss burst repaired" test_loss_burst_repaired;
+      tc "multi-group invariants hold per group"
+        test_multigroup_invariants_per_group;
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
       QCheck_alcotest.to_alcotest ~rand prop_adversarial_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;
       QCheck_alcotest.to_alcotest ~rand prop_chaos_deterministic;
+      QCheck_alcotest.to_alcotest ~rand prop_multigroup_deterministic;
     ] )

@@ -170,6 +170,101 @@ let test_restart_from_checkpoint_after_total_failure () =
         (55 + 99) st.Log_app.sum
   | None -> Alcotest.fail "no checkpoint survived"
 
+(* Atomic state transfer while the wire misbehaves: the joiner's
+   snapshot query, the RPC'd snapshot itself and the concurrent update
+   stream are all exposed to the conditions; the repair machinery must
+   still hand the joiner a state positioned exactly in the stream. *)
+let run_transfer_under ~conditions ~seed () =
+  let cl = Cluster.create ~n:3 ~seed () in
+  let outcome = ref None in
+  Cluster.spawn cl (fun () ->
+      let r0 = R.create (Cluster.flip cl 0) () in
+      let r1 = check_ok "join1" (R.join (Cluster.flip cl 1) (R.address r0)) in
+      for k = 1 to 10 do
+        ignore (check_ok "pre" (R.submit r0 k))
+      done;
+      Ether.set_conditions cl.Cluster.ether conditions;
+      Cluster.spawn cl (fun () ->
+          for k = 11 to 25 do
+            ignore (R.submit r1 k)
+          done);
+      Engine.sleep cl.Cluster.engine (Time.ms 20);
+      (* Join mid-stream, with the conditions in force. *)
+      let r2 = check_ok "join2" (R.join (Cluster.flip cl 2) (R.address r0)) in
+      Engine.sleep cl.Cluster.engine (Time.sec 30);
+      Ether.set_conditions cl.Cluster.ether Ether.clean;
+      ignore (check_ok "flush" (R.submit r0 26));
+      Engine.sleep cl.Cluster.engine (Time.sec 5);
+      outcome := Some (R.state r0, R.state r2, R.applied r0, R.applied r2));
+  Cluster.run ~until:(Time.sec 120) cl;
+  match !outcome with
+  | Some (s0, s2, a0, a2) ->
+      Alcotest.(check int) "veteran applied all" 26 a0;
+      Alcotest.(check int) "joiner applied all" 26 a2;
+      Alcotest.(check bool) "joiner state equals veteran state" true
+        (s0.Log_app.entries = s2.Log_app.entries)
+  | None -> Alcotest.fail "scenario did not finish"
+
+let test_transfer_under_bursty_loss () =
+  run_transfer_under ~seed:21
+    ~conditions:
+      {
+        Ether.clean with
+        gilbert =
+          Some { p_gb = 0.02; p_bg = 0.25; loss_good = 0.005; loss_bad = 0.6 };
+        dup_prob = 0.05;
+      }
+    ()
+
+let test_transfer_under_reordering () =
+  run_transfer_under ~seed:22
+    ~conditions:{ Ether.clean with jitter_ns = Time.ms 3; dup_prob = 0.05 }
+    ()
+
+let test_checkpoint_restore_under_hostile_net () =
+  (* Checkpoints taken while the wire drops, duplicates and reorders
+     frames must still be consistent cuts: a fresh group seeded from
+     the recovered checkpoint continues with the right state. *)
+  let store = Stable_store.create () in
+  let cl = Cluster.create ~n:2 ~seed:23 () in
+  Cluster.spawn cl (fun () ->
+      Ether.set_conditions cl.Cluster.ether
+        {
+          Ether.gilbert =
+            Some { p_gb = 0.02; p_bg = 0.3; loss_good = 0.01; loss_bad = 0.5 };
+          dup_prob = 0.05;
+          jitter_ns = Time.ms 2;
+          corrupt_prob = 0.01;
+        };
+      let r0 = R.create (Cluster.flip cl 0) ~checkpoint:(store, 5) () in
+      let _r1 = check_ok "join" (R.join (Cluster.flip cl 1) (R.address r0)) in
+      for k = 1 to 12 do
+        ignore (check_ok "submit" (R.submit r0 k))
+      done;
+      (* Wait out repair and the background disk write, then die. *)
+      Engine.sleep cl.Cluster.engine (Time.sec 5);
+      Alcotest.(check int) "all applied despite conditions" 12 (R.applied r0);
+      Machine.crash (Cluster.machine cl 0);
+      Machine.crash (Cluster.machine cl 1));
+  Cluster.run ~until:(Time.sec 60) cl;
+  let cl2 = Cluster.create ~n:1 () in
+  let final = ref None in
+  Cluster.spawn cl2 (fun () ->
+      match R.checkpointed store ~machine_name:"m0" with
+      | None -> ()
+      | Some (st, count) ->
+          let r = R.create (Cluster.flip cl2 0) ~seed:(st, count) () in
+          ignore (check_ok "post-restart submit" (R.submit r 99));
+          Engine.sleep cl2.Cluster.engine (Time.ms 100);
+          final := Some (R.state r, R.applied r));
+  Cluster.run ~until:(Time.sec 30) cl2;
+  match !final with
+  | Some (st, applied) ->
+      Alcotest.(check int) "continued from the consistent cut" 11 applied;
+      Alcotest.(check int) "sum = checkpointed 1..10 + new update"
+        (55 + 99) st.Log_app.sum
+  | None -> Alcotest.fail "no checkpoint survived"
+
 let test_atomic_create_success () =
   let cl = Cluster.create ~n:3 () in
   let got = ref 0 in
@@ -263,6 +358,10 @@ let suite =
       tc "checkpoint roundtrip" test_checkpoint_roundtrip;
       tc "restart from checkpoint after total failure"
         test_restart_from_checkpoint_after_total_failure;
+      tc "state transfer under bursty loss" test_transfer_under_bursty_loss;
+      tc "state transfer under reordering" test_transfer_under_reordering;
+      tc "checkpoint restore under hostile net"
+        test_checkpoint_restore_under_hostile_net;
       tc "atomic create success" test_atomic_create_success;
       tc "atomic create aborts on dead member"
         test_atomic_create_aborts_on_dead_member;

@@ -16,4 +16,5 @@ let () =
       Test_orca.suite;
       Test_harness.suite;
       Test_chaos.suite;
+      Test_service.suite;
     ]

@@ -250,6 +250,47 @@ let test_acker_crash_then_reset_unblocks () =
   Cluster.run ~until:(Time.sec 2_000) cl;
   match !failure with Some e -> raise e | None -> ()
 
+let test_acker_crash_heals_without_reset () =
+  (* The sequencer-side half of auto-heal.  The member heartbeat only
+     watches the sequencer, so a dead plain member is invisible to it —
+     but with resilience > 0 that member may be the acker every send
+     from the sequencer's machine waits on.  The sequencer must notice
+     the stalled stable frontier on its own heartbeat and expel the
+     corpse without anyone calling ResetGroup. *)
+  let cl = Cluster.create ~n:3 () in
+  let failure = ref None in
+  Cluster.spawn cl (fun () ->
+      try
+        let creator =
+          Api.create_group (Cluster.flip cl 0) ~resilience:1 ~auto_heal:true ()
+        in
+        let addr = Api.group_address creator in
+        let _g1 =
+          check_ok "join"
+            (Api.join_group (Cluster.flip cl 1) ~resilience:1 ~auto_heal:true addr)
+        in
+        let _g2 =
+          check_ok "join"
+            (Api.join_group (Cluster.flip cl 2) ~resilience:1 ~auto_heal:true addr)
+        in
+        ignore (check_ok "warm" (Api.send_to_group creator (body "w")));
+        Engine.sleep cl.Cluster.engine (Time.ms 50);
+        (* The creator's acker (first member that is not the sender)
+           dies: its next send cannot stabilise in this membership. *)
+        Machine.crash (Cluster.machine cl 1);
+        (match Api.send_to_group creator (body "stuck") with
+        | Error T.Sequencer_unreachable | Error T.Send_aborted | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected: %s" (T.error_to_string e));
+        (* Heartbeats: 2 x probe_timeout per tick, probe_retries
+           stalled ticks, then a recovery round — well under 5 s. *)
+        Engine.sleep cl.Cluster.engine (Time.sec 5);
+        Alcotest.(check int) "dead acker expelled" 2
+          (List.length (Kernel.member_list (Api.kernel creator)));
+        ignore (check_ok "post-heal send" (Api.send_to_group creator (body "flow")))
+      with e -> failure := Some e);
+  Cluster.run ~until:(Time.sec 2_000) cl;
+  match !failure with Some e -> raise e | None -> ()
+
 let test_auto_heal_recovers_without_reset_call () =
   (* auto_heal on: nobody calls ResetGroup; the members' heartbeats
      notice the dead sequencer and rebuild the group on their own. *)
@@ -475,6 +516,8 @@ let suite =
       tc "acker leaves during resilient send"
         test_acker_leaves_during_resilient_send;
       tc "acker crash then reset unblocks" test_acker_crash_then_reset_unblocks;
+      tc "acker crash heals without a reset call"
+        test_acker_crash_heals_without_reset;
       tc "auto-heal recovers without a reset call"
         test_auto_heal_recovers_without_reset_call;
       tc "frozen member ignores old-incarnation traffic"

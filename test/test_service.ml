@@ -1,0 +1,430 @@
+(* Tests for the sharded service layer: the shard map, the wire
+   codecs, isolation of multiple groups sharing one Ethernet, service
+   end-to-end operation, router failover across a sequencer crash, and
+   the workload engine. *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_core
+open Amoeba_harness
+open Amoeba_service
+module T = Types
+
+(* ---------- shard map ---------- *)
+
+let test_shard_map_placement () =
+  let map = Shard_map.create ~shards:4 ~hosts:[ 0; 1; 2; 3; 4; 5; 6; 7 ] () in
+  Alcotest.(check int) "shards" 4 (Shard_map.shards map);
+  Alcotest.(check (list int))
+    "sequencers on distinct machines" [ 0; 1; 2; 3 ]
+    (List.init 4 (Shard_map.sequencer_host map));
+  for s = 0 to 3 do
+    let hosts = Shard_map.replica_hosts map s in
+    Alcotest.(check int) "replication" 3 (List.length hosts);
+    Alcotest.(check int) "pairwise distinct" 3
+      (List.length (List.sort_uniq compare hosts));
+    Alcotest.(check int)
+      "sequencer host first"
+      (Shard_map.sequencer_host map s)
+      (List.hd hosts)
+  done
+
+let test_shard_map_deterministic_and_covering () =
+  let m1 = Shard_map.create ~shards:8 ~hosts:[ 0; 1; 2; 3 ] () in
+  let m2 = Shard_map.create ~shards:8 ~hosts:[ 0; 1; 2; 3 ] () in
+  let hits = Array.make 8 0 in
+  for i = 0 to 9_999 do
+    let k = "key-" ^ string_of_int i in
+    let s = Shard_map.shard_of_key m1 k in
+    if s <> Shard_map.shard_of_key m2 k then
+      Alcotest.failf "ring not deterministic for %s" k;
+    hits.(s) <- hits.(s) + 1
+  done;
+  Array.iteri
+    (fun s n ->
+      if n < 300 then
+        Alcotest.failf "shard %d badly underloaded: %d/10000 keys" s n)
+    hits
+
+(* ---------- codecs ---------- *)
+
+let test_kv_codecs () =
+  let module S = Kv.Store in
+  let ups =
+    [
+      S.Put { uid = 7; key = "a b"; value = "x y z" };
+      S.Put { uid = 123456; key = ""; value = "" };
+      S.Del { uid = 9; key = "with space" };
+    ]
+  in
+  List.iter
+    (fun u ->
+      Alcotest.(check bool)
+        "update roundtrip" true
+        (S.decode_update (S.encode_update u) = Some u))
+    ups;
+  let st =
+    List.fold_left
+      (fun m (k, v) -> Kv.Smap.add k v m)
+      S.initial
+      [ ("k1", "v1"); ("a key", "a value"); ("empty", ""); ("", "odd") ]
+  in
+  (match S.decode_state (S.encode_state st) with
+  | Some st' -> Alcotest.(check bool) "state roundtrip" true (Kv.Smap.equal ( = ) st st')
+  | None -> Alcotest.fail "state did not decode");
+  let reqs = [ Kv.Get "k"; Kv.Put ("a b", "v w"); Kv.Del "x" ] in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "request roundtrip" true
+        (Kv.decode_request (Kv.encode_request r) = Some r))
+    reqs;
+  let reps =
+    [ Kv.Value "x y"; Kv.Not_found; Kv.Written; Kv.Wrong_shard 3; Kv.Busy "no" ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "reply roundtrip" true
+        (Kv.decode_reply (Kv.encode_reply r) = Some r))
+    reps
+
+(* ---------- multiple groups on one Ethernet are isolated ---------- *)
+
+(* Two independent groups (two members each) share the wire.  Each
+   group broadcasts its own tagged bodies; every member must deliver
+   exactly its group's messages, in the same total order as its peer,
+   and nothing from the other group — under clean and under
+   adversarial link conditions. *)
+let run_isolation ~conditions () =
+  let cl = Cluster.create ~n:4 ~seed:11 () in
+  let logs = Array.init 4 (fun _ -> ref []) in
+  let failures = ref [] in
+  Cluster.spawn cl (fun () ->
+      let ga = Api.create_group (Cluster.flip cl 0) () in
+      let ga' =
+        match Api.join_group (Cluster.flip cl 1) (Api.group_address ga) with
+        | Ok g -> g
+        | Error e -> Alcotest.failf "join A: %s" (T.error_to_string e)
+      in
+      let gb = Api.create_group (Cluster.flip cl 2) () in
+      let gb' =
+        match Api.join_group (Cluster.flip cl 3) (Api.group_address gb) with
+        | Ok g -> g
+        | Error e -> Alcotest.failf "join B: %s" (T.error_to_string e)
+      in
+      let receiver i g =
+        Cluster.spawn cl (fun () ->
+            let rec loop () =
+              (match Api.receive_from_group g with
+              | T.Message { body; _ } ->
+                  logs.(i) := Bytes.to_string body :: !(logs.(i))
+              | _ -> ());
+              loop ()
+            in
+            loop ())
+      in
+      receiver 0 ga;
+      receiver 1 ga';
+      receiver 2 gb;
+      receiver 3 gb';
+      Ether.set_conditions cl.Cluster.ether conditions;
+      let sender g tag =
+        Cluster.spawn cl (fun () ->
+            for k = 1 to 10 do
+              match Api.send_to_group g (Bytes.of_string (Printf.sprintf "%s.%d" tag k)) with
+              | Ok _ -> ()
+              | Error e ->
+                  failures := Printf.sprintf "%s.%d: %s" tag k (T.error_to_string e) :: !failures
+            done)
+      in
+      sender ga "A0";
+      sender ga' "A1";
+      sender gb "B0";
+      sender gb' "B1";
+      Engine.sleep cl.Cluster.engine (Time.sec 30);
+      Ether.set_conditions cl.Cluster.ether Ether.clean;
+      (* One clean message per group flushes any pending repair. *)
+      ignore (Api.send_to_group ga (Bytes.of_string "A0.flush"));
+      ignore (Api.send_to_group gb (Bytes.of_string "B0.flush")));
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check (list string)) "all sends accepted" [] !failures;
+  let expected prefix =
+    List.sort compare
+      ((prefix ^ "0.flush")
+      :: List.concat_map
+           (fun m ->
+             List.init 10 (fun k -> Printf.sprintf "%s%d.%d" prefix m (k + 1)))
+           [ 0; 1 ])
+  in
+  let got i = List.rev !(logs.(i)) in
+  (* Same total order at both members of a group. *)
+  Alcotest.(check (list string)) "group A members agree" (got 0) (got 1);
+  Alcotest.(check (list string)) "group B members agree" (got 2) (got 3);
+  (* Exactly the group's own messages, nothing from the other wire
+     sharer: no cross-group delivery, no duplicates, no losses. *)
+  Alcotest.(check (list string))
+    "group A delivered exactly its messages" (expected "A")
+    (List.sort compare (got 0));
+  Alcotest.(check (list string))
+    "group B delivered exactly its messages" (expected "B")
+    (List.sort compare (got 2))
+
+let test_isolation_clean () = run_isolation ~conditions:Ether.clean ()
+
+let test_isolation_adversarial () =
+  run_isolation
+    ~conditions:
+      {
+        Ether.gilbert =
+          Some { p_gb = 0.01; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
+        dup_prob = 0.05;
+        jitter_ns = Time.ms 2;
+        corrupt_prob = 0.01;
+      }
+    ()
+
+(* ---------- service end-to-end ---------- *)
+
+let test_service_end_to_end () =
+  let cl = Cluster.create ~n:5 ~seed:3 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:2 ~replication:2 ~hosts:[ 0; 1; 2; 3 ] ()
+      in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      Alcotest.(check bool)
+        "missing key" true
+        (Router.get router "nope" = Router.Not_found);
+      for i = 0 to 19 do
+        let k = "k" ^ string_of_int i in
+        match Router.put router k ("v" ^ string_of_int i) with
+        | Router.Written -> ()
+        | _ -> Alcotest.failf "put %s not written" k
+      done;
+      (* Let the slower replicas of each shard apply the tail, then
+         read everything back (reads round-robin over replicas). *)
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      for i = 0 to 19 do
+        let k = "k" ^ string_of_int i in
+        match Router.get router k with
+        | Router.Value v ->
+            Alcotest.(check string) ("get " ^ k) ("v" ^ string_of_int i) v
+        | _ -> Alcotest.failf "get %s failed" k
+      done;
+      (match Router.del router "k0" with
+      | Router.Written -> ()
+      | _ -> Alcotest.fail "del k0 failed");
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      Alcotest.(check bool)
+        "deleted key gone" true
+        (Router.get router "k0" = Router.Not_found);
+      (* Every replica of a shard applied the same update count, and
+         the shards together applied exactly the 21 writes. *)
+      let total = ref 0 in
+      for s = 0 to 1 do
+        match Service.applied svc s with
+        | (_, a) :: rest ->
+            List.iter
+              (fun (_, a') -> Alcotest.(check int) "replicas in step" a a')
+              rest;
+            total := !total + a
+        | [] -> Alcotest.fail "no replicas"
+      done;
+      Alcotest.(check int) "all writes applied exactly once" 21 !total;
+      Alcotest.(check int) "no transient rejections" 0 (Service.writes_busy svc);
+      let st = Router.stats router in
+      Alcotest.(check int) "no failovers on a healthy service" 0 st.Router.failovers;
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* ---------- router failover across a replica crash ----------
+
+   Two crash scenarios, same shape: 10 writes, kill a machine, 15 more
+   writes that must all commit, then the per-shard chaos invariants.
+   Crashing a serving follower exercises the router's failover path
+   (timeout/no-route -> probe -> suspect -> next replica, ultimately
+   promoting the reserved sequencer-host endpoints); crashing the
+   sequencer exercises the group's auto-heal underneath a router that
+   keeps talking to the surviving followers. *)
+
+let run_crash_scenario ~crash_host ~expect_failover () =
+  let cl = Cluster.create ~n:5 ~seed:7 () in
+  let verdicts = ref [] in
+  let failover_stats = ref None in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:1 ~replication:3 ~hosts:[ 0; 1; 2 ] () in
+      let svc = Service.deploy cl ~map ~resilience:1 ~record:true () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~attempts:30 ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      for i = 1 to 10 do
+        match Router.put router ("k" ^ string_of_int i) "before" with
+        | Router.Written -> ()
+        | _ -> Alcotest.failf "pre-crash put %d failed" i
+      done;
+      let victim = crash_host map in
+      Machine.crash (Cluster.machine cl victim);
+      (* The group auto-heals around the dead member; the router must
+         ride it out: probe, mark the replica suspect, fail over and
+         retry until the write commits. *)
+      for i = 11 to 25 do
+        match Router.put router ("k" ^ string_of_int i) "after" with
+        | Router.Written -> ()
+        | r ->
+            Alcotest.failf "post-crash put %d did not commit (%s)" i
+              (match r with
+              | Router.Failed m -> m
+              | Router.Value _ -> "value?"
+              | Router.Not_found -> "not found?"
+              | Router.Written -> "")
+      done;
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      failover_stats := Some (Router.stats router);
+      verdicts := Service.check svc ~crashed:[ victim ]);
+  Cluster.run ~until:(Time.sec 120) cl;
+  (match !failover_stats with
+  | None -> Alcotest.fail "scenario did not finish"
+  | Some st ->
+      if expect_failover then
+        Alcotest.(check bool)
+          "router failed over at least once" true (st.Router.failovers >= 1));
+  match !verdicts with
+  | [ (0, vs) ] ->
+      List.iter
+        (fun v ->
+          if not v.Checker.ok then
+            Alcotest.failf "invariant %s violated: %s" v.Checker.invariant
+              v.Checker.detail)
+        vs
+  | _ -> Alcotest.fail "expected verdicts for exactly one shard"
+
+let test_router_failover_on_follower_crash () =
+  (* The first follower is in the router's serving rotation (the
+     sequencer host's endpoints are reserved), so killing it forces a
+     real failover. *)
+  run_crash_scenario
+    ~crash_host:(fun map ->
+      match Shard_map.replica_hosts map 0 with
+      | _seq :: follower :: _ -> follower
+      | _ -> Alcotest.fail "expected a follower")
+    ~expect_failover:true ()
+
+let test_router_failover_on_sequencer_crash () =
+  (* The sequencer host is in reserve, so the router sees no endpoint
+     loss — only transient Busy while the group heals; no failover is
+     required for the writes to commit. *)
+  run_crash_scenario
+    ~crash_host:(fun map -> Shard_map.sequencer_host map 0)
+    ~expect_failover:false ()
+
+(* ---------- workload engine ---------- *)
+
+let run_workload ~seed () =
+  let cl = Cluster.create ~n:6 ~seed:5 () in
+  let result = ref None in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:2 ~replication:2 ~hosts:[ 0; 1; 2; 3 ] ()
+      in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router i =
+        Router.create (Cluster.flip cl i) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      let spec =
+        {
+          Workload.keys = 50;
+          value_bytes = 16;
+          read_ratio = 0.5;
+          dist = Workload.Zipf 0.99;
+          mode = Workload.Closed 4;
+          duration = Time.sec 2;
+          seed;
+        }
+      in
+      result := Some (Workload.run cl ~routers:[ router 4; router 5 ] ~map spec));
+  Cluster.run ~until:(Time.sec 60) cl;
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "workload did not finish"
+
+let test_workload_smoke () =
+  let r = run_workload ~seed:42 () in
+  Alcotest.(check bool) "made progress" true (r.Workload.completed > 100);
+  Alcotest.(check int) "no failures" 0 r.Workload.failed;
+  Alcotest.(check int) "all ops accounted" r.Workload.attempted
+    (r.Workload.completed + r.Workload.failed);
+  Alcotest.(check bool) "both shards hit" true
+    (Array.for_all (fun n -> n > 0) r.Workload.per_shard);
+  Alcotest.(check bool) "mixed ops" true (r.Workload.reads > 0 && r.Workload.writes > 0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.Workload.p50_ms <= r.Workload.p95_ms
+    && r.Workload.p95_ms <= r.Workload.p99_ms
+    && r.Workload.p99_ms <= r.Workload.max_ms)
+
+let test_workload_deterministic () =
+  let r1 = run_workload ~seed:42 () in
+  let r2 = run_workload ~seed:42 () in
+  Alcotest.(check int) "same completed" r1.Workload.completed r2.Workload.completed;
+  Alcotest.(check int) "same attempted" r1.Workload.attempted r2.Workload.attempted;
+  Alcotest.(check (float 0.0)) "same p99" r1.Workload.p99_ms r2.Workload.p99_ms
+
+let test_workload_open_loop () =
+  let cl = Cluster.create ~n:5 ~seed:9 () in
+  let result = ref None in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:2 ~replication:2 ~hosts:[ 0; 1; 2; 3 ] () in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      let spec =
+        {
+          Workload.keys = 20;
+          value_bytes = 8;
+          read_ratio = 0.8;
+          dist = Workload.Uniform;
+          mode = Workload.Open 100.0;
+          duration = Time.sec 2;
+          seed = 1;
+        }
+      in
+      result := Some (Workload.run cl ~routers:[ router ] ~map spec));
+  Cluster.run ~until:(Time.sec 60) cl;
+  match !result with
+  | None -> Alcotest.fail "workload did not finish"
+  | Some r ->
+      (* ~200 Poisson arrivals in 2 s at rate 100/s. *)
+      Alcotest.(check bool) "arrivals near the configured rate" true
+        (r.Workload.attempted > 120 && r.Workload.attempted < 280);
+      Alcotest.(check int) "no failures" 0 r.Workload.failed
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  ( "service",
+    [
+      tc "shard map placement" test_shard_map_placement;
+      tc "shard map deterministic and covering"
+        test_shard_map_deterministic_and_covering;
+      tc "kv codecs roundtrip" test_kv_codecs;
+      tc "two groups on one wire are isolated" test_isolation_clean;
+      tc "two groups stay isolated under adversarial conditions"
+        test_isolation_adversarial;
+      tc "service end to end" test_service_end_to_end;
+      tc "router fails over a crashed follower"
+        test_router_failover_on_follower_crash;
+      tc "service rides out a crashed sequencer"
+        test_router_failover_on_sequencer_crash;
+      tc "workload smoke" test_workload_smoke;
+      tc "workload deterministic" test_workload_deterministic;
+      tc "workload open loop" test_workload_open_loop;
+    ] )
