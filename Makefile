@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net service check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service batch check clean
 
 all: build
 
@@ -15,6 +15,7 @@ check:
 	dune build @chaos-smoke
 	dune build @bench-smoke
 	dune build @service-smoke
+	dune build @batch-smoke
 
 build:
 	dune build
@@ -50,6 +51,14 @@ chaos-net:
 #   dune exec bin/amoeba.exe -- workload --shards 4 --seed 11
 service:
 	dune build @service-smoke
+
+# Batched/pipelined workloads — one healthy, one crashing the
+# sequencer mid-batch-stream — with per-shard invariant checks (also
+# part of `dune runtest` via the batch-smoke alias).  The full
+# batch-size x pipeline-depth x wire sweep is
+#   dune exec bench/main.exe -- batch
+batch:
+	dune build @batch-smoke
 
 clean:
 	dune clean

@@ -9,15 +9,16 @@
    Targets: headline fig1 table3 fig3 fig4 fig5 fig6 fig7 fig8
             rpc_compare ablation_cm ablation_migrate ablation_pbbb
             ablation_processing ablation_userspace ablation_history
-            ablation_flowcontrol load_latency service micro
+            ablation_flowcontrol load_latency service batch micro
    No arguments runs everything.
 
    --json   targets that support it (micro, headline, fig1, fig4,
-            service) also write a BENCH_<target>.json file (micro
-            writes BENCH_sim.json); see bench/README.md for the schema.
-   --smoke  micro and service: tiny parameters (and for micro, JSON to
-            stdout instead of a file), so CI can exercise the perf
-            plumbing in seconds. *)
+            service, batch) also write a BENCH_<target>.json file
+            (micro writes BENCH_sim.json; batch writes its sweep into
+            BENCH_service.json); see bench/README.md for the schema.
+   --smoke  micro, service and batch: tiny parameters (and for micro,
+            JSON to stdout instead of a file), so CI can exercise the
+            perf plumbing in seconds. *)
 
 open Amoeba_net
 open Amoeba_harness
@@ -403,12 +404,20 @@ let headline () =
 
 (* ----- service: sharded-service shard-scaling sweep ----- *)
 
-(* One measured service workload: a 12-machine cluster (replica hosts
-   plus router machines), one replicated KV group per shard placed by
-   the shard map, closed-loop clients driving uniform writes through
-   the routers.  Deterministic in [seed]. *)
+(* One measured service workload: a cluster of replica hosts plus
+   router machines, one replicated KV group per shard placed by the
+   shard map, closed-loop clients driving uniform writes through the
+   routers.  Deterministic in [seed].  At the defaults
+   ([max_batch] 1, [pipeline_depth] 1) the run is bit-identical to the
+   pre-batching service path; [max_batch] > 1 turns on router-side op
+   batching (and drops each router to one worker per shard — a single
+   in-flight batch per shard both keeps the replica endpoint
+   uncontended and lets the backlog coalesce), [pipeline_depth] sets
+   the kernels' in-flight sequencer rounds.  Returns the workload
+   result plus the per-router stats. *)
 let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
-    ~wire_mbps ~seed () =
+    ~wire_mbps ?(max_batch = 1) ?(batch_delay_us = 500) ?(pipeline_depth = 1)
+    ~seed () =
   let open Amoeba_service in
   let map =
     Shard_map.create ~shards ~replication ~hosts:(List.init hosts Fun.id) ()
@@ -416,12 +425,16 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
   let cost = Cost_model.(with_mbps wire_mbps default) in
   let cl = Cluster.create ~cost ~seed ~n:(hosts + routers) () in
   let result = ref None in
+  let rstats = ref [] in
   Cluster.spawn cl (fun () ->
-      let svc = Service.deploy cl ~map ~resilience:1 () in
+      let svc = Service.deploy cl ~map ~resilience:1 ~pipeline:pipeline_depth () in
       let rs =
         List.init routers (fun i ->
             Router.create
               (Cluster.flip cl (hosts + i))
+              ~max_batch
+              ~pipeline:(if max_batch > 1 then 1 else 4)
+              ~batch_delay:(Amoeba_sim.Time.us batch_delay_us)
               ~map
               ~endpoints:(Service.endpoints svc) ())
       in
@@ -436,11 +449,23 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
           seed;
         }
       in
-      result := Some (Workload.run cl ~routers:rs ~map spec));
+      result := Some (Workload.run cl ~routers:rs ~map spec);
+      rstats := List.map Router.stats rs);
   Cluster.run
     ~until:(Amoeba_sim.Time.ms duration_ms + Amoeba_sim.Time.sec 60)
     cl;
-  Option.get !result
+  (Option.get !result, !rstats)
+
+(* BENCH_service.json carries both the shard-scaling rows (the
+   [service] target) and the batching sweep (the [batch] target).
+   Each target caches its fields and rewrites the file with whatever
+   has been measured so far, so running both targets in one invocation
+   yields one file with both sections. *)
+let service_json_fields : (string * Bench_json.t) list ref = ref []
+let batch_json_fields : (string * Bench_json.t) list ref = ref []
+
+let write_service_json () =
+  json_out "service" (!service_json_fields @ !batch_json_fields)
 
 let service () =
   header
@@ -466,7 +491,7 @@ let service () =
       Printf.printf "%8d |" shards;
       List.iter
         (fun wire_mbps ->
-          let r =
+          let r, _ =
             service_run ~shards ~hosts ~routers ~replication ~workers
               ~duration_ms ~wire_mbps ~seed ()
           in
@@ -485,7 +510,7 @@ let service () =
         wires;
       print_newline ())
     shard_counts;
-  json_out "service"
+  service_json_fields :=
     [
       ("hosts", Bench_json.Int hosts);
       ("routers", Bench_json.Int routers);
@@ -506,7 +531,98 @@ let service () =
                    ("failed", Bench_json.Int failed);
                  ])
              !rows) );
-    ]
+    ];
+  write_service_json ()
+
+(* ----- batch: batching x pipelining sweep ----- *)
+
+(* The batching sweep drives a bigger cluster than the shard-scaling
+   one: 8 shards over 16 replica hosts (replication 3) plus 4 router
+   machines, and enough closed-loop clients (1024) that the shards
+   saturate — batches only coalesce under backlog, so an underloaded
+   sweep would measure the Nagle timer, not the amortisation. *)
+let batch () =
+  header
+    "Batching + pipelining: committed ops/s vs batch size, depth, wire (20 machines)"
+    "section 4 / conclusion 1: one protocol round per message caps a sequencer\n\
+     near 1 k ops/s of CPU; carrying a batch of ops per round amortises that\n\
+     fixed cost, so ops/s scales with batch size until the wire pushes back";
+  let shards, hosts, routers, replication, seed = (8, 16, 4, 3, 11) in
+  let workers = if !smoke_mode then 96 else 1_024 in
+  let duration_ms = if !smoke_mode then 400 else 2_000 in
+  let batch_sizes = if !smoke_mode then [ 1; 8 ] else [ 1; 4; 8; 32; 128 ] in
+  let depths = if !smoke_mode then [ 4 ] else [ 1; 4 ] in
+  let wires = if !smoke_mode then [ 100 ] else [ 10; 100 ] in
+  Printf.printf
+    "%6s %6s %6s | %8s %7s %7s %7s %7s | %9s %8s %8s\n"
+    "wire" "batch" "depth" "ops/s" "mean" "p50" "p95" "p99" "ops/batch"
+    "partial" "retries";
+  let rows = ref [] in
+  List.iter
+    (fun wire_mbps ->
+      List.iter
+        (fun depth ->
+          List.iter
+            (fun max_batch ->
+              let r, stats =
+                service_run ~shards ~hosts ~routers ~replication ~workers
+                  ~duration_ms ~wire_mbps ~max_batch ~pipeline_depth:depth
+                  ~seed ()
+              in
+              let sum f = List.fold_left (fun a s -> a + f s) 0 stats in
+              let batches = sum (fun s -> s.Amoeba_service.Router.batches_sent) in
+              let opsb = sum (fun s -> s.Amoeba_service.Router.ops_batched) in
+              let partial =
+                sum (fun s -> s.Amoeba_service.Router.partial_flushes)
+              in
+              let bretries =
+                sum (fun s -> s.Amoeba_service.Router.batch_retries)
+              in
+              let avg =
+                if batches = 0 then 1.
+                else float_of_int opsb /. float_of_int batches
+              in
+              let open Amoeba_service.Workload in
+              Printf.printf
+                "%6d %6d %6d | %8.0f %7.2f %7.2f %7.2f %7.2f | %9.1f %8d %8d\n%!"
+                wire_mbps max_batch depth r.ops_per_sec r.mean_ms r.p50_ms
+                r.p95_ms r.p99_ms avg partial bretries;
+              rows :=
+                Bench_json.Obj
+                  [
+                    ("wire_mbps", Bench_json.Int wire_mbps);
+                    ("max_batch", Bench_json.Int max_batch);
+                    ("pipeline_depth", Bench_json.Int depth);
+                    ("ops_per_sec", Bench_json.Float r.ops_per_sec);
+                    ("mean_ms", Bench_json.Float r.mean_ms);
+                    ("p50_ms", Bench_json.Float r.p50_ms);
+                    ("p95_ms", Bench_json.Float r.p95_ms);
+                    ("p99_ms", Bench_json.Float r.p99_ms);
+                    ("ops_per_batch_avg", Bench_json.Float avg);
+                    ("partial_flushes", Bench_json.Int partial);
+                    ("batch_retries", Bench_json.Int bretries);
+                    ("failed", Bench_json.Int r.failed);
+                  ]
+                :: !rows)
+            batch_sizes)
+        depths)
+    wires;
+  batch_json_fields :=
+    [
+      ( "batch_sweep",
+        Bench_json.Obj
+          [
+            ("shards", Bench_json.Int shards);
+            ("hosts", Bench_json.Int hosts);
+            ("routers", Bench_json.Int routers);
+            ("replication", Bench_json.Int replication);
+            ("workers", Bench_json.Int workers);
+            ("duration_ms", Bench_json.Int duration_ms);
+            ("seed", Bench_json.Int seed);
+            ("rows", Bench_json.List (List.rev !rows));
+          ] );
+    ];
+  write_service_json ()
 
 (* ----- micro: host-time benchmarks of the simulation core ----- *)
 
@@ -565,7 +681,7 @@ let micro_history ~adds () =
     timed (fun () ->
         for s = 0 to adds - 1 do
           Amoeba_core.History.add_evicting h
-            { Amoeba_core.History.seq = s; sender = 0; msgid = s; payload };
+            { Amoeba_core.History.seq = s; sender = 0; msgid = s; ops = 1; payload };
           ignore (Amoeba_core.History.find h (s - 64))
         done)
   in
@@ -686,17 +802,22 @@ let micro () =
     done;
     !best
   in
-  (* The service layer's aggregate committed throughput (4 shards,
-     100 Mbit wire, replication 2): a simulated-time metric like
+  (* The service layer's aggregate committed throughput at the default
+     batched configuration (8 shards over 16 hosts, replication 3,
+     100 Mbit wire, max_batch 32, pipeline depth 4, 1024 closed-loop
+     clients): a simulated-time metric like
      group_tput_sim_msgs_per_sec, tracked so a protocol or service
      regression shows in the same trajectory file as the host-time
      numbers.  No seed baseline: the seed tree predates the service
-     layer. *)
+     layer.  (Through the batching PR this metric measured the
+     unbatched 4-shard config at 1 077 ops/s; the batch sweep's
+     wire=100/batch=1/depth=1 row keeps tracking that regime.) *)
   let service_ops =
-    (service_run ~shards:4 ~hosts:8 ~routers:4 ~replication:2
-       ~workers:(if !smoke_mode then 8 else 64)
-       ~duration_ms:(if !smoke_mode then 200 else 2_000)
-       ~wire_mbps:100 ~seed:11 ())
+    (fst
+       (service_run ~shards:8 ~hosts:16 ~routers:4 ~replication:3
+          ~workers:(if !smoke_mode then 96 else 1_024)
+          ~duration_ms:(if !smoke_mode then 400 else 2_000)
+          ~wire_mbps:100 ~max_batch:32 ~pipeline_depth:4 ~seed:11 ()))
       .Amoeba_service.Workload.ops_per_sec
   in
   let results =
@@ -768,6 +889,7 @@ let targets : (string * (unit -> unit)) list =
     ("ablation_flowcontrol", ablation_flowcontrol);
     ("load_latency", fig_load_latency);
     ("service", service);
+    ("batch", batch);
     ("micro", micro);
   ]
 

@@ -245,8 +245,34 @@ let hosts_t =
 let replication_t =
   Arg.(value & opt int 3 & info [ "replication" ] ~doc:"Replicas per shard.")
 
+let max_batch_t =
+  Arg.(
+    value & opt int 32
+    & info [ "max-batch" ]
+        ~doc:
+          "Router-side op batching: up to this many ops for one shard are \
+           shipped as one RPC, which the replica submits as one sequencer \
+           round (1 disables batching).")
+
+let batch_delay_t =
+  Arg.(
+    value & opt int 500
+    & info [ "batch-delay-us" ]
+        ~doc:
+          "Nagle-style flush timer in microseconds: a partial batch ships \
+           when this much time has passed since its first op.")
+
+let pipeline_depth_t =
+  Arg.(
+    value & opt int 4
+    & info [ "pipeline-depth" ]
+        ~doc:
+          "Unacknowledged sequencer rounds each replica kernel may keep in \
+           flight (1 = the paper's lock-step send).")
+
 let serve_cmd =
-  let run shards hosts replication r seed =
+  let run shards hosts replication r seed max_batch batch_delay_us
+      pipeline_depth =
     let open Amoeba_sim in
     let open Amoeba_service in
     let host_list = List.init hosts Fun.id in
@@ -255,9 +281,13 @@ let serve_cmd =
     let n = hosts + 1 in
     let cl = Cluster.create ~seed ~n () in
     Cluster.spawn cl (fun () ->
-        let svc = Service.deploy cl ~map ~resilience:r () in
+        let svc =
+          Service.deploy cl ~map ~resilience:r ~pipeline:pipeline_depth ()
+        in
         let router =
-          Router.create (Cluster.flip cl hosts) ~map
+          Router.create (Cluster.flip cl hosts) ~map ~max_batch
+            ~pipeline:(if max_batch > 1 then 1 else 4)
+            ~batch_delay:(Time.us batch_delay_us)
             ~endpoints:(Service.endpoints svc) ()
         in
         for i = 0 to (4 * shards) - 1 do
@@ -286,7 +316,8 @@ let serve_cmd =
          "Deploy the sharded key/value service (one replicated group per \
           shard) and show its placement.")
     Term.(
-      const run $ shards_t $ hosts_t $ replication_t $ resilience_t $ seed_t)
+      const run $ shards_t $ hosts_t $ replication_t $ resilience_t $ seed_t
+      $ max_batch_t $ batch_delay_t $ pipeline_depth_t)
 
 let workload_cmd =
   let routers_t =
@@ -360,7 +391,7 @@ let workload_cmd =
   in
   let run shards hosts routers replication r keys value_bytes read_ratio dist
       skew workers rate duration_ms seed net wire_mbps crash_seq crash_follower
-      =
+      max_batch batch_delay_us pipeline_depth =
     let open Amoeba_sim in
     let open Amoeba_service in
     let dist =
@@ -385,12 +416,22 @@ let workload_cmd =
     Cluster.spawn cl (fun () ->
         if net <> Amoeba_net.Ether.clean then
           Amoeba_net.Ether.set_conditions cl.Cluster.ether net;
-        let svc = Service.deploy cl ~map ~resilience:r ~record:crashing () in
+        let svc =
+          Service.deploy cl ~map ~resilience:r ~pipeline:pipeline_depth
+            ~record:crashing ()
+        in
+        (* In batching mode one worker per shard is the sweet spot: a
+           single accumulation-and-ship pipeline per (router, shard)
+           forms the largest batches and keeps replica endpoints
+           uncontended; concurrency across routers and the kernel's
+           pipelining cover the in-flight depth. *)
         let rs =
           List.init routers (fun i ->
               Router.create
                 (Cluster.flip cl (hosts + i))
-                ~map
+                ~map ~max_batch
+                ~pipeline:(if max_batch > 1 then 1 else 4)
+                ~batch_delay:(Amoeba_sim.Time.us batch_delay_us)
                 ~endpoints:(Service.endpoints svc) ())
         in
         let crash_at delay what h =
@@ -436,6 +477,16 @@ let workload_cmd =
           (agg (fun s -> s.Router.retries))
           (agg (fun s -> s.Router.failovers))
           (agg (fun s -> s.Router.probes_dead));
+        let batches = agg (fun s -> s.Router.batches_sent) in
+        let batched_ops = agg (fun s -> s.Router.ops_batched) in
+        Printf.printf
+          "batching:  %d batches (%.1f ops/batch avg), %d partial flushes, %d \
+           batch retries\n"
+          batches
+          (if batches = 0 then 1.
+           else float_of_int batched_ops /. float_of_int batches)
+          (agg (fun s -> s.Router.partial_flushes))
+          (agg (fun s -> s.Router.batch_retries));
         Printf.printf "service:   %d reads, %d writes ok, %d busy rejections\n"
           (Service.reads svc) (Service.writes_ok svc) (Service.writes_busy svc);
         if crashing then begin
@@ -462,7 +513,7 @@ let workload_cmd =
       const run $ shards_t $ hosts_t $ routers_t $ replication_t $ resilience_t
       $ keys_t $ value_bytes_t $ read_ratio_t $ dist_t $ skew_t $ workers_t
       $ rate_t $ duration_t $ seed_t $ net_t $ wire_t $ crash_seq_t
-      $ crash_follower_t)
+      $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t)
 
 let main =
   Cmd.group

@@ -25,31 +25,35 @@ type info = {
   duplicates_dropped : int;
   corrupt_dropped : int;
   reorders_absorbed : int;
+  batches_sent : int;
+  ops_per_batch_avg : float;
+  pipeline_depth_hwm : int;
 }
 
 let wrap flip k =
   let machine = Flip.machine flip in
   { k; machine; engine = Machine.engine machine; cost = Machine.cost machine }
 
-let config ~resilience ~send_method ~history ~auto_heal =
+let config ~resilience ~send_method ~history ~auto_heal ~pipeline =
   {
     Kernel.resilience;
     method_ = send_method;
     history_capacity =
       (match history with Some h -> h | None -> Cost_model.default.history_buffer);
     auto_heal;
+    pipeline_depth = pipeline;
   }
 
 let create_group flip ?(resilience = 0) ?(send_method = Pb) ?history
-    ?(auto_heal = false) () =
-  let cfg = config ~resilience ~send_method ~history ~auto_heal in
+    ?(auto_heal = false) ?(pipeline = 1) () =
+  let cfg = config ~resilience ~send_method ~history ~auto_heal ~pipeline in
   wrap flip (Kernel.create_group flip ~config:cfg ())
 
 let group_address g = Kernel.group_addr g.k
 
 let join_group flip ?(resilience = 0) ?(send_method = Pb) ?history
-    ?(auto_heal = false) addr =
-  let cfg = config ~resilience ~send_method ~history ~auto_heal in
+    ?(auto_heal = false) ?(pipeline = 1) addr =
+  let cfg = config ~resilience ~send_method ~history ~auto_heal ~pipeline in
   match Kernel.join_group flip ~config:cfg ~group_addr:addr () with
   | Ok k -> Ok (wrap flip k)
   | Error e -> Error e
@@ -60,7 +64,7 @@ let leave_group g = Kernel.leave g.k
    the thread context switch (paper Figure 2 / Table 3). *)
 let user_cost g = Machine.work g.machine ~layer:"user" g.cost.context_switch_ns
 
-let send_to_group ?(copy = true) g body =
+let send_to_group ?(copy = true) ?(ops = 1) g body =
   user_cost g;
   (* The message is taken at call time: the caller may reuse its
      buffer immediately (Amoeba copies into the kernel too).  A caller
@@ -68,7 +72,7 @@ let send_to_group ?(copy = true) g body =
      [~copy:false] and saves the allocation; zero-length bodies have
      nothing to alias and are never copied. *)
   let owned = if copy && Bytes.length body > 0 then Bytes.copy body else body in
-  let result = Kernel.send g.k owned in
+  let result = Kernel.send ~ops g.k owned in
   (* Waking the blocked sending thread costs a second switch. *)
   user_cost g;
   result
@@ -103,6 +107,12 @@ let get_info_group g =
     duplicates_dropped = (Kernel.stats g.k).Kernel.duplicates_dropped;
     corrupt_dropped = (Kernel.stats g.k).Kernel.corrupt_dropped;
     reorders_absorbed = (Kernel.stats g.k).Kernel.reorders_absorbed;
+    batches_sent = (Kernel.stats g.k).Kernel.batches_sent;
+    ops_per_batch_avg =
+      (let st = Kernel.stats g.k in
+       if st.Kernel.batches_sent = 0 then 1.
+       else float_of_int st.Kernel.batched_ops /. float_of_int st.Kernel.batches_sent);
+    pipeline_depth_hwm = (Kernel.stats g.k).Kernel.pipeline_depth_hwm;
   }
 
 let kernel g = g.k

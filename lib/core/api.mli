@@ -38,6 +38,11 @@ type info = {
       (** duplicated or stale frames refused by the receive paths *)
   corrupt_dropped : int;  (** checksum-rejected damaged payloads *)
   reorders_absorbed : int;  (** frames slotted despite arriving late *)
+  batches_sent : int;  (** sends carrying more than one client op *)
+  ops_per_batch_avg : float;
+      (** mean ops per batched send; 1.0 when nothing was batched *)
+  pipeline_depth_hwm : int;
+      (** most unacknowledged rounds ever in flight at once *)
 }
 
 val create_group :
@@ -46,13 +51,16 @@ val create_group :
   ?send_method:send_method ->
   ?history:int ->
   ?auto_heal:bool ->
+  ?pipeline:int ->
   unit ->
   group
 (** Creates a group; the creator is member 0 and its machine hosts the
     sequencer.  [resilience] is the paper's [r]: [SendToGroup] returns
     only once at least [r] other kernels hold the message, and the
     group survives any [r] simultaneous processor failures without
-    losing delivered messages. *)
+    losing delivered messages.  [pipeline] (default 1) is the number
+    of unacknowledged sequencer rounds this member may keep in flight;
+    1 is the paper's lock-step behaviour. *)
 
 val group_address : group -> Addr.t
 (** The group's FLIP address — the "port" a joiner needs.  Distributed
@@ -65,16 +73,21 @@ val join_group :
   ?send_method:send_method ->
   ?history:int ->
   ?auto_heal:bool ->
+  ?pipeline:int ->
   Addr.t ->
   (group, error) result
 
 val leave_group : group -> (unit, error) result
 
-val send_to_group : ?copy:bool -> group -> bytes -> (seqno, error) result
+val send_to_group :
+  ?copy:bool -> ?ops:int -> group -> bytes -> (seqno, error) result
 (** [copy] (default true) mirrors Amoeba's user→kernel copy: the
     message is taken at call time so the caller may reuse its buffer.
     Library layers that frame into a fresh buffer per send pass
-    [~copy:false] to hand the buffer over and skip the allocation. *)
+    [~copy:false] to hand the buffer over and skip the allocation.
+    [ops] (default 1) declares how many client operations the body
+    carries so the simulation charges a batched message its real
+    per-op wire bytes and CPU; the payload itself stays opaque. *)
 
 val receive_from_group : group -> event
 (** Blocks until the next totally-ordered event (message, membership

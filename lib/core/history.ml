@@ -4,6 +4,7 @@ type entry = {
   seq : seqno;
   sender : mid;
   msgid : int;
+  ops : int;
   payload : payload;
 }
 
@@ -13,7 +14,8 @@ type entry = {
    per-entry allocation.  Cleared cells are overwritten with [dummy]
    so evicted payloads become collectable. *)
 
-let dummy = { seq = -1; sender = -1; msgid = -1; payload = User Bytes.empty }
+let dummy =
+  { seq = -1; sender = -1; msgid = -1; ops = 1; payload = User Bytes.empty }
 
 type t = {
   cap : int;

@@ -14,6 +14,7 @@ type entry = {
   seq : seqno;
   sender : mid;
   msgid : int;
+  ops : int;  (** client ops carried by this message (1 unless batched) *)
   payload : payload;
 }
 

@@ -8,10 +8,17 @@ type config = {
   method_ : send_method;
   history_capacity : int;
   auto_heal : bool;
+  pipeline_depth : int;
 }
 
 let default_config =
-  { resilience = 0; method_ = Pb; history_capacity = 128; auto_heal = false }
+  {
+    resilience = 0;
+    method_ = Pb;
+    history_capacity = 128;
+    auto_heal = false;
+    pipeline_depth = 1;
+  }
 
 type stats = {
   mutable delivered : int;
@@ -27,11 +34,17 @@ type stats = {
   mutable reorders_absorbed : int;
       (** data frames that arrived behind a higher sequence number and
           were slotted into the window instead of being refused *)
+  mutable batches_sent : int;
+      (** sends that carried more than one client op *)
+  mutable batched_ops : int;  (** total ops across those batched sends *)
+  mutable pipeline_depth_hwm : int;
+      (** most unacknowledged rounds this member ever had in flight *)
 }
 
 type pending_send = {
   mutable p_msgid : int;  (** assigned by the kernel process *)
   p_body : bytes;
+  p_ops : int;  (** client ops carried (1 unless the caller batched) *)
   p_result : (seqno, error) result Ivar.t;
   mutable p_tries : int;
   mutable p_timer : Engine.handle option;  (** armed retransmission timer *)
@@ -41,7 +54,8 @@ type pending_send = {
    delivered yet.  Complete (payload present and accepted) slots are
    delivered in contiguous seq order. *)
 type slot = {
-  mutable s_data : (mid * int * payload) option;  (** sender, msgid, payload *)
+  mutable s_data : (mid * int * int * payload) option;
+      (** sender, msgid, ops, payload *)
   mutable s_accepted : bool;
 }
 
@@ -137,12 +151,17 @@ type t = {
   mutable max_seen : seqno;  (** highest seq heard of *)
   history : History.t;
   slots : slot Window.t;
-  bb_wait : (int, payload) Hashtbl.t;  (** keyed by [bb_key ~sender ~msgid] *)
+  bb_wait : (int, int * payload) Hashtbl.t;
+      (** (ops, payload) keyed by [bb_key ~sender ~msgid] *)
   mutable last_msgid : int array;
       (** mid-indexed delivery dedup across recoveries; [min_int] = none *)
   mutable status_req : int * Wire.msg;  (** interned per incarnation *)
   mutable msgid_counter : int;
-  mutable pending : pending_send option;
+  mutable inflight : pending_send list;
+      (** unacknowledged rounds, oldest first; at most
+          [cfg.pipeline_depth] long.  A list, not a queue: an older
+          round can error out while a newer one completes, so removal
+          happens anywhere *)
   send_queue : pending_send Queue.t;
   mutable seqs : seq_state option;
   mutable repair_armed : bool;
@@ -188,6 +207,9 @@ let new_stats () =
     resets_survived = 0;
     corrupt_dropped = 0;
     reorders_absorbed = 0;
+    batches_sent = 0;
+    batched_ops = 0;
+    pipeline_depth_hwm = 0;
   }
 
 (* ----- small helpers ----- *)
@@ -255,8 +277,17 @@ let dedup_set s m ~msgid ~seq =
 
 let charge t d = Machine.work t.machine ~layer:"group" d
 
-let charge_seq t =
-  charge t (t.cost.group_seq_ns + (t.member_count * t.cost.group_seq_member_ns))
+(* The fixed protocol cost is per message; a batched message pays only
+   the marginal per-op cost for each op past the first.  At [ops = 1]
+   both reduce to exactly the unbatched charge. *)
+let charge_seq ?(ops = 1) t =
+  charge t
+    (t.cost.group_seq_ns
+    + (t.member_count * t.cost.group_seq_member_ns)
+    + ((ops - 1) * t.cost.group_seq_op_ns))
+
+let charge_deliver ?(ops = 1) t =
+  charge t (t.cost.group_deliver_ns + ((ops - 1) * t.cost.group_deliver_op_ns))
 
 (* The solicit message carries only the incarnation: intern it. *)
 let status_req t =
@@ -297,6 +328,26 @@ let ackers t ~sender =
     | m :: rest -> if m = sender then take n rest else m :: take (n - 1) rest
   in
   take t.cfg.resilience (member_mids t)
+
+(* ----- in-flight sends ----- *)
+
+let inflight_find t msgid =
+  List.find_opt (fun p -> p.p_msgid = msgid) t.inflight
+
+let inflight_remove t p =
+  t.inflight <- List.filter (fun q -> not (q == p)) t.inflight
+
+(* Abort every in-flight round at once — expulsion and similar
+   terminal transitions, where no round can ever complete. *)
+let abort_inflight t =
+  let ps = t.inflight in
+  t.inflight <- [];
+  List.iter
+    (fun p ->
+      (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+      p.p_timer <- None;
+      ignore (Ivar.try_fill p.p_result (Error Send_aborted)))
+    ps
 
 (* ----- timers ----- *)
 
@@ -437,9 +488,9 @@ and deliver_entry t (e : History.entry) =
   | User _ -> ()
   | Ctrl c -> deliver_control t e.seq c);
   (* Completing our own send *)
-  match t.pending with
-  | Some p when e.sender = t.mid && p.p_msgid = e.msgid ->
-      t.pending <- None;
+  match (if e.sender = t.mid then inflight_find t e.msgid else None) with
+  | Some p ->
+      inflight_remove t p;
       (* The retransmission timer can never usefully fire now; drop it
          so the event queue is not churning through stale ticks. *)
       (match p.p_timer with Some h -> Engine.cancel h | None -> ());
@@ -447,7 +498,7 @@ and deliver_entry t (e : History.entry) =
       t.st.sends_completed <- t.st.sends_completed + 1;
       ignore (Ivar.try_fill p.p_result (Ok e.seq));
       next_queued_send t
-  | Some _ | None -> ()
+  | None -> ()
 
 and deliver_control t seq c =
   match c with
@@ -529,13 +580,7 @@ and deliver_control t seq c =
             ignore (Ivar.try_fill run.r_result (Error Not_enough_members));
             t.run <- None
         | None -> ());
-        match t.pending with
-        | Some p ->
-            t.pending <- None;
-            (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-            p.p_timer <- None;
-            ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-        | None -> ()
+        abort_inflight t
       end
       else post_event t (Group_reset { seq; incarnation; members })
 
@@ -544,27 +589,40 @@ and drain t =
     match Window.find t.slots t.nxt with
     | Some s when s.s_accepted -> (
         match s.s_data with
-        | Some (sender, msgid, payload) ->
+        | Some (sender, msgid, ops, payload) ->
             Window.remove t.slots t.nxt;
-            deliver_entry t { seq = t.nxt; sender; msgid; payload };
+            deliver_entry t { seq = t.nxt; sender; msgid; ops; payload };
             drain t
         | None -> ())
     | Some _ | None -> ()
   end
 
 and next_queued_send t =
-  match Queue.take_opt t.send_queue with
-  | None -> ()
-  | Some p -> start_send t p
+  while
+    List.length t.inflight < t.cfg.pipeline_depth
+    && not (Queue.is_empty t.send_queue)
+  do
+    start_send t (Queue.pop t.send_queue)
+  done
 
 (* ----- send path ----- *)
 
 and start_send t p =
   t.msgid_counter <- t.msgid_counter + 1;
   p.p_msgid <- t.msgid_counter;
-  t.pending <- Some p;
+  t.inflight <- t.inflight @ [ p ];
+  let depth = List.length t.inflight in
+  if depth > t.st.pipeline_depth_hwm then t.st.pipeline_depth_hwm <- depth;
+  if p.p_ops > 1 then begin
+    t.st.batches_sent <- t.st.batches_sent + 1;
+    t.st.batched_ops <- t.st.batched_ops + p.p_ops
+  end;
   charge t t.cost.group_send_ns;
   submit_send t p;
+  (* Armed even if the submit completed synchronously (co-located
+     sequencer): the tick finds no matching in-flight round and is a
+     no-op, and arming unconditionally keeps the timer-jitter RNG
+     stream identical to the lock-step path. *)
   p.p_timer <- Some (arm_resend t ~msgid:p.p_msgid)
 
 and submit_send t p =
@@ -583,7 +641,7 @@ and submit_send t p =
          this is why the paper recommends placing the busiest sender
          on the sequencer's machine. *)
       sequencer_accept t ~sender:t.mid ~msgid:p.p_msgid ~piggy:(t.nxt - 1)
-        payload
+        ~ops:p.p_ops payload
   | None -> (
       let use_bb =
         match t.cfg.method_ with
@@ -600,6 +658,7 @@ and submit_send t p =
                msgid = p.p_msgid;
                piggy = t.nxt - 1;
                inc = t.inc;
+               ops = p.p_ops;
                payload;
              })
       else
@@ -612,6 +671,7 @@ and submit_send t p =
                    msgid = p.p_msgid;
                    piggy = t.nxt - 1;
                    inc = t.inc;
+                   ops = p.p_ops;
                    payload;
                  })
         | None -> ())
@@ -675,7 +735,8 @@ and seq_make_stable t s seq =
 
 (* Accept a new message for sequencing: assign the next sequence
    number and multicast it (PB: full data; BB: the short accept). *)
-and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
+and sequencer_accept ?(via_bb = false) ?(ops = 1) t ~sender ~msgid ~piggy
+    payload =
   match t.seqs with
   | None -> ()
   | Some s -> (
@@ -700,6 +761,7 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
                      sender = e.sender;
                      msgid = e.msgid;
                      inc = t.inc;
+                     ops = e.ops;
                      payload = e.payload;
                      needs_accept;
                    })
@@ -713,6 +775,7 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
                          sender = e.sender;
                          msgid = e.msgid;
                          inc = t.inc;
+                         ops = e.ops;
                          payload = e.payload;
                          needs_accept = false;
                        })
@@ -724,7 +787,7 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
             (* History full: park the request and solicit member
                status so pruning can make room. *)
             Queue.push
-              (Wire.Req { sender; msgid; piggy; inc = t.inc; payload })
+              (Wire.Req { sender; msgid; piggy; inc = t.inc; ops; payload })
               s.parked;
             if not s.soliciting then begin
               s.soliciting <- true;
@@ -746,7 +809,7 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
                 List.filter (fun m -> m <> t.mid) (ackers t ~sender)
               else []
             in
-            let entry = { History.seq; sender; msgid; payload } in
+            let entry = { History.seq; sender; msgid; ops; payload } in
             Hashtbl.replace s.tents seq
               { t_entry = entry; t_needs_accept = needs_accept; t_wait = wait;
                 t_accepted = false };
@@ -755,20 +818,21 @@ and sequencer_accept ?(via_bb = false) t ~sender ~msgid ~piggy payload =
               multicast t (Wire.Accept { seq; sender; msgid; inc = t.inc })
             else
               multicast t
-                (Wire.Data { seq; sender; msgid; inc = t.inc; payload; needs_accept });
+                (Wire.Data
+                   { seq; sender; msgid; inc = t.inc; ops; payload; needs_accept });
             (* Local member processing of our own announcement. *)
-            charge t t.cost.group_deliver_ns;
-            member_data t ~seq ~sender ~msgid ~payload ~needs_accept;
+            charge_deliver ~ops t;
+            member_data t ~seq ~sender ~msgid ~ops ~payload ~needs_accept;
             if wait = [] then seq_make_stable t s seq
           end)
 
 and handle_at_sequencer t s msg =
   match msg with
-  | Wire.Req { sender; msgid; piggy; payload; _ } ->
-      sequencer_accept t ~sender ~msgid ~piggy payload
-  | Wire.Bb_data { sender; msgid; piggy; payload; _ } ->
+  | Wire.Req { sender; msgid; piggy; ops; payload; _ } ->
+      sequencer_accept t ~sender ~msgid ~piggy ~ops payload
+  | Wire.Bb_data { sender; msgid; piggy; ops; payload; _ } ->
       (* Keep the payload for our own delivery and for repairs. *)
-      sequencer_accept ~via_bb:true t ~sender ~msgid ~piggy payload
+      sequencer_accept ~via_bb:true t ~sender ~msgid ~piggy ~ops payload
   | Wire.Ack_tent { seq; from; _ } -> (
       match Hashtbl.find_opt s.tents seq with
       | None -> ()
@@ -807,6 +871,7 @@ and handle_at_sequencer t s msg =
                      sender = e.sender;
                      msgid = e.msgid;
                      inc = t.inc;
+                     ops = e.ops;
                      payload = e.payload;
                      needs_accept;
                    })
@@ -857,7 +922,8 @@ and handle_at_sequencer t s msg =
 
 (* ----- member side ----- *)
 
-and member_data ?(count = true) t ~seq ~sender ~msgid ~payload ~needs_accept =
+and member_data ?(count = true) ?(ops = 1) t ~seq ~sender ~msgid ~payload
+    ~needs_accept =
   if seq < t.nxt then begin
     (* Stale retransmission or duplicate of something already
        delivered: at-most-once is enforced here.  [count] is off for
@@ -884,7 +950,7 @@ and member_data ?(count = true) t ~seq ~sender ~msgid ~payload ~needs_accept =
            fall through: the re-ack below must still happen, or a lost
            Ack_tent could stall a resilient send forever. *)
         if count then t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
-    | None -> slot.s_data <- Some (sender, msgid, payload));
+    | None -> slot.s_data <- Some (sender, msgid, ops, payload));
     if not needs_accept then slot.s_accepted <- true;
     (* Resilience: the r lowest-numbered members acknowledge.  The
        sequencer's own copy was counted at sequencing time. *)
@@ -909,14 +975,16 @@ and member_accept t ~seq ~sender ~msgid =
     t.max_seen <- max t.max_seen seq;
     (* BB: marry the accept with buffered broadcast data.  Our own
        broadcast never loops back, but we hold the payload in the
-       pending send. *)
+       in-flight send. *)
     let own_payload =
-      match t.pending with
-      | Some p when sender = t.mid && p.p_msgid = msgid -> Some (User p.p_body)
-      | Some _ | None -> None
+      if sender = t.mid then
+        match inflight_find t msgid with
+        | Some p -> Some (p.p_ops, User p.p_body)
+        | None -> None
+      else None
     in
     (match own_payload with
-    | Some payload ->
+    | Some (ops, payload) ->
         let slot =
           match Window.find t.slots seq with
           | Some s -> s
@@ -925,12 +993,12 @@ and member_accept t ~seq ~sender ~msgid =
               Window.set t.slots seq s;
               s
         in
-        slot.s_data <- Some (sender, msgid, payload);
+        slot.s_data <- Some (sender, msgid, ops, payload);
         slot.s_accepted <- true
     | None -> ());
     (let key = bb_key ~sender ~msgid in
      match Hashtbl.find_opt t.bb_wait key with
-     | Some payload ->
+     | Some (ops, payload) ->
          Hashtbl.remove t.bb_wait key;
          let slot =
            match Window.find t.slots seq with
@@ -940,7 +1008,7 @@ and member_accept t ~seq ~sender ~msgid =
                Window.set t.slots seq s;
                s
          in
-         slot.s_data <- Some (sender, msgid, payload);
+         slot.s_data <- Some (sender, msgid, ops, payload);
          slot.s_accepted <- true
      | None -> (
          match Window.find t.slots seq with
@@ -960,7 +1028,7 @@ and member_accept t ~seq ~sender ~msgid =
     else if awaiting_accept t then arm_repair t
   end
 
-and member_bb_data t ~sender ~msgid ~payload =
+and member_bb_data t ~sender ~msgid ~ops ~payload =
   if sender <> t.mid then begin
     if msgid <= last_msgid_of t sender then
       (* Stale broadcast data for a message already delivered (a late
@@ -972,7 +1040,7 @@ and member_bb_data t ~sender ~msgid ~payload =
     else if Hashtbl.mem t.bb_wait (bb_key ~sender ~msgid) then
       t.st.duplicates_dropped <- t.st.duplicates_dropped + 1
     else begin
-      Hashtbl.replace t.bb_wait (bb_key ~sender ~msgid) payload;
+      Hashtbl.replace t.bb_wait (bb_key ~sender ~msgid) (ops, payload);
       arm_repair t
     end
   end
@@ -1067,13 +1135,7 @@ and collect_done t run =
     t.frozen_inc <- max t.frozen_inc run.r_inc;
     post_event t Expelled;
     finish_run t run (Error Not_enough_members);
-    match t.pending with
-    | Some p ->
-        t.pending <- None;
-        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-        p.p_timer <- None;
-        ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-    | None -> ()
+    abort_inflight t
   end
   else begin
     (* Divergent ackers must not come along: left out of the new
@@ -1144,18 +1206,21 @@ and install_new_config t run ~global_max =
   sequencer_accept t ~sender:t.mid ~msgid:t.msgid_counter
     ~piggy:(last_stable t)
     (Ctrl (Reset { incarnation = run.r_inc; members = List.map fst members }));
-  (* Re-submit an interrupted send under the new sequencer; delivery
+  (* Re-submit interrupted sends under the new sequencer; delivery
      deduplication makes this safe.  The reset control just consumed a
-     fresh msgid of ours, so the pending send's older msgid would look
-     like a stale duplicate to our own dedup state: renumber it for
-     the new epoch (had it ever been delivered, the catch-up replay
-     above would have completed it). *)
-  (match t.pending with
-  | Some p ->
+     fresh msgid of ours, so the in-flight rounds' older msgids would
+     look like stale duplicates to our own dedup state: renumber them
+     for the new epoch, oldest first so msgids stay increasing (any
+     round that had been delivered was completed by the catch-up
+     replay above and is no longer in flight).  Iterating a snapshot:
+     a resubmit that completes synchronously mutates [t.inflight] but
+     not this list. *)
+  List.iter
+    (fun p ->
       t.msgid_counter <- t.msgid_counter + 1;
       p.p_msgid <- t.msgid_counter;
-      submit_send t p
-  | None -> ());
+      submit_send t p)
+    t.inflight;
   finish_run t run (Ok (List.length members))
 
 let handle_invite t ~inc ~coord ~coord_addr =
@@ -1217,12 +1282,7 @@ let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
     (match t.run with
     | Some run -> finish_run t run (Error Not_enough_members)
     | None -> ());
-    match t.pending with
-    | Some p ->
-        t.pending <- None;
-        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-        ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-    | None -> ()
+    abort_inflight t
   end
   else if inc >= t.frozen_inc && inc > t.inc then begin
     t.inc <- inc;
@@ -1244,7 +1304,7 @@ let handle_new_config t ~inc ~members ~seq_mid ~last_seq =
       send_nack t;
       arm_repair t
     end;
-    match t.pending with Some p -> submit_send t p | None -> ()
+    List.iter (fun p -> submit_send t p) t.inflight
   end
 
 let handle_fetch_reply t entries =
@@ -1252,8 +1312,8 @@ let handle_fetch_reply t entries =
      machinery so control messages take effect too. *)
   List.iter
     (fun (e : History.entry) ->
-      member_data ~count:false t ~seq:e.seq ~sender:e.sender ~msgid:e.msgid
-        ~payload:e.payload ~needs_accept:false)
+      member_data ~count:false ~ops:e.ops t ~seq:e.seq ~sender:e.sender
+        ~msgid:e.msgid ~payload:e.payload ~needs_accept:false)
     entries;
   match t.run with
   | Some ({ r_phase = Fetching { upto; _ }; _ } as run) ->
@@ -1273,13 +1333,7 @@ let handle_fetch_reply t entries =
         t.frozen_inc <- max t.frozen_inc run.r_inc;
         post_event t Expelled;
         finish_run t run (Error Not_enough_members);
-        match t.pending with
-        | Some p ->
-            t.pending <- None;
-            (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-            p.p_timer <- None;
-            ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-        | None -> ()
+        abort_inflight t
       end
   | Some _ | None -> ()
 
@@ -1315,14 +1369,14 @@ let detect_expulsion t msg_inc =
    recovery flows only through [handle_fetch_reply]. *)
 let handle_net t msg src =
   match msg with
-  | Wire.Data { seq; sender; msgid; inc; payload; needs_accept } ->
+  | Wire.Data { seq; sender; msgid; inc; ops; payload; needs_accept } ->
       if t.life = Joining then begin
-        charge t t.cost.group_deliver_ns;
-        member_data t ~seq ~sender ~msgid ~payload ~needs_accept
+        charge_deliver ~ops t;
+        member_data t ~seq ~sender ~msgid ~ops ~payload ~needs_accept
       end
       else if inc = t.inc && t.life <> Frozen then begin
-        charge t t.cost.group_deliver_ns;
-        member_data t ~seq ~sender ~msgid ~payload ~needs_accept
+        charge_deliver ~ops t;
+        member_data t ~seq ~sender ~msgid ~ops ~payload ~needs_accept
       end
       else if inc <> t.inc then detect_expulsion t inc
   | Wire.Accept { seq; sender; msgid; inc } ->
@@ -1334,19 +1388,25 @@ let handle_net t msg src =
         member_accept t ~seq ~sender ~msgid
       end
       else if inc <> t.inc then detect_expulsion t inc
-  | Wire.Bb_data { sender; msgid; inc; payload; _ } ->
+  | Wire.Bb_data { sender; msgid; inc; ops; payload; _ } ->
       if inc = t.inc && t.life <> Frozen then begin
         match t.seqs with
         | Some s ->
-            charge_seq t;
+            charge_seq ~ops t;
             handle_at_sequencer t s msg
         | None ->
-            charge t t.cost.group_deliver_ns;
-            member_bb_data t ~sender ~msgid ~payload
+            charge_deliver ~ops t;
+            member_bb_data t ~sender ~msgid ~ops ~payload
       end
       else if inc <> t.inc then detect_expulsion t inc
-  | Wire.Req _ | Wire.Ack_tent _ | Wire.Nack _ | Wire.Status _
-  | Wire.Join_req _ | Wire.Leave_req _ -> (
+  | Wire.Req { ops; _ } -> (
+      match t.seqs with
+      | Some s when t.life <> Frozen ->
+          charge_seq ~ops t;
+          handle_at_sequencer t s msg
+      | Some _ | None -> ())
+  | Wire.Ack_tent _ | Wire.Nack _ | Wire.Status _ | Wire.Join_req _
+  | Wire.Leave_req _ -> (
       match t.seqs with
       | Some s when t.life <> Frozen ->
           charge_seq t;
@@ -1393,12 +1453,12 @@ let handle_net t msg src =
       handle_new_config t ~inc ~members ~seq_mid ~last_seq
 
 let handle_resend_tick t msgid =
-  match t.pending with
-  | Some p when p.p_msgid = msgid ->
+  match inflight_find t msgid with
+  | Some p ->
       if t.life = Normal then begin
         p.p_tries <- p.p_tries + 1;
         if p.p_tries > t.cost.probe_retries then begin
-          t.pending <- None;
+          inflight_remove t p;
           ignore (Ivar.try_fill p.p_result (Error Sequencer_unreachable));
           next_queued_send t
         end
@@ -1408,7 +1468,7 @@ let handle_resend_tick t msgid =
         end
       end
       else if t.life = Frozen then p.p_timer <- Some (arm_resend t ~msgid)
-  | Some _ | None -> ()
+  | None -> ()
 
 let handle_repair_tick t =
   t.repair_armed <- false;
@@ -1535,7 +1595,8 @@ let kernel_loop t () =
        match input with
        | Net (msg, src) -> handle_net t msg src
        | Do_send p ->
-           if t.pending = None then start_send t p else Queue.push p t.send_queue
+           if List.length t.inflight < t.cfg.pipeline_depth then start_send t p
+           else Queue.push p t.send_queue
        | Do_leave iv -> (
            t.pending_leave <- Some iv;
            arm_leave_retry t ~tries:0;
@@ -1605,12 +1666,7 @@ let kernel_loop t () =
              else begin
                t.life <- Expelled;
                post_event t Expelled;
-               match t.pending with
-               | Some p ->
-                   t.pending <- None;
-                   (match p.p_timer with Some h -> Engine.cancel h | None -> ());
-                   ignore (Ivar.try_fill p.p_result (Error Send_aborted))
-               | None -> ()
+               abort_inflight t
              end
            end);
     loop ()
@@ -1620,6 +1676,7 @@ let kernel_loop t () =
 (* ----- construction and the public operations ----- *)
 
 let make flip ~cfg ~gaddr =
+  let cfg = { cfg with pipeline_depth = max 1 cfg.pipeline_depth } in
   let machine = Flip.machine flip in
   let t =
     {
@@ -1651,7 +1708,7 @@ let make flip ~cfg ~gaddr =
       last_msgid = [||];
       status_req = (-1, Wire.Status_req { inc = -1 });
       msgid_counter = 0;
-      pending = None;
+      inflight = [];
       send_queue = Queue.create ();
       seqs = None;
       repair_armed = false;
@@ -1669,6 +1726,10 @@ let make flip ~cfg ~gaddr =
       pending_leave = None;
     }
   in
+  (* Pipelined senders keep several slots live around the stream head;
+     pre-size the window so those bursts never rehash mid-round. *)
+  if cfg.pipeline_depth > 1 then
+    Window.ensure_capacity t.slots (2 * cfg.history_capacity);
   (* Total rx: [Wire.decode] never raises out of the NIC path.  A
      payload damaged in flight fails the group checksum here and is
      counted, never interpreted. *)
@@ -1741,13 +1802,14 @@ let events t = t.event_out
 let stats t = t.st
 let next_expected t = t.nxt
 
-let send t body =
+let send ?(ops = 1) t body =
   if not (alive t) then Error Not_a_member
   else begin
     let p =
       {
         p_msgid = 0;
         p_body = body;
+        p_ops = max 1 ops;
         p_result = Ivar.create ();
         p_tries = 0;
         p_timer = None;

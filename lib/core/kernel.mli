@@ -37,6 +37,12 @@ type config = {
           and run the recovery themselves (majority quorum) when it
           stops answering, instead of waiting for the application to
           call {!reset} *)
+  pipeline_depth : int;
+      (** unacknowledged sequencer rounds this member may keep in
+          flight (default 1 = the paper's lock-step
+          send->deliver->next).  Clamped to at least 1.  Each round
+          still respects the delivery window and resilience degree;
+          depth only overlaps the wait for sequencing. *)
 }
 
 val default_config : config
@@ -59,6 +65,11 @@ type stats = {
   mutable reorders_absorbed : int;
       (** data/accept frames that arrived behind a higher sequence
           number and were slotted into the window instead of refused *)
+  mutable batches_sent : int;
+      (** sends that carried more than one client op *)
+  mutable batched_ops : int;  (** total ops across those batched sends *)
+  mutable pipeline_depth_hwm : int;
+      (** most unacknowledged rounds this member ever had in flight *)
 }
 
 val create_group : Flip.t -> ?config:config -> unit -> t
@@ -88,11 +99,14 @@ val member_list : t -> (mid * Addr.t) list
 val alive : t -> bool
 (** False once expelled or left. *)
 
-val send : t -> bytes -> (seqno, error) result
+val send : ?ops:int -> t -> bytes -> (seqno, error) result
 (** Blocking totally-ordered broadcast.  Returns the sequence number
     under which every member delivers the message.  With resilience
     degree r, does not return until at least r other kernels hold the
-    message. *)
+    message.  [ops] (default 1) declares how many client operations
+    the body carries, for wire-size and CPU accounting: the payload
+    stays opaque, but a batched message is charged its real marginal
+    per-op cost at the sequencer and on delivery. *)
 
 val events : t -> event Channel.t
 (** The totally-ordered delivery stream (messages and membership

@@ -64,6 +64,39 @@ let rec rehash t n ~incoming =
   end
   else rehash t (2 * n) ~incoming
 
+(* Pre-size the ring so a contiguous key span of [span] starting
+   anywhere maps to distinct cells.  Pipelined senders make slot keys
+   arrive in bursts of [pipeline_depth] around the stream head; sizing
+   the ring up front avoids rehash churn on every burst. *)
+let ensure_capacity t span =
+  let need = ref (t.mask + 1) in
+  while !need < span do
+    need := !need * 2
+  done;
+  if !need > t.mask + 1 then begin
+    let keys = Array.make !need (-1) in
+    let vals = Array.make !need t.dummy in
+    let mask = !need - 1 in
+    let clean = ref true in
+    Array.iteri
+      (fun i k ->
+        if !clean && k >= 0 then begin
+          let j = k land mask in
+          if keys.(j) >= 0 then clean := false
+          else begin
+            keys.(j) <- k;
+            vals.(j) <- t.vals.(i)
+          end
+        end)
+      t.keys;
+    if !clean then begin
+      t.keys <- keys;
+      t.vals <- vals;
+      t.mask <- mask
+    end
+    else rehash t (2 * !need) ~incoming:(-1)
+  end
+
 let set t k v =
   if k < 0 then invalid_arg "Window.set: negative key";
   let i = k land t.mask in

@@ -17,6 +17,12 @@ val find : 'a t -> int -> 'a option
 
 val mem : 'a t -> int -> bool
 
+val ensure_capacity : 'a t -> int -> unit
+(** [ensure_capacity t span] grows the ring (preserving contents) until
+    any contiguous key span of [span] maps collision-free — what a
+    pipelined sender needs so bursts of in-flight slots don't rehash
+    on every round.  Never shrinks. *)
+
 val set : 'a t -> int -> 'a -> unit
 (** Insert or overwrite. *)
 

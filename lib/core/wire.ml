@@ -6,6 +6,7 @@ type msg =
       msgid : int;
       piggy : seqno;
       inc : int;
+      ops : int;
       payload : payload;
     }
   | Data of {
@@ -13,6 +14,7 @@ type msg =
       sender : mid;
       msgid : int;
       inc : int;
+      ops : int;
       payload : payload;
       needs_accept : bool;
     }
@@ -21,6 +23,7 @@ type msg =
       msgid : int;
       piggy : seqno;
       inc : int;
+      ops : int;
       payload : payload;
     }
   | Accept of { seq : seqno; sender : mid; msgid : int; inc : int }
@@ -74,8 +77,14 @@ let member_bytes = word + addr_bytes
 let size (c : Amoeba_net.Cost_model.t) msg =
   let body =
     match msg with
-    | Req _ | Bb_data _ -> 4 * word  (* sender, msgid, piggy, inc *)
-    | Data _ -> (4 * word) + 1  (* seq, sender, msgid, inc + accept flag *)
+    (* A batched message (ops > 1) pays one extra word for the op
+       count; singletons stay byte-identical to the unbatched wire. *)
+    | Req { ops; _ } | Bb_data { ops; _ } ->
+        (4 * word) + (if ops > 1 then word else 0)
+        (* sender, msgid, piggy, inc [+ ops] *)
+    | Data { ops; _ } ->
+        (4 * word) + 1 + (if ops > 1 then word else 0)
+        (* seq, sender, msgid, inc + accept flag [+ ops] *)
     | Accept _ -> 4 * word  (* seq, sender, msgid, inc *)
     | Ack_tent _ -> 3 * word  (* seq, from, inc *)
     | Nack _ -> 4 * word  (* from, expected, piggy, inc *)
@@ -94,9 +103,12 @@ let size (c : Amoeba_net.Cost_model.t) msg =
         (* inc, seq_mid, last_seq + member table *)
         (3 * word) + (List.length members * member_bytes)
     | Fetch_reply { entries } ->
-        (* per entry: seq, sender, msgid + payload *)
+        (* per entry: seq, sender, msgid [+ ops] + payload *)
         List.fold_left
-          (fun acc e -> acc + (3 * word) + payload_size c e.History.payload)
+          (fun acc e ->
+            acc + (3 * word)
+            + (if e.History.ops > 1 then word else 0)
+            + payload_size c e.History.payload)
           0 entries
   in
   let payload =

@@ -14,6 +14,7 @@ type msg =
       msgid : int;
       piggy : seqno;  (** highest seq the sender has delivered *)
       inc : int;
+      ops : int;  (** client ops in the payload; > 1 = batched *)
       payload : payload;
     }  (** PB: point-to-point from sender to sequencer *)
   | Data of {
@@ -21,6 +22,7 @@ type msg =
       sender : mid;
       msgid : int;
       inc : int;
+      ops : int;
       payload : payload;
       needs_accept : bool;  (** true = tentative (resilient send) *)
     }  (** multicast (or retransmitted point-to-point) by the sequencer *)
@@ -29,6 +31,7 @@ type msg =
       msgid : int;
       piggy : seqno;
       inc : int;
+      ops : int;
       payload : payload;
     }  (** BB: multicast of the full message by the sender *)
   | Accept of { seq : seqno; sender : mid; msgid : int; inc : int }

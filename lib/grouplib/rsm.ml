@@ -18,8 +18,10 @@ end
 
 (* On-stream message format: one tag byte, then the payload.
    'U' <update>                       ordinary update
+   'B' <n> ' ' (<len> ' ' <update>)*  batch of n updates, applied in order
    'Q' <reply-addr> ' ' <nonce>       a joiner requests state transfer *)
 let tag_update = 'U'
+let tag_batch = 'B'
 let tag_query = 'Q'
 
 module Make (App : APP) = struct
@@ -103,12 +105,48 @@ module Make (App : APP) = struct
         let rest = Bytes.sub payload (i + 1) (Bytes.length payload - i - 1) in
         Some (count, rest)
 
+  (* Reads "<int> " starting at [pos]; returns the value and the
+     position just past the space, or None on malformed input. *)
+  let parse_int_sp body pos =
+    match Bytes.index_from_opt body pos ' ' with
+    | None -> None
+    | Some sp -> (
+        match int_of_string_opt (Bytes.sub_string body pos (sp - pos)) with
+        | Some v -> Some (v, sp + 1)
+        | None -> None)
+
+  (* Decodes a 'B' frame into its updates, in submission order.
+     Returns None if any op fails to parse — a batch applies
+     atomically or not at all, so replicas never diverge on a
+     half-understood frame. *)
+  let decode_batch body =
+    match parse_int_sp body 1 with
+    | None -> None
+    | Some (n, pos) ->
+        let rec ops acc pos = function
+          | 0 -> if pos = Bytes.length body then Some (List.rev acc) else None
+          | k -> (
+              match parse_int_sp body pos with
+              | None -> None
+              | Some (len, pos) ->
+                  if pos + len > Bytes.length body then None
+                  else
+                    match App.decode_update (Bytes.sub body pos len) with
+                    | None -> None
+                    | Some u -> ops (u :: acc) (pos + len) (k - 1))
+        in
+        if n < 1 then None else ops [] pos n
+
   let handle_message t ~seq ~sender body =
     if Bytes.length body > 0 then begin
       match Bytes.get body 0 with
       | c when c = tag_update -> (
           match App.decode_update (Bytes.sub body 1 (Bytes.length body - 1)) with
           | Some u -> apply_update t seq u
+          | None -> ())
+      | c when c = tag_batch -> (
+          match decode_batch body with
+          | Some us -> List.iter (fun u -> apply_update t seq u) us
           | None -> ())
       | c when c = tag_query -> (
           match
@@ -171,8 +209,10 @@ module Make (App : APP) = struct
     t
 
   let create flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
-      ?checkpoint ?seed ?tap () =
-    let g = Api.create_group flip ~resilience ~send_method ~auto_heal () in
+      ?(pipeline = 1) ?checkpoint ?seed ?tap () =
+    let g =
+      Api.create_group flip ~resilience ~send_method ~auto_heal ~pipeline ()
+    in
     make flip g ~checkpoint ~seed ~tap
 
   let address t = Api.group_address t.g
@@ -192,6 +232,33 @@ module Make (App : APP) = struct
     (* The framed buffer is fresh and never reused: hand it to the
        kernel without the user→kernel defensive copy. *)
     Api.send_to_group ~copy:false t.g (wire_of_update u)
+
+  (* The exact on-stream bytes of a batch: one 'B' frame carrying every
+     update length-prefixed, in order. *)
+  let wire_of_batch us =
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf tag_batch;
+    Buffer.add_string buf (string_of_int (List.length us));
+    Buffer.add_char buf ' ';
+    List.iter
+      (fun u ->
+        let enc = App.encode_update u in
+        Buffer.add_string buf (string_of_int (Bytes.length enc));
+        Buffer.add_char buf ' ';
+        Buffer.add_bytes buf enc)
+      us;
+    Buffer.to_bytes buf
+
+  let submit_batch t us =
+    match us with
+    | [] -> invalid_arg "Rsm.submit_batch: empty batch"
+    | [ u ] -> submit t u
+    | _ ->
+        (* One sequencer round carries the whole vector; the kernel is
+           told the op count so the simulation charges the message its
+           real marginal per-op wire bytes and CPU. *)
+        Api.send_to_group ~copy:false ~ops:(List.length us) t.g
+          (wire_of_batch us)
 
   let state t = t.st
   let applied t = t.n_applied
@@ -242,8 +309,10 @@ module Make (App : APP) = struct
     attempt 1
 
   let join flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
-      ?checkpoint ?tap addr =
-    match Api.join_group flip ~resilience ~send_method ~auto_heal addr with
+      ?(pipeline = 1) ?checkpoint ?tap addr =
+    match
+      Api.join_group flip ~resilience ~send_method ~auto_heal ~pipeline addr
+    with
     | Error e -> Error e
     | Ok g -> (
         let t = make flip g ~checkpoint ~seed:None ~tap in

@@ -44,6 +44,7 @@ module Make (App : APP) : sig
     ?resilience:int ->
     ?send_method:Types.send_method ->
     ?auto_heal:bool ->
+    ?pipeline:int ->
     ?checkpoint:Stable_store.t * int ->
     ?seed:App.state * int ->
     ?tap:(Types.event -> unit) ->
@@ -57,13 +58,16 @@ module Make (App : APP) : sig
       detection, so a replicated service recovers from a crashed
       sequencer without application involvement.  [?tap] observes
       every raw delivery-stream event before it is applied — the hook
-      the chaos checker uses to collect per-replica streams. *)
+      the chaos checker uses to collect per-replica streams.
+      [?pipeline] is the kernel's in-flight round depth
+      ({!Amoeba_core.Api.create_group}); 1 is lock-step. *)
 
   val join :
     Flip.t ->
     ?resilience:int ->
     ?send_method:Types.send_method ->
     ?auto_heal:bool ->
+    ?pipeline:int ->
     ?checkpoint:Stable_store.t * int ->
     ?tap:(Types.event -> unit) ->
     Addr.t ->
@@ -81,11 +85,25 @@ module Make (App : APP) : sig
   val submit : t -> App.update -> (Types.seqno, Types.error) result
   (** Blocking totally-ordered update. *)
 
+  val submit_batch : t -> App.update list -> (Types.seqno, Types.error) result
+  (** Blocking totally-ordered batch: one sequencer round carries the
+      whole vector of updates, which every replica applies atomically
+      in list order.  A single-element list takes the plain {!submit}
+      path (identical bytes on the stream); the empty list is a
+      programming error.  Batching amortises the sequencer's
+      per-message CPU cost across the ops, the point of the exercise —
+      Ring-Paxos-style batching on the paper's protocol. *)
+
   val wire_of_update : App.update -> bytes
   (** The exact on-stream bytes {!submit} broadcasts for an update —
       what a delivery-stream tap will observe as the message body
       (used by checkers to match completed submits against delivered
       events). *)
+
+  val wire_of_batch : App.update list -> bytes
+  (** The exact on-stream bytes {!submit_batch} broadcasts for a batch
+      of two or more updates (the checker-matching counterpart of
+      {!wire_of_update}). *)
 
   val state : t -> App.state
   (** This replica's current state (reads are local, as in the

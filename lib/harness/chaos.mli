@@ -38,6 +38,10 @@ type outcome = {
   cond_losses : int;  (** frames lost to Gilbert–Elliott bursts *)
   dups_injected : int;
   corruptions_injected : int;
+  batches_sent : int;  (** multi-op sends, summed over members *)
+  ops_per_batch_avg : float;  (** mean ops per batched send; 1.0 if none *)
+  pipeline_depth_hwm : int;
+      (** most unacknowledged rounds any member had in flight *)
 }
 
 val run :
@@ -49,6 +53,8 @@ val run :
   ?horizon:Time.t ->
   ?schedule:Fault.schedule ->
   ?net:Amoeba_net.Ether.conditions ->
+  ?pipeline:int ->
+  ?ops_per_send:int ->
   seed:int ->
   unit ->
   outcome
@@ -68,7 +74,14 @@ val run :
     [net] installs persistent link conditions (bursty loss,
     duplication, jitter, corruption) for the whole active phase; they
     are cleared one second after the horizon so tail repair and the
-    flush run on a quiet net, like the schedule's bounded bursts. *)
+    flush run on a quiet net, like the schedule's bounded bursts.
+
+    [pipeline] (default 1) sets every kernel's in-flight round depth;
+    [ops_per_send] (default 1) declares each send as a batch of that
+    many ops to the kernel's cost accounting — the body stays one
+    opaque tagged string, so the checker still matches completed sends
+    against delivered bodies.  Together they exercise the invariants
+    with batching and pipelining on. *)
 
 val ok : outcome -> bool
 

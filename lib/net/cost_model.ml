@@ -19,7 +19,9 @@ type t = {
   group_send_ns : int;
   group_seq_ns : int;
   group_seq_member_ns : int;
+  group_seq_op_ns : int;
   group_deliver_ns : int;
+  group_deliver_op_ns : int;
   rx_ring_frames : int;
   header_ether : int;
   header_flow_control : int;
@@ -57,7 +59,9 @@ let default =
     group_send_ns = 250_000;
     group_seq_ns = 240_000;
     group_seq_member_ns = 4_000;
+    group_seq_op_ns = 30_000;
     group_deliver_ns = 250_000;
+    group_deliver_op_ns = 25_000;
     rx_ring_frames = 32;
     header_ether = 14;
     header_flow_control = 2;

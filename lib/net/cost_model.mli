@@ -30,9 +30,18 @@ type t = {
   flip_tx_ns : int;
   flip_rx_ns : int;
   group_send_ns : int;  (** group layer, SendToGroup path *)
-  group_seq_ns : int;  (** group layer at the sequencer *)
+  group_seq_ns : int;  (** group layer at the sequencer, per message *)
   group_seq_member_ns : int;  (** sequencer cost per group member *)
-  group_deliver_ns : int;  (** group layer, delivery path *)
+  group_seq_op_ns : int;
+      (** sequencer cost per {e additional} op in a batched message: a
+          message carrying [k] ops costs [group_seq_ns + (k-1) *
+          group_seq_op_ns], so the fixed ~800 us protocol processing
+          is amortized, not waved away.  A singleton message costs
+          exactly what it did unbatched. *)
+  group_deliver_ns : int;  (** group layer, delivery path, per message *)
+  group_deliver_op_ns : int;
+      (** delivery cost per additional op in a batched message,
+          mirroring {!group_seq_op_ns} on the receive side *)
   (* Device *)
   rx_ring_frames : int;  (** Lance buffering: 32 packets *)
   (* Protocol parameters *)

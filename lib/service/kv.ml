@@ -98,8 +98,10 @@ module Rsm_store = Amoeba_grouplib.Rsm.Make (Store)
      "G<key>"              get
      "P<klen> <key><value>"  put
      "D<key>"              delete
+     "B<n> (<len> <req>)*"   batch of n requests, in order
    Reply wire format:
-     "V<value>" | "N" | "K" | "W<shard>" | "E<reason>" *)
+     "V<value>" | "N" | "K" | "W<shard>" | "E<reason>"
+     "R<n> (<len> <reply>)*" batch reply, one per request, same order *)
 
 type request = Get of string | Put of string * string | Del of string
 
@@ -161,3 +163,53 @@ let decode_reply b =
         | None -> None)
     | 'E' -> Some (Busy (String.sub s 1 (len - 1)))
     | _ -> None
+
+(* Counted length-prefixed vectors, shared by batch requests ('B') and
+   batch replies ('R'). *)
+let encode_counted tag encode items =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf tag;
+  Buffer.add_string buf (string_of_int (List.length items));
+  Buffer.add_char buf ' ';
+  List.iter
+    (fun item ->
+      let enc = encode item in
+      Buffer.add_string buf (string_of_int (Bytes.length enc));
+      Buffer.add_char buf ' ';
+      Buffer.add_bytes buf enc)
+    items;
+  Buffer.to_bytes buf
+
+let decode_counted tag decode b =
+  let len = Bytes.length b in
+  if len = 0 || Bytes.get b 0 <> tag then None
+  else
+    let int_sp pos =
+      match Bytes.index_from_opt b pos ' ' with
+      | None -> None
+      | Some sp -> (
+          match int_of_string_opt (Bytes.sub_string b pos (sp - pos)) with
+          | Some v -> Some (v, sp + 1)
+          | None -> None)
+    in
+    match int_sp 1 with
+    | None -> None
+    | Some (n, pos) ->
+        let rec go acc pos = function
+          | 0 -> if pos = len then Some (List.rev acc) else None
+          | k -> (
+              match int_sp pos with
+              | None -> None
+              | Some (l, pos) ->
+                  if l < 0 || pos + l > len then None
+                  else
+                    match decode (Bytes.sub b pos l) with
+                    | None -> None
+                    | Some item -> go (item :: acc) (pos + l) (k - 1))
+        in
+        if n < 0 then None else go [] pos n
+
+let encode_batch_request = encode_counted 'B' encode_request
+let decode_batch_request = decode_counted 'B' decode_request
+let encode_batch_reply = encode_counted 'R' encode_reply
+let decode_batch_reply = decode_counted 'R' decode_reply

@@ -44,3 +44,16 @@ val encode_request : request -> bytes
 val decode_request : bytes -> request option
 val encode_reply : reply -> bytes
 val decode_reply : bytes -> reply option
+
+(** {1 Batched request protocol}
+
+    A router that accumulates several client ops for the same shard
+    ships them as one RPC ("B" frame) and gets one reply vector back
+    ("R" frame), positionally matched to the requests.  The tag bytes
+    are disjoint from the single-op frames, so a replica can serve
+    both on one endpoint. *)
+
+val encode_batch_request : request list -> bytes
+val decode_batch_request : bytes -> request list option
+val encode_batch_reply : reply list -> bytes
+val decode_batch_reply : bytes -> reply list option

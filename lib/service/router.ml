@@ -16,10 +16,17 @@ type stats = {
   failovers : int;
   redirects : int;
   probes_dead : int;
+  batches_sent : int;
+  ops_batched : int;
+  partial_flushes : int;
+  batch_retries : int;
 }
 
 type shard_state = {
   queue : (Kv.request * reply Ivar.t) Channel.t;
+  turn : unit Channel.t;
+      (* one token: the right to gather the next batch off the queue
+         (batching mode only) *)
   eps : Service.endpoint array;
   suspect : bool array;
   reserve : bool array;
@@ -36,11 +43,17 @@ type t = {
   det : Failure_detector.t;
   timeout : Time.t;
   attempts : int;
+  max_batch : int;
+  batch_delay : Time.t;
   mutable s_ops : int;
   mutable s_retries : int;
   mutable s_failovers : int;
   mutable s_redirects : int;
   mutable s_probes_dead : int;
+  mutable s_batches_sent : int;
+  mutable s_ops_batched : int;
+  mutable s_partial_flushes : int;
+  mutable s_batch_retries : int;
 }
 
 (* Next replica to try: round-robin over the ones not currently
@@ -124,17 +137,132 @@ let perform t client ss req =
   in
   go 1
 
+(* One RPC carrying a whole batch of ops for this shard.  Definitive
+   per-op replies fan back to their waiters; [Wrong_shard] ops re-hash
+   and re-enqueue on the right shard; [Busy] ops and transport failures
+   retry the remaining batch {e whole} — every write in it carries a
+   fresh service-wide uid, so a replayed batch is a distinct stream
+   body and the no-duplicates invariant is untouched. *)
+let rec perform_batch t client ss items attempt =
+  match items with
+  | [] -> ()
+  | _ when attempt > t.attempts ->
+      List.iter
+        (fun (_, iv) -> ignore (Ivar.try_fill iv (Failed "attempts exhausted")))
+        items
+  | _ ->
+      if attempt > 1 then begin
+        t.s_retries <- t.s_retries + 1;
+        t.s_batch_retries <- t.s_batch_retries + 1
+      end;
+      let payload = Kv.encode_batch_request (List.map fst items) in
+      let i = pick ss in
+      let ep = ss.eps.(i) in
+      (match
+         Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout ~retries:1
+           payload
+       with
+      | Ok bytes -> (
+          ss.suspect.(i) <- false;
+          match Kv.decode_batch_reply bytes with
+          | Some replies when List.length replies = List.length items ->
+              let busy = ref [] in
+              List.iter2
+                (fun ((req, iv) as item) rep ->
+                  match rep with
+                  | Kv.Value v -> ignore (Ivar.try_fill iv (Value v))
+                  | Kv.Not_found -> ignore (Ivar.try_fill iv Not_found)
+                  | Kv.Written -> ignore (Ivar.try_fill iv Written)
+                  | Kv.Wrong_shard _ ->
+                      t.s_redirects <- t.s_redirects + 1;
+                      let s =
+                        Shard_map.shard_of_key t.map (Kv.request_key req)
+                      in
+                      Channel.send t.shards.(s).queue (req, iv)
+                  | Kv.Busy _ -> busy := item :: !busy)
+                items replies;
+              (match List.rev !busy with
+              | [] -> ()
+              | leftover ->
+                  (* The shard is recovering; give it a moment. *)
+                  Engine.sleep t.engine (Time.ms (25 * attempt));
+                  perform_batch t client ss leftover (attempt + 1))
+          | Some _ | None -> perform_batch t client ss items (attempt + 1))
+      | Error `No_route ->
+          t.s_failovers <- t.s_failovers + 1;
+          suspect_host ss ep.Service.ep_host;
+          Engine.sleep t.engine (Time.ms (5 * attempt));
+          perform_batch t client ss items (attempt + 1)
+      | Error `Timeout ->
+          if Failure_detector.probe t.det ep.Service.ep_probe then
+            perform_batch t client ss items (attempt + 1)
+          else begin
+            t.s_probes_dead <- t.s_probes_dead + 1;
+            t.s_failovers <- t.s_failovers + 1;
+            suspect_host ss ep.Service.ep_host;
+            perform_batch t client ss items (attempt + 1)
+          end)
+
+(* Nagle-style accumulation: having taken one op, keep the pipeline
+   open until the batch fills or [batch_delay] expires — whichever
+   fires first.  Returns the batch (submission order) and whether the
+   flush was forced by the timer rather than by size. *)
+let gather t ss first =
+  let deadline = Engine.now t.engine + t.batch_delay in
+  let rec go acc n =
+    if n >= t.max_batch then (List.rev acc, false)
+    else
+      match Channel.try_recv ss.queue with
+      | Some item -> go (item :: acc) (n + 1)
+      | None ->
+          let remaining = deadline - Engine.now t.engine in
+          if remaining <= 0 then (List.rev acc, true)
+          else (
+            match Channel.recv_timeout t.engine ss.queue ~timeout:remaining with
+            | Some item -> go (item :: acc) (n + 1)
+            | None -> (List.rev acc, true))
+  in
+  go [ first ] 1
+
+(* Leader/follower batching: the shard's single [turn] token is the
+   right to gather the next batch, and only an {e idle} worker holds
+   it.  While every worker is busy shipping, arrivals pile up on the
+   queue untouched — they would only be waiting in line anyway — and
+   the first worker to free up drains that whole backlog into one
+   batch at once.  So batches grow exactly when the shard is saturated
+   (where amortising the sequencer round matters) and the [batch_delay]
+   Nagle timer only ever adds latency when there is spare capacity. *)
 let worker t flip ss () =
   let client = Rpc.client flip in
   let rec loop () =
-    let req, iv = Channel.recv t.engine ss.queue in
-    ignore (Ivar.try_fill iv (perform t client ss req));
+    (if t.max_batch <= 1 then begin
+       (* the exact pre-batching path: no timer, no batch framing *)
+       let req, iv = Channel.recv t.engine ss.queue in
+       ignore (Ivar.try_fill iv (perform t client ss req))
+     end
+     else begin
+       Channel.recv t.engine ss.turn;
+       let first = Channel.recv t.engine ss.queue in
+       let items, timed_out = gather t ss first in
+       (* hand the gathering right to the next idle worker before the
+          (long) RPC, so accumulation never stops *)
+       Channel.send ss.turn ();
+       if timed_out then t.s_partial_flushes <- t.s_partial_flushes + 1;
+       match items with
+       | [ (req, iv) ] ->
+           (* a lone op keeps the single-op wire frame *)
+           ignore (Ivar.try_fill iv (perform t client ss req))
+       | items ->
+           t.s_batches_sent <- t.s_batches_sent + 1;
+           t.s_ops_batched <- t.s_ops_batched + List.length items;
+           perform_batch t client ss items 1
+     end);
     loop ()
   in
   loop ()
 
-let create flip ?(pipeline = 4) ?(timeout = Time.ms 250) ?(attempts = 12) ~map
-    ~endpoints () =
+let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
+    ?(timeout = Time.ms 250) ?(attempts = 12) ~map ~endpoints () =
   let machine = Flip.machine flip in
   let engine = Machine.engine machine in
   let t =
@@ -147,6 +275,7 @@ let create flip ?(pipeline = 4) ?(timeout = Time.ms 250) ?(attempts = 12) ~map
             let seq_host = Shard_map.sequencer_host map shard in
             {
               queue = Channel.create ();
+              turn = Channel.create ();
               eps;
               suspect = Array.make (Array.length eps) false;
               reserve =
@@ -159,15 +288,22 @@ let create flip ?(pipeline = 4) ?(timeout = Time.ms 250) ?(attempts = 12) ~map
       det = Failure_detector.create flip;
       timeout;
       attempts;
+      max_batch = max 1 max_batch;
+      batch_delay;
       s_ops = 0;
       s_retries = 0;
       s_failovers = 0;
       s_redirects = 0;
       s_probes_dead = 0;
+      s_batches_sent = 0;
+      s_ops_batched = 0;
+      s_partial_flushes = 0;
+      s_batch_retries = 0;
     }
   in
   Array.iter
     (fun ss ->
+      if t.max_batch > 1 then Channel.send ss.turn ();
       for _ = 1 to pipeline do
         Engine.spawn engine ~group:(Machine.group machine) (worker t flip ss)
       done)
@@ -192,4 +328,8 @@ let stats t =
     failovers = t.s_failovers;
     redirects = t.s_redirects;
     probes_dead = t.s_probes_dead;
+    batches_sent = t.s_batches_sent;
+    ops_batched = t.s_ops_batched;
+    partial_flushes = t.s_partial_flushes;
+    batch_retries = t.s_batch_retries;
   }

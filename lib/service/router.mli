@@ -24,6 +24,8 @@ type t
 val create :
   Flip.t ->
   ?pipeline:int ->
+  ?max_batch:int ->
+  ?batch_delay:Time.t ->
   ?timeout:Time.t ->
   ?attempts:int ->
   map:Shard_map.t ->
@@ -35,7 +37,17 @@ val create :
     [attempts] (default 12) bounds retries/failovers per request; a
     dead-host verdict suspects every endpoint on that machine at
     once, so one failover spends one attempt however many endpoints
-    the victim served. *)
+    the victim served.
+
+    [max_batch] (default 1) turns on op batching: a worker that takes
+    an op off its shard's pipeline keeps accumulating until it holds
+    [max_batch] ops or [batch_delay] (default 500 µs, Nagle-style) has
+    passed since the first — whichever fires first — and ships the lot
+    as one RPC, which the replica submits as one sequencer round.  At
+    the default 1 the request path is exactly the unbatched one.  A
+    failed or timed-out batch is retried whole; the fresh uid every
+    write carries makes the replay safe (idempotent under the
+    checker's no-duplicates invariant). *)
 
 type reply =
   | Value of string
@@ -56,6 +68,12 @@ type stats = {
   failovers : int;  (** switched replica after a suspected death *)
   redirects : int;  (** [Wrong_shard] replies followed *)
   probes_dead : int;  (** failure-detector verdicts of "dead" *)
+  batches_sent : int;  (** multi-op RPCs shipped *)
+  ops_batched : int;  (** total ops across those batches *)
+  partial_flushes : int;
+      (** flushes forced by the [batch_delay] timer before the batch
+          filled *)
+  batch_retries : int;  (** whole-batch replays after failure or Busy *)
 }
 
 val stats : t -> stats

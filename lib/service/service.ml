@@ -55,31 +55,110 @@ let submit_write t r u =
       t.n_writes_busy <- t.n_writes_busy + 1;
       Kv.Busy (T.error_to_string e)
 
-let handle t r payload =
-  let reply =
-    match Kv.decode_request payload with
-    | None -> Kv.Busy "bad-request"
-    | Some req ->
-        let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
-        if s <> r.r_shard then Kv.Wrong_shard s
-        else (
-          match req with
-          | Kv.Get k ->
-              t.n_reads <- t.n_reads + 1;
-              (match Kv.Smap.find_opt k (R.state r.r_rsm) with
-              | Some v -> Kv.Value v
-              | None -> Kv.Not_found)
-          | Kv.Put (k, v) ->
-              incr t.uid;
-              submit_write t r (Kv.Store.Put { uid = !(t.uid); key = k; value = v })
-          | Kv.Del k ->
-              incr t.uid;
-              submit_write t r (Kv.Store.Del { uid = !(t.uid); key = k }))
-  in
-  Amoeba_rpc.Types_rpc.Reply (Kv.encode_reply reply)
+(* Submits a vector of updates as one sequencer round (one 'B' frame on
+   the group stream; a single update falls back to the plain 'U' path).
+   Returns the per-update reply.  The checker's durability log gets the
+   exact on-stream bytes, which depend on that fallback. *)
+let submit_write_batch t r us =
+  let n = List.length us in
+  match R.submit_batch r.r_rsm us with
+  | Ok _ ->
+      t.n_writes_ok <- t.n_writes_ok + n;
+      if t.recording then begin
+        let mid = (Api.get_info_group (R.group r.r_rsm)).Api.my_mid in
+        let body =
+          match us with
+          | [ u ] -> R.wire_of_update u
+          | _ -> R.wire_of_batch us
+        in
+        t.completed_w.(r.r_shard) :=
+          (mid, Bytes.to_string body) :: !(t.completed_w.(r.r_shard))
+      end;
+      Kv.Written
+  | Error e ->
+      t.n_writes_busy <- t.n_writes_busy + n;
+      Kv.Busy (T.error_to_string e)
 
-let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?checkpoint
-    ?(record = false) ?(eps_per_replica = 4) () =
+let handle_one t r req =
+  let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+  if s <> r.r_shard then Kv.Wrong_shard s
+  else (
+    match req with
+    | Kv.Get k ->
+        t.n_reads <- t.n_reads + 1;
+        (match Kv.Smap.find_opt k (R.state r.r_rsm) with
+        | Some v -> Kv.Value v
+        | None -> Kv.Not_found)
+    | Kv.Put (k, v) ->
+        incr t.uid;
+        submit_write t r (Kv.Store.Put { uid = !(t.uid); key = k; value = v })
+    | Kv.Del k ->
+        incr t.uid;
+        submit_write t r (Kv.Store.Del { uid = !(t.uid); key = k }))
+
+(* A batch: every op is shard-checked individually, all the writes ride
+   one totally-ordered group round (fresh uids keep a retried batch
+   distinct on the stream), and reads are answered from the local copy
+   after the batch's writes applied — so a batch reads its own writes.
+   Replies are fanned back positionally, one per request. *)
+let handle_batch t r reqs =
+  let n = List.length reqs in
+  let replies = Array.make n Kv.Not_found in
+  let writes = ref [] in
+  (* newest first: (position, update) *)
+  List.iteri
+    (fun i req ->
+      let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+      if s <> r.r_shard then replies.(i) <- Kv.Wrong_shard s
+      else
+        match req with
+        | Kv.Get _ -> ()
+        | Kv.Put (k, v) ->
+            incr t.uid;
+            writes :=
+              (i, Kv.Store.Put { uid = !(t.uid); key = k; value = v })
+              :: !writes
+        | Kv.Del k ->
+            incr t.uid;
+            writes := (i, Kv.Store.Del { uid = !(t.uid); key = k }) :: !writes)
+    reqs;
+  (match List.rev !writes with
+  | [] -> ()
+  | ws ->
+      let verdict = submit_write_batch t r (List.map snd ws) in
+      List.iter (fun (i, _) -> replies.(i) <- verdict) ws);
+  List.iteri
+    (fun i req ->
+      (* wrong-shard Gets already hold their Wrong_shard reply *)
+      match (req, replies.(i)) with
+      | Kv.Get k, Kv.Not_found ->
+          t.n_reads <- t.n_reads + 1;
+          replies.(i) <-
+            (match Kv.Smap.find_opt k (R.state r.r_rsm) with
+            | Some v -> Kv.Value v
+            | None -> Kv.Not_found)
+      | _ -> ())
+    reqs;
+  Array.to_list replies
+
+let handle t r payload =
+  if Bytes.length payload > 0 && Bytes.get payload 0 = 'B' then
+    let reply =
+      match Kv.decode_batch_request payload with
+      | None -> Kv.encode_reply (Kv.Busy "bad-request")
+      | Some reqs -> Kv.encode_batch_reply (handle_batch t r reqs)
+    in
+    Amoeba_rpc.Types_rpc.Reply reply
+  else
+    let reply =
+      match Kv.decode_request payload with
+      | None -> Kv.Busy "bad-request"
+      | Some req -> handle_one t r req
+    in
+    Amoeba_rpc.Types_rpc.Reply (Kv.encode_reply reply)
+
+let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
+    ?checkpoint ?(record = false) ?(eps_per_replica = 4) () =
   let eng = cl.Cluster.engine in
   let shards = Shard_map.shards map in
   let t =
@@ -136,10 +215,10 @@ let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?checkpoint
           | None ->
               Ok
                 (R.create flip ~resilience ~send_method ~auto_heal:true
-                   ?checkpoint ?tap ())
+                   ~pipeline ?checkpoint ?tap ())
           | Some addr ->
-              R.join flip ~resilience ~send_method ~auto_heal:true ?checkpoint
-                ?tap addr
+              R.join flip ~resilience ~send_method ~auto_heal:true ~pipeline
+                ?checkpoint ?tap addr
         in
         match rsm with
         | Error e -> failwith ("Service.deploy: join failed: " ^ T.error_to_string e)

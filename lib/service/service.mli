@@ -30,6 +30,7 @@ val deploy :
   map:Shard_map.t ->
   ?resilience:int ->
   ?send_method:Types.send_method ->
+  ?pipeline:int ->
   ?checkpoint:Amoeba_grouplib.Stable_store.t * int ->
   ?record:bool ->
   ?eps_per_replica:int ->
@@ -46,7 +47,10 @@ val deploy :
     (default 4) is the RPC worker pool per replica: endpoints service
     one request at a time and a write occupies its endpoint for the
     whole submit round-trip, so a pool is what lets one replica hold
-    several writes in flight. *)
+    several writes in flight.  [pipeline] (default 1) is each replica
+    kernel's in-flight sequencer-round depth: with several endpoint
+    workers submitting concurrently, depth > 1 lets a replica keep
+    that many rounds unacknowledged instead of lock-stepping them. *)
 
 val map : t -> Shard_map.t
 

@@ -17,16 +17,28 @@ let grow h x =
     h.elems <- elems
   end
 
-let rec sift_up h i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if h.cmp h.elems.(i) h.elems.(parent) < 0 then begin
-      let tmp = h.elems.(i) in
-      h.elems.(i) <- h.elems.(parent);
-      h.elems.(parent) <- tmp;
-      sift_up h parent
+(* Hole-based sifting: carry the moving element in a local, shift each
+   blocker into the hole it leaves, and store the element once at its
+   final slot.  Comparison-for-comparison the array evolves exactly as
+   the textbook swap version (ties keep preferring the left child), so
+   heap layout — and with it event ordering in the engine — is
+   unchanged; only the per-level loads of [h.cmp]/[h.elems] and half
+   the stores go away. *)
+let sift_up h i0 =
+  let cmp = h.cmp and elems = h.elems in
+  let x = elems.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let p = elems.(parent) in
+    if cmp x p < 0 then begin
+      elems.(!i) <- p;
+      i := parent
     end
-  end
+    else moving := false
+  done;
+  elems.(!i) <- x
 
 let push h x =
   grow h x;
@@ -36,17 +48,25 @@ let push h x =
 
 let peek h = if h.size = 0 then None else Some h.elems.(0)
 
-let rec sift_down h i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < h.size && h.cmp h.elems.(l) h.elems.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.elems.(r) h.elems.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
-    let tmp = h.elems.(i) in
-    h.elems.(i) <- h.elems.(!smallest);
-    h.elems.(!smallest) <- tmp;
-    sift_down h !smallest
-  end
+let sift_down h i0 =
+  let cmp = h.cmp and elems = h.elems and size = h.size in
+  let x = elems.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= size then moving := false
+    else begin
+      let r = l + 1 in
+      let c = if r < size && cmp elems.(r) elems.(l) < 0 then r else l in
+      if cmp elems.(c) x < 0 then begin
+        elems.(!i) <- elems.(c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  elems.(!i) <- x
 
 let pop h =
   if h.size = 0 then None

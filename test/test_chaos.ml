@@ -188,6 +188,19 @@ let prop_adversarial_swarm =
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
            ~net:adversarial_net ~seed ()))
 
+(* The same hostile net and random schedules with batching and
+   pipelining on: every send is declared as a 3-op batch to the
+   kernel's accounting and each kernel keeps up to 4 sequencer rounds
+   in flight — total order, agreement, no-dup/no-skip and durability
+   must not care. *)
+let prop_batched_adversarial_swarm =
+  QCheck.Test.make
+    ~name:"swarm: batching + pipelining hold invariants on a hostile net"
+    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+      Chaos.ok
+        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
+           ~net:adversarial_net ~pipeline:4 ~ops_per_send:3 ~seed ()))
+
 let test_multigroup_invariants_per_group () =
   (* Three concurrent groups share the wire (sequencers on machines 0,
      1 and 2); machine 1 — one group's sequencer, a plain member of
@@ -475,6 +488,7 @@ let suite =
         test_multigroup_invariants_per_group;
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
       QCheck_alcotest.to_alcotest ~rand prop_adversarial_swarm;
+      QCheck_alcotest.to_alcotest ~rand prop_batched_adversarial_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;
       QCheck_alcotest.to_alcotest ~rand prop_chaos_deterministic;
       QCheck_alcotest.to_alcotest ~rand prop_multigroup_deterministic;

@@ -768,7 +768,8 @@ let prop_resilient_total_order =
 
 (* ----- history module units ----- *)
 
-let entry seq = { History.seq; sender = 0; msgid = seq; payload = T.User (body "x") }
+let entry seq =
+  { History.seq; sender = 0; msgid = seq; ops = 1; payload = T.User (body "x") }
 
 let test_history_basics () =
   let h = History.create ~capacity:4 in

@@ -393,13 +393,13 @@ let test_frozen_member_ignores_old_incarnation_traffic () =
       let payload = T.User (body "zombie") in
       inject ~dst:(Kernel.kernel_addr k1)
         (Wire.Data
-           { seq = seq0; sender = 0; msgid = 999; inc = inc0; payload;
+           { seq = seq0; sender = 0; msgid = 999; inc = inc0; ops = 1; payload;
              needs_accept = false });
       inject ~dst:(Kernel.kernel_addr k1)
         (Wire.Accept { seq = seq0; sender = 0; msgid = 999; inc = inc0 });
       inject ~dst:(Kernel.kernel_addr k1)
         (Wire.Bb_data
-           { sender = 0; msgid = 1000; piggy = seq0 - 1; inc = inc0; payload });
+           { sender = 0; msgid = 1000; piggy = seq0 - 1; inc = inc0; ops = 1; payload });
       Engine.sleep cl.Cluster.engine (Time.ms 100);
       Alcotest.(check int) "frontier unmoved while frozen" seq0
         (Api.get_info_group g1).Api.next_seq;

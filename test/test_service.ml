@@ -89,6 +89,44 @@ let test_kv_codecs () =
         (Kv.decode_reply (Kv.encode_reply r) = Some r))
     reps
 
+let test_kv_batch_codecs () =
+  let reqs =
+    [
+      [ Kv.Get "k" ];
+      [ Kv.Put ("a b", "v w"); Kv.Del "x"; Kv.Get "" ];
+      List.init 40 (fun i -> Kv.Put ("k" ^ string_of_int i, "v"));
+    ]
+  in
+  List.iter
+    (fun rs ->
+      Alcotest.(check bool)
+        "batch request roundtrip" true
+        (Kv.decode_batch_request (Kv.encode_batch_request rs) = Some rs))
+    reqs;
+  let reps =
+    [
+      [ Kv.Written ];
+      [ Kv.Value "x y"; Kv.Not_found; Kv.Wrong_shard 3; Kv.Busy "no" ];
+    ]
+  in
+  List.iter
+    (fun rs ->
+      Alcotest.(check bool)
+        "batch reply roundtrip" true
+        (Kv.decode_batch_reply (Kv.encode_batch_reply rs) = Some rs))
+    reps;
+  (* A batch frame must not decode as a single request and vice versa,
+     and truncation must be rejected, not half-applied. *)
+  let b = Kv.encode_batch_request [ Kv.Put ("k", "v"); Kv.Del "d" ] in
+  Alcotest.(check bool) "batch is not a single request" true
+    (Kv.decode_request b = None);
+  Alcotest.(check bool) "single request is not a batch" true
+    (Kv.decode_batch_request (Kv.encode_request (Kv.Get "k")) = None);
+  Alcotest.(check bool) "truncated batch rejected" true
+    (Kv.decode_batch_request (Bytes.sub b 0 (Bytes.length b - 1)) = None);
+  Alcotest.(check bool) "padded batch rejected" true
+    (Kv.decode_batch_request (Bytes.cat b (Bytes.of_string "x")) = None)
+
 (* ---------- multiple groups on one Ethernet are isolated ---------- *)
 
 (* Two independent groups (two members each) share the wire.  Each
@@ -325,6 +363,130 @@ let test_router_failover_on_sequencer_crash () =
     ~crash_host:(fun map -> Shard_map.sequencer_host map 0)
     ~expect_failover:false ()
 
+(* ---------- router-side batching ---------- *)
+
+(* Fire all [ks] as concurrent puts through [router] and wait for
+   every reply, failing on the first non-[Written]. *)
+let parallel_puts cl router ks =
+  let done_ch = Channel.create () in
+  List.iter
+    (fun k ->
+      Cluster.spawn cl (fun () ->
+          Channel.send done_ch (k, Router.put router k ("v." ^ k))))
+    ks;
+  List.iter
+    (fun _ ->
+      match Channel.recv cl.Cluster.engine done_ch with
+      | _, Router.Written -> ()
+      | k, Router.Failed m -> Alcotest.failf "put %s did not commit: %s" k m
+      | k, _ -> Alcotest.failf "put %s: unexpected reply" k)
+    ks
+
+(* Eight concurrent puts against max_batch 4 and a 1 s Nagle timer:
+   every flush must be forced by size — two full batches, zero timer
+   flushes — and each replica must apply each op exactly once. *)
+let test_batch_flush_on_size () =
+  let cl = Cluster.create ~n:5 ~seed:21 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:1 ~replication:2 ~hosts:[ 0; 1 ] () in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~max_batch:4 ~pipeline:1
+          ~batch_delay:(Time.sec 1) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      parallel_puts cl router (List.init 8 (fun i -> "k" ^ string_of_int i));
+      let st = Router.stats router in
+      Alcotest.(check bool) "ops went out in batches" true
+        (st.Router.batches_sent >= 1);
+      Alcotest.(check int) "every flush was a full batch"
+        (4 * st.Router.batches_sent)
+        st.Router.ops_batched;
+      Alcotest.(check int) "no timer flushes under a 1 s Nagle" 0
+        st.Router.partial_flushes;
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      List.iter
+        (fun (_, a) -> Alcotest.(check int) "each op applied exactly once" 8 a)
+        (Service.applied svc 0);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* Three concurrent puts against max_batch 64 and a 2 ms Nagle timer:
+   the batch cannot fill, so the flush must come from the timer — one
+   partial flush carrying all three ops. *)
+let test_batch_flush_on_timeout () =
+  let cl = Cluster.create ~n:5 ~seed:22 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:1 ~replication:2 ~hosts:[ 0; 1 ] () in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~max_batch:64 ~pipeline:1
+          ~batch_delay:(Time.ms 2) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      parallel_puts cl router [ "a"; "b"; "c" ];
+      let st = Router.stats router in
+      Alcotest.(check bool) "the timer forced the flush" true
+        (st.Router.partial_flushes >= 1);
+      Alcotest.(check int) "one batch went out" 1 st.Router.batches_sent;
+      Alcotest.(check int) "carrying all three ops" 3 st.Router.ops_batched;
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      List.iter
+        (fun (_, a) -> Alcotest.(check int) "each op applied exactly once" 3 a)
+        (Service.applied svc 0);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* A sequencer crash landing in the middle of a stream of batches: the
+   crash fires 5 ms into a 24-put wave, so batches are in flight when
+   the group loses its sequencer.  Every put must still commit (Busy
+   backoff, whole-batch replays, failover) and the per-shard chaos
+   invariants — one total order, no duplicates, no skips, durability —
+   must hold over what the surviving replicas applied.  Replayed
+   batches are safe because the replica mints fresh uids on every
+   (re)submission, making each replay a distinct stream body. *)
+let test_batch_spans_sequencer_crash () =
+  let cl = Cluster.create ~n:5 ~seed:23 () in
+  let verdicts = ref [] in
+  let stats = ref None in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:1 ~replication:3 ~hosts:[ 0; 1; 2 ] () in
+      let svc = Service.deploy cl ~map ~resilience:1 ~record:true () in
+      let router =
+        Router.create (Cluster.flip cl 4) ~max_batch:8 ~pipeline:1
+          ~batch_delay:(Time.ms 2) ~attempts:30 ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      parallel_puts cl router (List.init 8 (fun i -> "pre" ^ string_of_int i));
+      let seq_host = Shard_map.sequencer_host map 0 in
+      Cluster.spawn cl (fun () ->
+          Engine.sleep cl.Cluster.engine (Time.ms 5);
+          Machine.crash (Cluster.machine cl seq_host));
+      parallel_puts cl router (List.init 24 (fun i -> "mid" ^ string_of_int i));
+      parallel_puts cl router (List.init 8 (fun i -> "post" ^ string_of_int i));
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      stats := Some (Router.stats router);
+      verdicts := Service.check svc ~crashed:[ seq_host ]);
+  Cluster.run ~until:(Time.sec 120) cl;
+  (match !stats with
+  | None -> Alcotest.fail "scenario did not finish"
+  | Some st ->
+      Alcotest.(check bool) "ops really went out in batches" true
+        (st.Router.batches_sent >= 3));
+  match !verdicts with
+  | [ (0, vs) ] ->
+      List.iter
+        (fun v ->
+          if not v.Checker.ok then
+            Alcotest.failf "invariant %s violated: %s" v.Checker.invariant
+              v.Checker.detail)
+        vs
+  | _ -> Alcotest.fail "expected verdicts for exactly one shard"
+
 (* ---------- workload engine ---------- *)
 
 let run_workload ~seed () =
@@ -416,6 +578,7 @@ let suite =
       tc "shard map deterministic and covering"
         test_shard_map_deterministic_and_covering;
       tc "kv codecs roundtrip" test_kv_codecs;
+      tc "kv batch codecs roundtrip" test_kv_batch_codecs;
       tc "two groups on one wire are isolated" test_isolation_clean;
       tc "two groups stay isolated under adversarial conditions"
         test_isolation_adversarial;
@@ -424,6 +587,10 @@ let suite =
         test_router_failover_on_follower_crash;
       tc "service rides out a crashed sequencer"
         test_router_failover_on_sequencer_crash;
+      tc "batches flush on size" test_batch_flush_on_size;
+      tc "batches flush on the Nagle timer" test_batch_flush_on_timeout;
+      tc "batch stream spans a sequencer crash"
+        test_batch_spans_sequencer_crash;
       tc "workload smoke" test_workload_smoke;
       tc "workload deterministic" test_workload_deterministic;
       tc "workload open loop" test_workload_open_loop;

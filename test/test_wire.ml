@@ -9,7 +9,8 @@ module T = Types
 let c = Cost_model.default
 
 let user_msg payload =
-  Wire.Req { sender = 1; msgid = 1; piggy = 0; inc = 0; payload = T.User payload }
+  Wire.Req
+    { sender = 1; msgid = 1; piggy = 0; inc = 0; ops = 1; payload = T.User payload }
 
 (* Uniform accounting: scalar fields are 4-byte words, addresses 8
    bytes, flags 1 byte, on top of the fixed 28-byte group envelope. *)
@@ -21,7 +22,7 @@ let test_data_sizes () =
     (Wire.size c (user_msg (Bytes.create 1024)));
   let data =
     Wire.Data
-      { seq = 9; sender = 1; msgid = 1; inc = 0; payload = T.User Bytes.empty;
+      { seq = 9; sender = 1; msgid = 1; inc = 0; ops = 1; payload = T.User Bytes.empty;
         needs_accept = false }
   in
   (* Data trades piggy for seq and adds the accept flag byte. *)
