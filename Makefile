@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net service batch check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability check clean
 
 all: build
 
@@ -16,6 +16,7 @@ check:
 	dune build @bench-smoke
 	dune build @service-smoke
 	dune build @batch-smoke
+	dune build @durability-smoke
 
 build:
 	dune build
@@ -59,6 +60,16 @@ service:
 #   dune exec bench/main.exe -- batch
 batch:
 	dune build @batch-smoke
+
+# Durable-mode runs (also part of `dune runtest` via the
+# durability-smoke alias): healthy durable chaos, seeded and explicit
+# whole-cluster power cycles on clean and adversarial nets, and a
+# service workload that loses every host mid-run under
+# fsync-per-commit.  Replay with e.g.
+#   dune exec bin/amoeba.exe -- chaos --seed N --disk ssd
+#   dune exec bin/amoeba.exe -- workload --disk ssd --fsync commit --power-cycle
+durability:
+	dune build @durability-smoke
 
 clean:
 	dune clean

@@ -9,16 +9,18 @@
    Targets: headline fig1 table3 fig3 fig4 fig5 fig6 fig7 fig8
             rpc_compare ablation_cm ablation_migrate ablation_pbbb
             ablation_processing ablation_userspace ablation_history
-            ablation_flowcontrol load_latency service batch micro
+            ablation_flowcontrol load_latency service batch recovery
+            micro
    No arguments runs everything.
 
    --json   targets that support it (micro, headline, fig1, fig4,
-            service, batch) also write a BENCH_<target>.json file
-            (micro writes BENCH_sim.json; batch writes its sweep into
-            BENCH_service.json); see bench/README.md for the schema.
-   --smoke  micro, service and batch: tiny parameters (and for micro,
-            JSON to stdout instead of a file), so CI can exercise the
-            perf plumbing in seconds. *)
+            service, batch, recovery) also write a BENCH_<target>.json
+            file (micro writes BENCH_sim.json; batch and recovery
+            write their rows into BENCH_service.json); see
+            bench/README.md for the schema.
+   --smoke  micro, service, batch and recovery: tiny parameters (and
+            for micro, JSON to stdout instead of a file), so CI can
+            exercise the perf plumbing in seconds. *)
 
 open Amoeba_net
 open Amoeba_harness
@@ -413,21 +415,42 @@ let headline () =
    batching (and drops each router to one worker per shard — a single
    in-flight batch per shard both keeps the replica endpoint
    uncontended and lets the backlog coalesce), [pipeline_depth] sets
-   the kernels' in-flight sequencer rounds.  Returns the workload
-   result plus the per-router stats. *)
+   the kernels' in-flight sequencer rounds.  [disk] gives every
+   machine a local disk and turns on durable replicas ([fsync] and
+   [checkpoint_every] set the policy); without it nothing touches a
+   disk and the run is bit-identical to the non-durable path.  Returns
+   the workload result plus the per-router stats. *)
 let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
     ~wire_mbps ?(max_batch = 1) ?(batch_delay_us = 500) ?(pipeline_depth = 1)
+    ?disk ?(fsync = Amoeba_grouplib.Rsm.Group_fsync 8) ?(checkpoint_every = 64)
     ~seed () =
   let open Amoeba_service in
   let map =
     Shard_map.create ~shards ~replication ~hosts:(List.init hosts Fun.id) ()
   in
-  let cost = Cost_model.(with_mbps wire_mbps default) in
+  let cost =
+    let base = Cost_model.(with_mbps wire_mbps default) in
+    match disk with
+    | Some d -> { base with Cost_model.disk = d }
+    | None -> base
+  in
+  let durable =
+    Option.map
+      (fun _ ->
+        {
+          Service.d_store = Amoeba_grouplib.Stable_store.create ();
+          d_sync = fsync;
+          d_checkpoint_every = checkpoint_every;
+        })
+      disk
+  in
   let cl = Cluster.create ~cost ~seed ~n:(hosts + routers) () in
   let result = ref None in
   let rstats = ref [] in
   Cluster.spawn cl (fun () ->
-      let svc = Service.deploy cl ~map ~resilience:1 ~pipeline:pipeline_depth () in
+      let svc =
+        Service.deploy cl ~map ~resilience:1 ~pipeline:pipeline_depth ?durable ()
+      in
       let rs =
         List.init routers (fun i ->
             Router.create
@@ -456,16 +479,19 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
     cl;
   (Option.get !result, !rstats)
 
-(* BENCH_service.json carries both the shard-scaling rows (the
-   [service] target) and the batching sweep (the [batch] target).
-   Each target caches its fields and rewrites the file with whatever
-   has been measured so far, so running both targets in one invocation
-   yields one file with both sections. *)
+(* BENCH_service.json carries the shard-scaling rows (the [service]
+   target), the batching sweep (the [batch] target) and the durability
+   rows (the [recovery] target).  Each target caches its fields and
+   rewrites the file with whatever has been measured so far, so
+   running several targets in one invocation yields one file with all
+   their sections. *)
 let service_json_fields : (string * Bench_json.t) list ref = ref []
 let batch_json_fields : (string * Bench_json.t) list ref = ref []
+let recovery_json_fields : (string * Bench_json.t) list ref = ref []
 
 let write_service_json () =
-  json_out "service" (!service_json_fields @ !batch_json_fields)
+  json_out "service"
+    (!service_json_fields @ !batch_json_fields @ !recovery_json_fields)
 
 let service () =
   header
@@ -620,6 +646,164 @@ let batch () =
             ("duration_ms", Bench_json.Int duration_ms);
             ("seed", Bench_json.Int seed);
             ("rows", Bench_json.List (List.rev !rows));
+          ] );
+    ];
+  write_service_json ()
+
+(* ----- recovery: durable-write overhead and recovery time ----- *)
+
+(* What durability costs on the commit path, and what it buys back at
+   recovery.  Two tables:
+
+   - committed ops/s with durability off vs the three fsync policies,
+     per disk profile: fsync-per-commit puts a platter round-trip
+     inside every ack, group-fsync amortises it over 8 commits,
+     checkpoint-only moves all of it off the ack path;
+
+   - simulated recovery time of one replica vs WAL length, per disk
+     profile: a seeded WAL of N committed KV updates is replayed
+     through [Rsm.recover] at the disk's seek + read speed.  The WAL
+     is written directly (sync on the last record covers the buffered
+     prefix) so the table isolates recovery cost from workload cost. *)
+let recovery () =
+  header
+    "Durability: committed ops/s by fsync policy, and recovery time vs WAL length"
+    "robustness extension (not in the paper): the write-ahead log's fsyncs sit\n\
+     on the commit path, so policy choice trades durability window against\n\
+     throughput; recovery replays the log at disk speed";
+  let module R = Amoeba_grouplib.Rsm in
+  let module Store = Amoeba_grouplib.Stable_store in
+  let shards, hosts, routers, replication, seed = (4, 8, 4, 2, 11) in
+  let workers = if !smoke_mode then 16 else 64 in
+  let duration_ms = if !smoke_mode then 400 else 2_000 in
+  let disks = [ ("hdd1996", Cost_model.hdd1996); ("ssd", Cost_model.ssd) ] in
+  let policies =
+    [
+      ("off", None);
+      ("checkpoint-only", Some R.Checkpoint_only);
+      ("group-fsync-8", Some (R.Group_fsync 8));
+      ("fsync-per-commit", Some R.Every_commit);
+    ]
+  in
+  Printf.printf "%18s |" "policy";
+  List.iter (fun (n, _) -> Printf.printf " %9s" n) disks;
+  Printf.printf "   (committed ops/s, %d shards, wire 100 Mbit)\n" shards;
+  let off_ops = ref nan in
+  let overhead_rows = ref [] in
+  List.iter
+    (fun (pname, policy) ->
+      Printf.printf "%18s |" pname;
+      List.iter
+        (fun (dname, d) ->
+          let ops =
+            match policy with
+            | None ->
+                (* No disk at all: the figure is profile-independent,
+                   measured once and repeated across the columns. *)
+                if Float.is_nan !off_ops then
+                  off_ops :=
+                    (fst
+                       (service_run ~shards ~hosts ~routers ~replication
+                          ~workers ~duration_ms ~wire_mbps:100 ~seed ()))
+                      .Amoeba_service.Workload.ops_per_sec;
+                !off_ops
+            | Some fsync ->
+                (fst
+                   (service_run ~shards ~hosts ~routers ~replication ~workers
+                      ~duration_ms ~wire_mbps:100 ~disk:d ~fsync
+                      ~checkpoint_every:64 ~seed ()))
+                  .Amoeba_service.Workload.ops_per_sec
+          in
+          overhead_rows :=
+            Bench_json.Obj
+              [
+                ("policy", Bench_json.Str pname);
+                ("disk", Bench_json.Str dname);
+                ("ops_per_sec", Bench_json.Float ops);
+              ]
+            :: !overhead_rows;
+          Printf.printf " %9.0f" ops)
+        disks;
+      print_newline ())
+    policies;
+  (* -- recovery time vs WAL length -- *)
+  let recover_ms ~disk ~records =
+    let store = Store.create () in
+    let d =
+      { R.store; log = "bench"; sync = R.Every_commit; checkpoint_every = 0 }
+    in
+    let cost = { Cost_model.default with Cost_model.disk } in
+    let cl = Cluster.create ~cost ~seed:1 ~n:1 () in
+    let value = String.make 32 'v' in
+    let seeded = Amoeba_sim.Ivar.create () in
+    Cluster.spawn_on cl 0 (fun () ->
+        let m = Cluster.machine cl 0 in
+        for i = 1 to records do
+          ignore
+            (Store.wal_append store m ~log:(R.wal_name d) ~sync:(i = records)
+               ~index:i
+               (Amoeba_service.Kv.Store.encode_update
+                  (Amoeba_service.Kv.Store.Put
+                     { uid = i; key = Printf.sprintf "key-%d" i; value })))
+        done;
+        Amoeba_sim.Ivar.fill seeded ());
+    Cluster.spawn cl (fun () ->
+        Amoeba_sim.Ivar.read cl.Cluster.engine seeded;
+        Machine.crash (Cluster.machine cl 0));
+    Cluster.run cl;
+    Cluster.restart cl 0;
+    let ms = ref nan in
+    Cluster.spawn_on cl 0 (fun () ->
+        let module KR = Amoeba_service.Kv.Rsm_store in
+        let t0 = Cluster.now cl in
+        match KR.recover d (Cluster.machine cl 0) with
+        | Ok rec_ ->
+            if rec_.KR.r_applied <> records then
+              failwith
+                (Printf.sprintf "recovered %d of %d records" rec_.KR.r_applied
+                   records);
+            ms := Amoeba_sim.Time.to_ms (Cluster.now cl - t0)
+        | Error e -> failwith ("bench recovery refused: " ^ e));
+    Cluster.run ~until:(Amoeba_sim.Time.sec 600) cl;
+    !ms
+  in
+  let wal_lengths =
+    if !smoke_mode then [ 100; 1_000 ] else [ 100; 1_000; 10_000 ]
+  in
+  Printf.printf "\n%12s |" "wal records";
+  List.iter (fun (n, _) -> Printf.printf " %9s" n) disks;
+  Printf.printf "   (simulated recovery time, ms)\n";
+  let time_rows = ref [] in
+  List.iter
+    (fun records ->
+      Printf.printf "%12d |" records;
+      List.iter
+        (fun (dname, d) ->
+          let ms = recover_ms ~disk:d ~records in
+          time_rows :=
+            Bench_json.Obj
+              [
+                ("disk", Bench_json.Str dname);
+                ("wal_records", Bench_json.Int records);
+                ("recover_ms", Bench_json.Float ms);
+              ]
+            :: !time_rows;
+          Printf.printf " %9.2f" ms)
+        disks;
+      print_newline ())
+    wal_lengths;
+  recovery_json_fields :=
+    [
+      ( "durability",
+        Bench_json.Obj
+          [
+            ("shards", Bench_json.Int shards);
+            ("hosts", Bench_json.Int hosts);
+            ("workers", Bench_json.Int workers);
+            ("duration_ms", Bench_json.Int duration_ms);
+            ("seed", Bench_json.Int seed);
+            ("overhead_rows", Bench_json.List (List.rev !overhead_rows));
+            ("recovery_rows", Bench_json.List (List.rev !time_rows));
           ] );
     ];
   write_service_json ()
@@ -890,6 +1074,7 @@ let targets : (string * (unit -> unit)) list =
     ("load_latency", fig_load_latency);
     ("service", service);
     ("batch", batch);
+    ("recovery", recovery);
     ("micro", micro);
   ]
 

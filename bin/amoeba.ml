@@ -83,6 +83,36 @@ let net_t =
            (delivery jitter), corrupt, or adversarial (all of them, \
            moderate).")
 
+let disk_conv =
+  let open Amoeba_net.Cost_model in
+  let parse s =
+    match List.assoc_opt s disk_profiles with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown disk profile %S (%s)" s
+               (String.concat "|" (List.map fst disk_profiles))))
+  in
+  let print fmt d =
+    Format.pp_print_string fmt
+      (match List.find_opt (fun (_, d') -> d' = d) disk_profiles with
+      | Some (name, _) -> name
+      | None -> "<custom>")
+  in
+  Arg.conv (parse, print)
+
+let disk_t =
+  Arg.(
+    value
+    & opt (some disk_conv) None
+    & info [ "disk" ]
+        ~doc:
+          "Give every machine a local disk with this timing profile \
+           (hdd1996, hdd, ssd, nvme) and turn on durable mode: committed \
+           work is WAL-logged and survives restarts.  Without it nothing \
+           touches a disk and all simulated figures are unchanged.")
+
 let members_t =
   Arg.(value & opt int 8 & info [ "m"; "members" ] ~doc:"Group size.")
 
@@ -211,11 +241,19 @@ let chaos_cmd =
             "Concurrent groups sharing the wire (sequencers spread over \
              machines); invariants are checked independently per group.")
   in
-  let run seed members groups r method_ msgs schedule net =
-    let schedule = Option.map Fault.of_string schedule in
+  let run seed members groups r method_ msgs schedule net disk =
+    let schedule =
+      match (schedule, disk) with
+      | Some s, _ -> Some (Fault.of_string s)
+      | None, Some _ ->
+          (* Durable mode widens the seeded generator to draw one
+             whole-cluster power cycle on top of the base schedule. *)
+          Some (Fault.random ~seed ~n:members ~power_cycles:true ())
+      | None, None -> None
+    in
     let o =
       Chaos.run ~n:members ~groups ~resilience:r ~send_method:method_ ~msgs
-        ?schedule ~net ~seed ()
+        ?schedule ~net ?disk ~seed ()
     in
     Chaos.print_report o;
     if not (Chaos.ok o) then exit 1
@@ -224,10 +262,11 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Replay a seeded fault-injection run and check the total-order, \
-          delivery, durability and incarnation invariants.")
+          delivery, durability, incarnation and (with --disk) \
+          durable-recovery invariants.")
     Term.(
       const run $ seed_t $ chaos_members_t $ chaos_groups_t $ resilience_t
-      $ method_t $ msgs_t $ schedule_t $ net_t)
+      $ method_t $ msgs_t $ schedule_t $ net_t $ disk_t)
 
 (* ----- the sharded service layer ----- *)
 
@@ -389,9 +428,71 @@ let workload_cmd =
              ops/s whatever the shard count; 100 makes the machines the \
              bottleneck again, the regime where shards scale.")
   in
+  let checkpoint_every_t =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ]
+          ~doc:
+            "With --disk: each replica checkpoints its state and trims the \
+             WAL every this many applied updates (0 never checkpoints).")
+  in
+  let fsync_t =
+    let open Amoeba_grouplib.Rsm in
+    let fsync_conv =
+      let parse = function
+        | "commit" -> Ok Every_commit
+        | "group" -> Ok (Group_fsync 8)
+        | "checkpoint" -> Ok Checkpoint_only
+        | s ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown fsync policy %S \
+                                 (commit|group|checkpoint)" s))
+      in
+      let print fmt p =
+        Format.pp_print_string fmt
+          (match p with
+          | Every_commit -> "commit"
+          | Group_fsync _ -> "group"
+          | Checkpoint_only -> "checkpoint")
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value & opt fsync_conv (Group_fsync 8)
+      & info [ "fsync" ]
+          ~doc:
+            "With --disk: when a replica fsyncs its WAL.  'commit' syncs \
+             every applied update (every acked write survives a power \
+             loss), 'group' every 8th (bounded trailing-window loss), \
+             'checkpoint' only at checkpoints.")
+  in
+  let power_cycle_t =
+    Arg.(
+      value & flag
+      & info [ "power-cycle" ]
+          ~doc:
+            "Requires --disk.  Write sentinel keys a quarter of the way \
+             through, power off EVERY server host at the halfway mark, \
+             restart them ~275 simulated ms later, recover the whole \
+             service from its disks, repoint the routers, and read the \
+             sentinels back.  With --fsync commit any acked sentinel lost \
+             across the cycle fails the run (exit 1); weaker policies \
+             report trailing-window losses without failing.")
+  in
+  let stale_reads_t =
+    Arg.(
+      value & flag
+      & info [ "stale-reads" ]
+          ~doc:
+            "Routers issue bounded-staleness gets, answered from each \
+             replica's last durable checkpoint (the durable frontier) \
+             instead of the live state.")
+  in
   let run shards hosts routers replication r keys value_bytes read_ratio dist
       skew workers rate duration_ms seed net wire_mbps crash_seq crash_follower
-      max_batch batch_delay_us pipeline_depth =
+      max_batch batch_delay_us pipeline_depth disk checkpoint_every fsync
+      power_cycle stale_reads =
     let open Amoeba_sim in
     let open Amoeba_service in
     let dist =
@@ -402,23 +503,40 @@ let workload_cmd =
           Printf.eprintf "unknown distribution %S (uniform|zipf)\n" s;
           exit 2
     in
+    if power_cycle && disk = None then begin
+      Printf.eprintf "--power-cycle needs a disk (pass --disk)\n";
+      exit 2
+    end;
     let host_list = List.init hosts Fun.id in
     let map = Shard_map.create ~shards ~replication ~hosts:host_list () in
     let n = hosts + routers in
     let cost =
-      Amoeba_net.Cost_model.(with_mbps wire_mbps default)
+      let base = Amoeba_net.Cost_model.(with_mbps wire_mbps default) in
+      match disk with
+      | Some d -> { base with Amoeba_net.Cost_model.disk = d }
+      | None -> base
     in
     let cl = Cluster.create ~cost ~seed ~n () in
     let eng = cl.Cluster.engine in
     let duration = Amoeba_sim.Time.ms duration_ms in
     let failed = ref false in
     let crashing = crash_seq || crash_follower in
+    let durable =
+      Option.map
+        (fun _ ->
+          {
+            Service.d_store = Amoeba_grouplib.Stable_store.create ();
+            d_sync = fsync;
+            d_checkpoint_every = checkpoint_every;
+          })
+        disk
+    in
     Cluster.spawn cl (fun () ->
         if net <> Amoeba_net.Ether.clean then
           Amoeba_net.Ether.set_conditions cl.Cluster.ether net;
         let svc =
           Service.deploy cl ~map ~resilience:r ~pipeline:pipeline_depth
-            ~record:crashing ()
+            ~record:crashing ?durable ()
         in
         (* In batching mode one worker per shard is the sweet spot: a
            single accumulation-and-ship pipeline per (router, shard)
@@ -429,11 +547,79 @@ let workload_cmd =
           List.init routers (fun i ->
               Router.create
                 (Cluster.flip cl (hosts + i))
-                ~map ~max_batch
+                ~map ~max_batch ~stale_reads
                 ~pipeline:(if max_batch > 1 then 1 else 4)
                 ~batch_delay:(Amoeba_sim.Time.us batch_delay_us)
                 ~endpoints:(Service.endpoints svc) ())
         in
+        (if power_cycle then
+           let dc = Option.get durable in
+           Cluster.spawn cl (fun () ->
+               Engine.sleep eng (duration / 4);
+               (* Sentinel writes: the acked ones are the durability
+                  obligations the cycle must not revoke. *)
+               let router0 = List.hd rs in
+               let acked = ref [] in
+               for i = 0 to 9 do
+                 let k = Printf.sprintf "sentinel-%d" i in
+                 match Router.put router0 k (Printf.sprintf "s%d" i) with
+                 | Router.Written -> acked := i :: !acked
+                 | _ -> ()
+               done;
+               let cut = duration / 2 in
+               let now = Engine.now eng in
+               if cut > now then Engine.sleep eng (cut - now);
+               Printf.printf
+                 "power loss: all %d server hosts down at t=%.1fs\n%!" hosts
+                 (Amoeba_sim.Time.to_sec (Engine.now eng));
+               List.iter
+                 (fun h -> Amoeba_net.Machine.crash (Cluster.machine cl h))
+                 host_list;
+               Engine.sleep eng (Amoeba_sim.Time.ms 275);
+               List.iter (fun h -> Cluster.restart cl h) host_list;
+               let svc' =
+                 Service.recover cl ~map ~durable:dc ~resilience:r
+                   ~pipeline:pipeline_depth ()
+               in
+               List.iter
+                 (fun router ->
+                   Router.update_endpoints router (Service.endpoints svc'))
+                 rs;
+               List.iter
+                 (fun sr ->
+                   Printf.printf "recovered: shard %d from m%d at %d applied (%s)\n%!"
+                     sr.Service.sr_shard sr.Service.sr_creator
+                     sr.Service.sr_applied
+                     (String.concat ", "
+                        (List.map
+                           (fun hr ->
+                             Printf.sprintf "m%d:%s" hr.Service.hr_host
+                               (match hr.Service.hr_error with
+                               | Some _ -> "refused"
+                               | None -> string_of_int hr.Service.hr_applied))
+                           sr.Service.sr_hosts)))
+                 (Service.recovery_report svc');
+               let lost = ref [] in
+               List.iter
+                 (fun i ->
+                   let k = Printf.sprintf "sentinel-%d" i in
+                   match Router.get router0 k with
+                   | Router.Value _ -> ()
+                   | _ -> lost := k :: !lost)
+                 (List.rev !acked);
+               Printf.printf "sentinels: %d acked, %d lost across the cycle%s\n%!"
+                 (List.length !acked) (List.length !lost)
+                 (if !lost = [] then ""
+                  else " (" ^ String.concat ", " !lost ^ ")");
+               match (dc.Service.d_sync, !lost) with
+               | _, [] -> ()
+               | Amoeba_grouplib.Rsm.Every_commit, _ ->
+                   Printf.printf
+                     "FAIL: acked writes lost under fsync-per-commit\n%!";
+                   failed := true
+               | _ ->
+                   Printf.printf
+                     "(allowed by the fsync policy's trailing window)\n%!"));
         let crash_at delay what h =
           Cluster.spawn cl (fun () ->
               Engine.sleep eng delay;
@@ -489,6 +675,24 @@ let workload_cmd =
           (agg (fun s -> s.Router.batch_retries));
         Printf.printf "service:   %d reads, %d writes ok, %d busy rejections\n"
           (Service.reads svc) (Service.writes_ok svc) (Service.writes_busy svc);
+        (match durable with
+        | None -> ()
+        | Some dc ->
+            let c = Amoeba_grouplib.Stable_store.counters dc.Service.d_store in
+            let module S = Amoeba_grouplib.Stable_store in
+            Printf.printf
+              "storage:   %d wal appends, %d fsyncs, %d checkpoints, %d wal \
+               trims, %d writes lost to dead machines\n"
+              c.S.wal_appends c.S.fsyncs c.S.kv_writes c.S.wal_trims
+              c.S.writes_dropped;
+            if power_cycle then
+              Printf.printf
+                "replayed:  %d records recovered, %d torn tails truncated, %d \
+                 checksum rejects\n"
+                c.S.records_replayed c.S.torn_tails c.S.checksum_rejects);
+        if stale_reads then
+          Printf.printf "stale:     %d bounded-staleness gets\n"
+            (agg (fun s -> s.Router.stale_gets));
         if crashing then begin
           List.iter
             (fun (shard, vs) ->
@@ -513,7 +717,8 @@ let workload_cmd =
       const run $ shards_t $ hosts_t $ routers_t $ replication_t $ resilience_t
       $ keys_t $ value_bytes_t $ read_ratio_t $ dist_t $ skew_t $ workers_t
       $ rate_t $ duration_t $ seed_t $ net_t $ wire_t $ crash_seq_t
-      $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t)
+      $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t
+      $ disk_t $ checkpoint_every_t $ fsync_t $ power_cycle_t $ stale_reads_t)
 
 let main =
   Cmd.group

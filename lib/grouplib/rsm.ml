@@ -24,6 +24,30 @@ let tag_update = 'U'
 let tag_batch = 'B'
 let tag_query = 'Q'
 
+type sync_policy = Every_commit | Group_fsync of int | Checkpoint_only
+
+type durability = {
+  store : Stable_store.t;
+  log : string;
+  sync : sync_policy;
+  checkpoint_every : int;
+}
+
+type recovery_stats = {
+  ckpt_count : int;
+  checkpoint_damaged : bool;
+  records_replayed : int;
+  torn_tails : int;
+  checksum_rejects : int;
+}
+
+(* The caller-supplied [log] is the replica's stable identity ("the
+   file name"): group addresses change every time a group is
+   re-created, so they cannot key durable state that must be found
+   again after a whole-cluster restart. *)
+let wal_name d = "wal:" ^ d.log
+let ckpt_name d = "ckpt:" ^ d.log
+
 module Make (App : APP) = struct
   type mode =
     | Normal
@@ -42,6 +66,12 @@ module Make (App : APP) = struct
     mutable n_applied : int;
     mutable mode : mode;
     checkpoint : (Stable_store.t * int) option;
+    durable : durability option;
+    mutable ckpt_inflight : bool;
+        (** one background durable checkpoint at a time *)
+    mutable durable_snap : (App.state * int) option;
+        (** last durably checkpointed (state, count): what a
+            bounded-staleness read may be served from *)
     snapshots : (int * bytes) Channel.t;  (** applied count, state *)
     snap_addr : Addr.t;
     tap : (T.event -> unit) option;
@@ -60,9 +90,75 @@ module Make (App : APP) = struct
         in
         let key = ckpt_key t.g in
         (* The write happens "in the background" (a disk DMA), so the
-           replica keeps applying while it runs. *)
-        Engine.spawn t.engine (fun () ->
-            Stable_store.write store t.machine ~key payload)
+           replica keeps applying while it runs.  It belongs to the
+           machine's lifecycle group: a write races a crash, it must
+           not land after the machine is dead. *)
+        Engine.spawn ~group:(Machine.group t.machine) t.engine (fun () ->
+            if not (Stable_store.write store t.machine ~key payload) then begin
+              let sc = Api.storage_counters t.g in
+              sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1
+            end)
+    | Some _ | None -> ()
+
+  (* WAL one applied update, synchronously in the applier: a
+     fsync-per-commit replica really does stall on its disk — that is
+     the overhead the [recovery] bench measures. *)
+  let log_update t u =
+    match t.durable with
+    | None -> ()
+    | Some d ->
+        let sc = Api.storage_counters t.g in
+        let sync =
+          match d.sync with
+          | Every_commit -> true
+          | Group_fsync k -> k <= 1 || t.n_applied mod k = 0
+          | Checkpoint_only -> false
+        in
+        if
+          Stable_store.wal_append d.store t.machine ~log:(wal_name d) ~sync
+            ~index:t.n_applied (App.encode_update u)
+        then begin
+          sc.Api.wal_appends <- sc.Api.wal_appends + 1;
+          if sync then sc.Api.wal_fsyncs <- sc.Api.wal_fsyncs + 1
+        end
+        else sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1
+
+  let ckpt_payload st count =
+    let enc = App.encode_state st in
+    Bytes.cat
+      (Bytes.of_string
+         (Printf.sprintf "%d %d " count (Stable_store.checksum enc)))
+      enc
+
+  (* Durable checkpoint: write the whole state aside (atomic rename in
+     the store), then trim the WAL records it covers.  Runs in the
+     background under the machine's lifecycle group; a crash between
+     the checkpoint commit and the trim leaves already-covered records
+     in the WAL, which recovery skips by index. *)
+  let maybe_checkpoint t =
+    match t.durable with
+    | Some d
+      when d.checkpoint_every > 0
+           && t.n_applied mod d.checkpoint_every = 0
+           && t.n_applied > 0
+           && not t.ckpt_inflight ->
+        t.ckpt_inflight <- true;
+        let st = t.st and count = t.n_applied in
+        let payload = ckpt_payload st count in
+        Engine.spawn ~group:(Machine.group t.machine) t.engine (fun () ->
+            let sc = Api.storage_counters t.g in
+            if Stable_store.write d.store t.machine ~key:(ckpt_name d) payload
+            then begin
+              sc.Api.checkpoints_written <- sc.Api.checkpoints_written + 1;
+              t.durable_snap <- Some (st, count);
+              if
+                not
+                  (Stable_store.wal_trim d.store t.machine ~log:(wal_name d)
+                     ~upto:count)
+              then sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1
+            end
+            else sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1;
+            t.ckpt_inflight <- false)
     | Some _ | None -> ()
 
   let apply_update t seq u =
@@ -70,7 +166,9 @@ module Make (App : APP) = struct
     | Normal ->
         t.st <- App.apply t.st u;
         t.n_applied <- t.n_applied + 1;
-        write_checkpoint t
+        log_update t u;
+        write_checkpoint t;
+        maybe_checkpoint t
     | Syncing s -> s.buffer <- (seq, u) :: s.buffer
 
   (* Atomic state transfer, responder side: the lowest-numbered member
@@ -178,7 +276,7 @@ module Make (App : APP) = struct
     in
     loop ()
 
-  let make flip g ~checkpoint ~seed ~tap =
+  let make flip g ~checkpoint ~durable ~seed ~tap =
     let machine = Flip.machine flip in
     let st, n_applied = Option.value seed ~default:(App.initial, 0) in
     let t =
@@ -191,6 +289,14 @@ module Make (App : APP) = struct
         n_applied;
         mode = Normal;
         checkpoint;
+        durable;
+        ckpt_inflight = false;
+        (* A recovered seed came off the disk, so it is durable by
+           construction and may serve bounded-staleness reads. *)
+        durable_snap =
+          (match (durable, seed) with
+          | Some _, Some (st, count) -> Some (st, count)
+          | _ -> None);
         snapshots = Channel.create ();
         snap_addr = Flip.fresh_addr flip;
         tap;
@@ -209,11 +315,21 @@ module Make (App : APP) = struct
     t
 
   let create flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
-      ?(pipeline = 1) ?checkpoint ?seed ?tap () =
+      ?(pipeline = 1) ?checkpoint ?durable ?seed ?tap () =
     let g =
       Api.create_group flip ~resilience ~send_method ~auto_heal ~pipeline ()
     in
-    make flip g ~checkpoint ~seed ~tap
+    let t = make flip g ~checkpoint ~durable ~seed ~tap in
+    (match (durable, seed) with
+    | Some d, None ->
+        (* A fresh durable group must not inherit records a previous
+           life of this log left behind: re-initialise the media
+           (instant metadata ops). *)
+        let machine_name = Machine.name t.machine in
+        Stable_store.wal_reset d.store ~machine_name ~log:(wal_name d);
+        Stable_store.remove d.store ~machine_name ~key:(ckpt_name d)
+    | Some _, Some _ | None, _ -> ());
+    t
 
   let address t = Api.group_address t.g
   let group t = t.g
@@ -308,21 +424,146 @@ module Make (App : APP) = struct
     in
     attempt 1
 
+  (* A joiner's disk may hold durable state from a previous life of
+     this log — possibly from a different history.  Wipe it (instant
+     metadata ops) and write a fresh checkpoint of the transferred
+     state.  A crash before the checkpoint commits leaves an empty
+     log: that replica recovers as applied-0 and re-syncs by state
+     transfer — never a divergent replay. *)
+  let reconcile_disk t =
+    match t.durable with
+    | None -> ()
+    | Some d ->
+        let machine_name = Machine.name t.machine in
+        Stable_store.wal_reset d.store ~machine_name ~log:(wal_name d);
+        Stable_store.remove d.store ~machine_name ~key:(ckpt_name d);
+        let sc = Api.storage_counters t.g in
+        let st = t.st and count = t.n_applied in
+        if
+          Stable_store.write d.store t.machine ~key:(ckpt_name d)
+            (ckpt_payload st count)
+        then begin
+          sc.Api.checkpoints_written <- sc.Api.checkpoints_written + 1;
+          t.durable_snap <- Some (st, count)
+        end
+        else sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1
+
   let join flip ?(resilience = 0) ?(send_method = T.Pb) ?(auto_heal = false)
-      ?(pipeline = 1) ?checkpoint ?tap addr =
+      ?(pipeline = 1) ?checkpoint ?durable ?tap addr =
     match
       Api.join_group flip ~resilience ~send_method ~auto_heal ~pipeline addr
     with
     | Error e -> Error e
     | Ok g -> (
-        let t = make flip g ~checkpoint ~seed:None ~tap in
+        let t = make flip g ~checkpoint ~durable ~seed:None ~tap in
         (* Alone in the group?  Then there is nothing to transfer. *)
         let info = Api.get_info_group g in
-        if List.length info.Api.members <= 1 then Ok t
+        if List.length info.Api.members <= 1 then begin
+          reconcile_disk t;
+          Ok t
+        end
         else
           match sync t with
-          | Ok () -> Ok t
+          | Ok () ->
+              reconcile_disk t;
+              Ok t
           | Error e -> Error e)
+
+  let durable_snapshot t = t.durable_snap
+
+  type recovered = {
+    r_state : App.state;
+    r_applied : int;
+    r_stats : recovery_stats;
+  }
+
+  (* Parses "<count> <crc> <state>"; None if truncated, garbled, or
+     the state bytes fail their checksum. *)
+  let parse_ckpt payload =
+    match parse_int_sp payload 0 with
+    | None -> None
+    | Some (count, pos) -> (
+        match parse_int_sp payload pos with
+        | None -> None
+        | Some (crc, pos) -> (
+            let enc = Bytes.sub payload pos (Bytes.length payload - pos) in
+            if Stable_store.checksum enc <> crc then None
+            else
+              match App.decode_state enc with
+              | None -> None
+              | Some st -> Some (st, count)))
+
+  (* Crash-restart recovery for one replica, from its own disk:
+     checkpoint load + WAL replay.  Blocking and costed (a sequential
+     scan of the media), so call it from a process on the recovering
+     machine.  Restores a consistent prefix — records the scan
+     truncated (torn tail) or refused (damage) just shorten it — but
+     REFUSES loudly, with [Error], if the surviving records cannot
+     reconstruct any consistent prefix: an index gap means updates
+     were trimmed whose covering checkpoint is unreadable, and a
+     CRC-valid record that fails to decode is not media damage but
+     corruption the checksum cannot vouch against.  The caller should
+     then re-sync this replica by state transfer instead. *)
+  let recover (d : durability) machine =
+    let machine_name = Machine.name machine in
+    let dsk = (Machine.cost machine).Cost_model.disk in
+    let base_st, base_count, ckpt_damaged =
+      match Stable_store.read d.store ~machine_name ~key:(ckpt_name d) with
+      | None -> (App.initial, 0, false)
+      | Some payload -> (
+          Engine.sleep (Machine.engine machine)
+            (dsk.Cost_model.disk_seek_ns
+            + (Bytes.length payload * dsk.Cost_model.disk_ns_per_byte));
+          match parse_ckpt payload with
+          | Some (st, count) -> (st, count, false)
+          | None -> (App.initial, 0, true))
+    in
+    let rp = Stable_store.wal_replay d.store machine ~log:(wal_name d) in
+    let st = ref base_st in
+    let applied = ref base_count in
+    let next = ref (base_count + 1) in
+    let err = ref None in
+    List.iter
+      (fun (idx, payload) ->
+        if !err = None then
+          if idx < !next then () (* covered by the checkpoint: skip *)
+          else if idx > !next then
+            err :=
+              Some
+                (Printf.sprintf
+                   "WAL gap on %s/%s: expected record %d, found %d"
+                   machine_name d.log !next idx)
+          else
+            match App.decode_update payload with
+            | None ->
+                err :=
+                  Some
+                    (Printf.sprintf
+                       "undecodable WAL record %d on %s/%s (checksum valid)"
+                       idx machine_name d.log)
+            | Some u ->
+                st := App.apply !st u;
+                applied := idx;
+                next := idx + 1)
+      rp.Stable_store.records;
+    match !err with
+    | Some e -> Error e
+    | None ->
+        Ok
+          {
+            r_state = !st;
+            r_applied = !applied;
+            r_stats =
+              {
+                ckpt_count = base_count;
+                checkpoint_damaged = ckpt_damaged;
+                records_replayed = !applied - base_count;
+                torn_tails = rp.Stable_store.torn_tails;
+                checksum_rejects =
+                  (rp.Stable_store.checksum_rejects
+                  + if ckpt_damaged then 1 else 0);
+              };
+          }
 
   (* Scans this machine's rsm:* checkpoints and returns the most
      advanced one. *)

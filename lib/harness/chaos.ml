@@ -2,6 +2,7 @@ open Amoeba_sim
 open Amoeba_net
 open Amoeba_core
 open Types
+module Store = Amoeba_grouplib.Stable_store
 
 type outcome = {
   seed : int;
@@ -30,6 +31,13 @@ type outcome = {
   batches_sent : int;  (** multi-op sends, summed over members *)
   ops_per_batch_avg : float;
   pipeline_depth_hwm : int;  (** max over members *)
+  durable : bool;  (** members logged deliveries to a stable store *)
+  power_cycles : int;  (** whole-cluster power losses that fired *)
+  wal_appends : int;
+  disk_writes_dropped : int;  (** I/O lost to dead machines *)
+  wal_records_replayed : int;
+  torn_tails_truncated : int;
+  checksum_rejects : int;
 }
 
 let ok o = Checker.all_ok o.verdicts
@@ -48,13 +56,34 @@ let durability_applies ~resilience sched =
        (List.exists
           (fun s ->
             match s.Fault.action with
-            | Fault.Partition _ | Fault.Pause _ | Fault.Oneway _ -> true
+            | Fault.Partition _ | Fault.Pause _ | Fault.Oneway _
+            | Fault.Power_cycle_all _ ->
+                true
             | _ -> false)
           sched)
 
+(* WAL payloads are "<sender> <body>": decode one replay into the
+   checker's view of a recovered log. *)
+let wal_entries replay =
+  List.filter_map
+    (fun (seq, payload) ->
+      let s = Bytes.to_string payload in
+      match String.index_opt s ' ' with
+      | None -> None
+      | Some sp ->
+          Option.map
+            (fun sender ->
+              {
+                Checker.w_seq = seq;
+                w_sender = sender;
+                w_body = String.sub s (sp + 1) (String.length s - sp - 1);
+              })
+            (int_of_string_opt (String.sub s 0 sp)))
+    replay.Store.records
+
 let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
     ?(msgs = 4) ?(horizon = Time.ms 2000) ?schedule ?(net = Ether.clean)
-    ?(pipeline = 1) ?(ops_per_send = 1) ~seed () =
+    ?(pipeline = 1) ?(ops_per_send = 1) ?disk ~seed () =
   if groups < 1 then invalid_arg "Chaos.run: groups < 1";
   let ops_per_send = max 1 ops_per_send in
   let sched =
@@ -62,7 +91,31 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
     | Some s -> s
     | None -> Fault.random ~seed ~n ~horizon ()
   in
-  let c = Cluster.create ~seed ~n () in
+  let cycles =
+    List.length
+      (List.filter
+         (fun s ->
+           match s.Fault.action with
+           | Fault.Power_cycle_all _ -> true
+           | _ -> false)
+         sched)
+  in
+  if cycles > 1 then
+    invalid_arg "Chaos.run: at most one Power_cycle_all per schedule";
+  if cycles > 0 && disk = None then
+    invalid_arg "Chaos.run: Power_cycle_all needs a disk (pass ~disk)";
+  let has_cycle = cycles > 0 in
+  let c =
+    match disk with
+    | None -> Cluster.create ~seed ~n ()
+    | Some d ->
+        Cluster.create ~seed
+          ~cost:{ Cost_model.default with Cost_model.disk = d }
+          ~n ()
+  in
+  let store =
+    match disk with Some _ -> Some (Store.create ()) | None -> None
+  in
   let eng = c.Cluster.engine in
   (* Persistent adversarial conditions for the whole active phase,
      cleared shortly after the horizon — before the flush sends — so
@@ -88,6 +141,14 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
      is its own total order — the partitioned-service contract. *)
   let streams = ref [] in
   let completed = Array.init groups (fun _ -> ref []) in
+  (* Sends acknowledged after a power cycle land here instead:
+     [completed] freezes at the cut into exactly "what the application
+     was told before the power went", which is what the durability
+     invariant is about. *)
+  let post_completed = Array.init groups (fun _ -> ref []) in
+  let cut_done = ref false in
+  let fired_cycles = ref 0 in
+  let recovered = ref [] in
   let started = ref 0 and n_ok = ref 0 and n_err = ref 0 in
   (* Application processes run *on* their machine ([Cluster.spawn_on]):
      a crash is fail-stop for the whole host, so collectors and senders
@@ -100,11 +161,31 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
   let add_stream j lbl full i g =
     handles := g :: !handles;
     let evs = ref [] in
-    streams := (j, lbl, evs, full) :: !streams;
+    streams := (j, lbl, evs, full, i, !cut_done) :: !streams;
     Cluster.spawn_on c i (fun () ->
         let rec collect () =
           let e = Api.receive_from_group g in
           evs := e :: !evs;
+          (* In durable mode every delivered message is logged —
+             synchronously, so the record is on the platter before the
+             next receive.  A crash mid-append loses the record but the
+             log stays a prefix of the stream, which is all the
+             recovery invariant asks. *)
+          (match (e, store) with
+          | Message { seq; sender; body }, Some st ->
+              let sc = Api.storage_counters g in
+              if
+                Store.wal_append st (Cluster.machine c i)
+                  ~log:("chaos:" ^ lbl) ~sync:true ~index:seq
+                  (Bytes.of_string
+                     (Printf.sprintf "%d %s" sender (Bytes.to_string body)))
+              then begin
+                sc.Api.wal_appends <- sc.Api.wal_appends + 1;
+                sc.Api.wal_fsyncs <- sc.Api.wal_fsyncs + 1
+              end
+              else
+                sc.Api.disk_writes_dropped <- sc.Api.disk_writes_dropped + 1
+          | _ -> ());
           match e with Expelled -> () | _ -> collect ()
         in
         collect ())
@@ -117,7 +198,8 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
     match Api.send_to_group ~ops:ops_per_send g (Bytes.of_string body) with
     | Ok _ ->
         incr n_ok;
-        completed.(j) := (mid, body) :: !(completed.(j))
+        let dst = if !cut_done then post_completed.(j) else completed.(j) in
+        dst := (mid, body) :: !dst
     | Error _ -> incr n_err
   in
   let spawn_sender j i g =
@@ -153,7 +235,9 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
         in
         let addr = Api.group_address gj in
         addrs.(j) <- Some addr;
-        add_stream j (label j creator) (not crashed.(creator)) creator gj;
+        add_stream j (label j creator)
+          ((not crashed.(creator)) && not has_cycle)
+          creator gj;
         spawn_sender j creator gj;
         spawn_flush j creator gj;
         for k = 1 to n - 1 do
@@ -163,7 +247,7 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
               ~auto_heal:true ~pipeline addr
           with
           | Ok g ->
-              add_stream j (label j i) (not crashed.(i)) i g;
+              add_stream j (label j i) ((not crashed.(i)) && not has_cycle) i g;
               spawn_sender j i g;
               spawn_flush j i g
           | Error _ ->
@@ -195,11 +279,85 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
                   | Error _ -> ())
         done
       in
-      Fault.apply ~on_restart c sched);
+      (* Power-loss bracket.  At the cut, [completed] freezes (later
+         acks go to [post_completed]) and every stream created so far
+         is pre-cut.  When power returns, a root process replays every
+         pre-cut log on its own machine (a real, costed sequential
+         read), then re-forms each group from scratch — the machine
+         whose disk yielded the longest log becomes the creator, the
+         natural "most durable state wins" recovery rule — and each
+         member sends one post-recovery message so redelivery of
+         recovered bodies would be caught. *)
+      let on_power_down () = cut_done := true in
+      let on_power_up () =
+        incr fired_cycles;
+        Cluster.spawn c (fun () ->
+            let st = match store with Some st -> st | None -> assert false in
+            let pre =
+              List.filter (fun (_, _, _, _, _, post) -> not post) !streams
+            in
+            let replays =
+              List.map
+                (fun (j, lbl, _, _, i, _) ->
+                  let iv = Ivar.create () in
+                  Cluster.spawn_on c i (fun () ->
+                      Ivar.fill iv
+                        (Store.wal_replay st (Cluster.machine c i)
+                           ~log:("chaos:" ^ lbl)));
+                  (j, lbl, i, iv))
+                pre
+            in
+            let recs =
+              List.map
+                (fun (j, lbl, i, iv) ->
+                  (j, lbl, i, wal_entries (Ivar.read eng iv)))
+                replays
+            in
+            recovered := List.map (fun (j, lbl, _, es) -> (j, lbl, es)) recs;
+            for j = 0 to groups - 1 do
+              let mine = List.filter (fun (j', _, _, _) -> j' = j) recs in
+              let creator, _ =
+                List.fold_left
+                  (fun (bi, bn) (_, _, i, es) ->
+                    let ln = List.length es in
+                    if ln > bn then (i, ln) else (bi, bn))
+                  (j mod n, -1) mine
+              in
+              let gj =
+                Api.create_group (Cluster.flip c creator) ~resilience
+                  ~send_method ~auto_heal:true ~pipeline ()
+              in
+              let addr = Api.group_address gj in
+              addrs.(j) <- Some addr;
+              let plabel i = label j i ^ "+P" in
+              let post_send i g =
+                let mid = (Api.get_info_group g).Api.my_mid in
+                Cluster.spawn_on c i (fun () ->
+                    Engine.sleep eng (Time.ms 50 + (mid * Time.ms 7));
+                    record_send j mid
+                      (Printf.sprintf "o%d.%d" mid (msgs + 2))
+                      g)
+              in
+              add_stream j (plabel creator) false creator gj;
+              post_send creator gj;
+              for k = 1 to n - 1 do
+                let i = (creator + k) mod n in
+                match
+                  Api.join_group (Cluster.flip c i) ~resilience ~send_method
+                    ~auto_heal:true ~pipeline addr
+                with
+                | Ok g ->
+                    add_stream j (plabel i) false i g;
+                    post_send i g
+                | Error _ -> ()
+              done
+            done)
+      in
+      Fault.apply ~on_restart ~on_power_down ~on_power_up c sched);
   Cluster.run ~until:(horizon + Time.sec 8) c;
-  let streams_of j =
-    List.filter (fun (j', _, _, _) -> j' = j) !streams
-    |> List.rev_map (fun (_, label, evs, full) ->
+  let streams_of ?(post = false) j =
+    List.filter (fun (j', _, _, _, _, p) -> j' = j && p = post) !streams
+    |> List.rev_map (fun (_, label, evs, full, _, _) ->
            { Checker.label; events = List.rev !evs; full })
   in
   if Sys.getenv_opt "CHAOS_DEBUG" <> None then
@@ -220,7 +378,7 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
               | Expelled -> Printf.eprintf " EXPELLED")
             s.Checker.events;
           Printf.eprintf "\n")
-        (streams_of j)
+        (streams_of j @ streams_of ~post:true j)
     done;
   let dur_applies = durability_applies ~resilience sched in
   (* One independent checker run per group: each group promises its
@@ -228,10 +386,66 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
   let verdicts =
     List.concat
       (List.init groups (fun j ->
-           let vs =
-             Checker.run ~durability_applies:dur_applies ~streams:(streams_of j)
+           let pre = streams_of j in
+           let base =
+             Checker.run ~durability_applies:dur_applies ~streams:pre
                ~completed:!(completed.(j)) ()
            in
+           let extra =
+             match store with
+             | None -> []
+             | Some st ->
+                 if has_cycle then (
+                   (* The four classic invariants hold within each
+                      epoch — the post-recovery group is a new total
+                      order, so it gets its own run — and I5 bridges
+                      the cut.  Post streams are never "full" (every
+                      machine rebooted) so the in-epoch durability
+                      check is vacuous there; I5's clause (b) is the
+                      real durability claim for this run. *)
+                   let post = streams_of ~post:true j in
+                   let postv =
+                     Checker.run ~durability_applies:false ~streams:post
+                       ~completed:!(post_completed.(j)) ()
+                     |> List.map (fun v ->
+                            {
+                              v with
+                              Checker.invariant = "post:" ^ v.Checker.invariant;
+                            })
+                   in
+                   let rec_j =
+                     List.filter_map
+                       (fun (j', l, es) -> if j' = j then Some (l, es) else None)
+                       !recovered
+                   in
+                   postv
+                   @ [
+                       Checker.durable_recovery ~pre ~recovered:rec_j
+                         ~completed:!(completed.(j)) ~post;
+                     ])
+                 else
+                   (* No power loss, but the disks must still agree
+                      with the streams: every log an exact prefix of
+                      its member's deliveries, nothing acknowledged
+                      missing inside the logged ranges. *)
+                   let rec_j =
+                     List.filter
+                       (fun (j', _, _, _, _, p) -> j' = j && not p)
+                       !streams
+                     |> List.rev_map (fun (_, lbl, _, _, i, _) ->
+                            ( lbl,
+                              wal_entries
+                                (Store.wal_read st
+                                   ~machine_name:
+                                     (Machine.name (Cluster.machine c i))
+                                   ~log:("chaos:" ^ lbl)) ))
+                   in
+                   [
+                     Checker.durable_recovery ~pre ~recovered:rec_j
+                       ~completed:!(completed.(j)) ~post:[];
+                   ]
+           in
+           let vs = base @ extra in
            if groups = 1 then vs
            else
              List.map
@@ -296,6 +510,28 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
       List.fold_left
         (fun acc g -> max acc (Api.get_info_group g).Api.pipeline_depth_hwm)
         0 !handles;
+    durable = store <> None;
+    power_cycles = !fired_cycles;
+    wal_appends =
+      (match store with
+      | Some st -> (Store.counters st).Store.wal_appends
+      | None -> 0);
+    disk_writes_dropped =
+      (match store with
+      | Some st -> (Store.counters st).Store.writes_dropped
+      | None -> 0);
+    wal_records_replayed =
+      (match store with
+      | Some st -> (Store.counters st).Store.records_replayed
+      | None -> 0);
+    torn_tails_truncated =
+      (match store with
+      | Some st -> (Store.counters st).Store.torn_tails
+      | None -> 0);
+    checksum_rejects =
+      (match store with
+      | Some st -> (Store.counters st).Store.checksum_rejects
+      | None -> 0);
   }
 
 let print_report o =
@@ -329,6 +565,18 @@ let print_report o =
     Printf.printf
       "batching:  %d batched sends, %.1f ops/batch avg, pipeline hwm %d\n"
       o.batches_sent o.ops_per_batch_avg o.pipeline_depth_hwm;
+  if o.durable then begin
+    Printf.printf
+      "storage:   %d wal appends, %d writes lost to dead machines, %d power \
+       cycle%s\n"
+      o.wal_appends o.disk_writes_dropped o.power_cycles
+      (if o.power_cycles = 1 then "" else "s");
+    if o.power_cycles > 0 then
+      Printf.printf
+        "replayed:  %d records recovered, %d torn tails truncated, %d \
+         checksum rejects\n"
+        o.wal_records_replayed o.torn_tails_truncated o.checksum_rejects
+  end;
   if not o.durability_checked then
     Printf.printf "note:      durability not applicable to this schedule\n";
   Printf.printf "verdict:   %s\n" (if ok o then "PASS" else "FAIL")

@@ -42,6 +42,14 @@ type outcome = {
   ops_per_batch_avg : float;  (** mean ops per batched send; 1.0 if none *)
   pipeline_depth_hwm : int;
       (** most unacknowledged rounds any member had in flight *)
+  durable : bool;
+      (** a disk model was installed and members logged deliveries *)
+  power_cycles : int;  (** whole-cluster power losses that fired *)
+  wal_appends : int;  (** records logged across all member WALs *)
+  disk_writes_dropped : int;  (** I/O lost to dead machines *)
+  wal_records_replayed : int;  (** recovered after the power cycle *)
+  torn_tails_truncated : int;  (** incomplete tail records dropped by replay *)
+  checksum_rejects : int;  (** damaged records (and suffixes) refused *)
 }
 
 val run :
@@ -55,6 +63,7 @@ val run :
   ?net:Amoeba_net.Ether.conditions ->
   ?pipeline:int ->
   ?ops_per_send:int ->
+  ?disk:Amoeba_net.Cost_model.disk ->
   seed:int ->
   unit ->
   outcome
@@ -81,16 +90,31 @@ val run :
     many ops to the kernel's cost accounting — the body stays one
     opaque tagged string, so the checker still matches completed sends
     against delivered bodies.  Together they exercise the invariants
-    with batching and pipelining on. *)
+    with batching and pipelining on.
+
+    [disk] turns on durable mode: the cluster's cost model uses that
+    disk profile, every member synchronously logs each delivered
+    message to a per-stream WAL in a shared
+    {!Amoeba_grouplib.Stable_store}, and the run is additionally
+    checked with {!Checker.durable_recovery} — on a healthy run the
+    disks must agree with the streams; after a [Fault.Power_cycle_all]
+    (which {e requires} [disk], at most one per schedule) the pre-cut
+    logs are replayed with real I/O cost when power returns, each
+    group is re-formed with the longest-log machine as creator, every
+    member sends one post-recovery message, and the classic invariants
+    run separately on the pre- and post-cut epochs (post verdicts
+    prefixed ["post:"]) with I5 bridging them. *)
 
 val ok : outcome -> bool
 
 val durability_applies : resilience:int -> Fault.schedule -> bool
 (** Whether a schedule stays within the regime where completed sends
     are guaranteed durable: at most [resilience] crashes and no
-    partitions, one-way cuts or pauses (any can sever a member — or a
-    stalled sequencer — holding completed messages the survivors
-    discard).  Loss, duplication, jitter and corruption do not turn
-    the check off: repairing those is the protocol's whole claim. *)
+    partitions, one-way cuts, pauses or whole-cluster power cycles
+    (any can sever a member — or a stalled sequencer — holding
+    completed messages the survivors discard; a power cycle downs
+    everyone, which is I5's regime, not I3's).  Loss, duplication,
+    jitter and corruption do not turn the check off: repairing those
+    is the protocol's whole claim. *)
 
 val print_report : outcome -> unit

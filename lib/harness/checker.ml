@@ -199,6 +199,130 @@ let monotone_incarnations streams =
     streams;
   v "monotone-incarnation" (List.rev !problems)
 
+type wal_entry = { w_seq : int; w_sender : mid; w_body : string }
+
+(* I5 — durable recovery: what came back from the disks after a total
+   power loss is consistent with what was delivered before it, and
+   with what the application was told had completed.
+
+   (a) Prefix integrity: each machine's recovered log is an EXACT
+       prefix of its own pre-cut stream's message subsequence — same
+       seqs, same senders, same bodies, nothing invented, nothing
+       reordered, nothing eaten from the middle.  (Replay already
+       truncated torn tails and refused damaged suffixes; whatever
+       survived must still be a prefix.)
+   (b) Acknowledged writes survive up to the durable frontier: a send
+       completed before the power went may only be missing from the
+       disks if NO log's range covers its position in the total order
+       — i.e. it sat beyond every machine's durable frontier (the
+       fsync policy's window), or before a late joiner's first record.
+       If some log spans its seq and it is absent everywhere, it was
+       eaten.
+   (c) No duplicates across the restart: a recovered body must not be
+       delivered again in any post-recovery stream — replay must not
+       resubmit what it restored. *)
+let durable_recovery ~pre ~recovered ~completed ~post =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* Message subsequence of each pre stream, by label. *)
+  let messages_of s =
+    List.filter_map
+      (function
+        | Message { seq; sender; body } ->
+            Some { w_seq = seq; w_sender = sender; w_body = Bytes.to_string body }
+        | _ -> None)
+      s.events
+  in
+  let by_label = List.map (fun s -> (s.label, messages_of s)) pre in
+  (* (a) exact prefix, per log *)
+  List.iter
+    (fun (label, log) ->
+      match List.assoc_opt label by_label with
+      | None ->
+          if log <> [] then
+            problem "log %s: %d records but no such pre-cut stream" label
+              (List.length log)
+      | Some msgs ->
+          let rec walk log msgs =
+            match (log, msgs) with
+            | [], _ -> ()
+            | l :: _, [] ->
+                problem "log %s: phantom record seq %d beyond its stream" label
+                  l.w_seq
+            | l :: lrest, m :: mrest ->
+                if
+                  l.w_seq <> m.w_seq || l.w_sender <> m.w_sender
+                  || l.w_body <> m.w_body
+                then
+                  problem
+                    "log %s: record (seq %d, from %d, %S) diverges from \
+                     delivered (seq %d, from %d, %S)"
+                    label l.w_seq l.w_sender l.w_body m.w_seq m.w_sender
+                    m.w_body
+                else walk lrest mrest
+          in
+          walk log msgs)
+    recovered;
+  (* (b) coverage of acknowledged sends *)
+  let ranges =
+    List.filter_map
+      (fun (_, log) ->
+        match log with
+        | [] -> None
+        | first :: _ ->
+            let last = List.fold_left (fun _ l -> l.w_seq) first.w_seq log in
+            Some (first.w_seq, last))
+      recovered
+  in
+  let seq_of_send = Hashtbl.create 64 in
+  List.iter
+    (fun (_, msgs) ->
+      List.iter
+        (fun m ->
+          let key = (m.w_sender, m.w_body) in
+          if not (Hashtbl.mem seq_of_send key) then
+            Hashtbl.replace seq_of_send key m.w_seq)
+        msgs)
+    by_label;
+  let on_disk = Hashtbl.create 64 in
+  List.iter
+    (fun (_, log) ->
+      List.iter (fun l -> Hashtbl.replace on_disk (l.w_sender, l.w_body) ()) log)
+    recovered;
+  List.iter
+    (fun (origin, body) ->
+      match Hashtbl.find_opt seq_of_send (origin, body) with
+      | None -> () (* delivered nowhere pre-cut: not I5's claim (I3's) *)
+      | Some seq ->
+          if
+            (not (Hashtbl.mem on_disk (origin, body)))
+            && List.exists (fun (lo, hi) -> lo <= seq && seq <= hi) ranges
+          then
+            problem
+              "completed send %S from %d (seq %d) inside a recovered log's \
+               range but on no disk"
+              body origin seq)
+    completed;
+  (* (c) no duplicate delivery across the restart *)
+  let recovered_bodies = Hashtbl.create 64 in
+  List.iter
+    (fun (_, log) ->
+      List.iter (fun l -> Hashtbl.replace recovered_bodies l.w_body ()) log)
+    recovered;
+  List.iter
+    (fun s ->
+      List.iter
+        (function
+          | Message { body; _ } ->
+              let b = Bytes.to_string body in
+              if Hashtbl.mem recovered_bodies b then
+                problem "%s: recovered body %S delivered again after recovery"
+                  s.label b
+          | _ -> ())
+        s.events)
+    post;
+  v "durable-recovery" (List.rev !problems)
+
 let run ?(durability_applies = true) ~streams ~completed () =
   [
     total_order streams;

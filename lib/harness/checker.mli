@@ -41,6 +41,31 @@ val monotone_incarnations : stream list -> verdict
 (** I4: group-reset incarnation numbers are strictly increasing per
     stream. *)
 
+type wal_entry = { w_seq : int; w_sender : mid; w_body : string }
+(** One record recovered from a machine's WAL: the delivered message
+    it logged. *)
+
+val durable_recovery :
+  pre:stream list ->
+  recovered:(string * wal_entry list) list ->
+  completed:(mid * string) list ->
+  post:stream list ->
+  verdict
+(** I5 — durability across restart, for a whole-cluster power loss.
+    [pre] are the delivery streams up to the cut; [recovered] maps
+    each pre-cut stream's label to what its machine's WAL yielded
+    after replay; [completed] are the sends acknowledged before the
+    power went (snapshotted at power-down); [post] are the streams of
+    the re-formed groups.  Checks that (a) every recovered log is an
+    exact prefix of its own stream's message subsequence — no
+    divergence, duplication, skips or phantoms in what the disks
+    returned; (b) no acknowledged send inside some log's recovered
+    range is missing from every disk — losses are only legal beyond
+    the durable frontier the fsync policy bounds; (c) no recovered
+    body is delivered again after recovery.  Unlike I3 this invariant
+    applies regardless of crash counts: total power loss is exactly
+    what it is for. *)
+
 val run :
   ?durability_applies:bool ->
   streams:stream list ->

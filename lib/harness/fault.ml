@@ -14,6 +14,7 @@ type action =
   | Duplicate of float * Time.t
   | Jitter of int * Time.t
   | Corrupt of float * Time.t
+  | Power_cycle_all of Time.t
 
 type step = { at : Time.t; action : action }
 type schedule = step list
@@ -27,7 +28,8 @@ let sort sched = List.stable_sort (fun a b -> compare a.at b.at) sched
 
 (* ----- execution ----- *)
 
-let fire ?(on_restart = fun _ -> ()) (c : Cluster.t) action =
+let fire ?(on_restart = fun _ -> ()) ?(on_power_down = fun () -> ())
+    ?(on_power_up = fun () -> ()) (c : Cluster.t) action =
   match action with
   | Crash i -> Machine.crash (Cluster.machine c i)
   | Restart i ->
@@ -86,20 +88,37 @@ let fire ?(on_restart = fun _ -> ()) (c : Cluster.t) action =
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
              Ether.set_conditions e
                { (Ether.conditions e) with Ether.corrupt_prob = prev }))
+  | Power_cycle_all outage ->
+      (* Total power loss: every machine — already-crashed ones
+         included — is down for [outage], then power returns and all
+         of them reboot together.  Restarted machines do NOT get the
+         per-machine [on_restart] rejoin hook: memory is gone
+         cluster-wide, so there is no surviving group to rejoin —
+         [on_power_up] owns recovery (from the stable store). *)
+      on_power_down ();
+      for i = 0 to Cluster.size c - 1 do
+        Machine.crash (Cluster.machine c i)
+      done;
+      ignore
+        (Engine.schedule c.Cluster.engine ~after:outage (fun () ->
+             for i = 0 to Cluster.size c - 1 do
+               Cluster.restart c i
+             done;
+             on_power_up ()))
 
-let apply ?on_restart c sched =
+let apply ?on_restart ?on_power_down ?on_power_up c sched =
   let now = Cluster.now c in
   List.iter
     (fun { at; action } ->
       ignore
         (Engine.schedule c.Cluster.engine
            ~after:(max 0 (at - now))
-           (fun () -> fire ?on_restart c action)))
+           (fun () -> fire ?on_restart ?on_power_down ?on_power_up c action)))
     sched
 
 (* ----- random schedules ----- *)
 
-let random ~seed ~n ?(horizon = Time.ms 2000) () =
+let random ~seed ~n ?(horizon = Time.ms 2000) ?(power_cycles = false) () =
   (* Own random state, not the engine's: the schedule must be a pure
      function of [seed] so a failing seed replays identically from the
      CLI, regardless of what the workload drew from the engine RNG. *)
@@ -172,6 +191,17 @@ let random ~seed ~n ?(horizon = Time.ms 2000) () =
     | _ ->
         push (rand_t ()) (Corrupt (milli 5 50, int (Time.ms 100) (Time.ms 800)))
   done;
+  (* The power cycle is drawn AFTER the main loop, so schedules with
+     [power_cycles:false] (the default, and every pre-existing caller)
+     are byte-identical to what this seed always produced.  One per
+     schedule: it takes everything down regardless of the crash budget
+     — the (n-1)/2 bound protects quorum recovery among SURVIVORS, and
+     a total power loss has none; durable recovery, not auto-heal, is
+     what brings the group back. *)
+  if power_cycles then
+    push
+      (int (horizon / 4) horizon)
+      (Power_cycle_all (int (Time.ms 100) (Time.ms 400)));
   sort (List.rev !steps)
 
 (* ----- text form -----
@@ -196,6 +226,7 @@ let action_to_string = function
   | Duplicate (prob, dur) -> Printf.sprintf "dup %g %d" prob dur
   | Jitter (ns, dur) -> Printf.sprintf "jitter %d %d" ns dur
   | Corrupt (prob, dur) -> Printf.sprintf "corrupt %g %d" prob dur
+  | Power_cycle_all outage -> Printf.sprintf "powercycle %d" outage
 
 let to_string sched =
   String.concat "; "
@@ -225,6 +256,7 @@ let action_of_string s =
   | [ "dup"; prob; dur ] -> Duplicate (float_of_string prob, int_of_string dur)
   | [ "jitter"; ns; dur ] -> Jitter (int_of_string ns, int_of_string dur)
   | [ "corrupt"; prob; dur ] -> Corrupt (float_of_string prob, int_of_string dur)
+  | [ "powercycle"; outage ] -> Power_cycle_all (int_of_string outage)
   | _ -> invalid_arg ("Fault.of_string: bad action " ^ s)
 
 let of_string str =

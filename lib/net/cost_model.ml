@@ -1,3 +1,34 @@
+type disk = {
+  disk_seek_ns : int;
+  disk_ns_per_byte : int;
+  disk_fsync_ns : int;
+}
+
+(* 1996-era disk, matching the constants Stable_store hardcoded before
+   the disk became part of the cost model: ~10 ms seek+rotate, ~1 MB/s
+   sequential transfer, and a flush that costs another full
+   rotation. *)
+let hdd1996 =
+  { disk_seek_ns = 10_000_000; disk_ns_per_byte = 1_000; disk_fsync_ns = 10_000_000 }
+
+(* Modern profiles, for the recovery-time and fsync-overhead sweeps. *)
+let hdd =
+  (* 7200 rpm: ~8 ms positioning, ~160 MB/s sequential, fsync = one
+     positioning delay (write cache disabled). *)
+  { disk_seek_ns = 8_000_000; disk_ns_per_byte = 6; disk_fsync_ns = 8_000_000 }
+
+let ssd =
+  (* SATA SSD: ~80 us access, ~500 MB/s, ~100 us flush. *)
+  { disk_seek_ns = 80_000; disk_ns_per_byte = 2; disk_fsync_ns = 100_000 }
+
+let nvme =
+  (* NVMe: ~20 us access, ~1 GB/s (integer ns/byte floors at 1), ~20 us
+     flush. *)
+  { disk_seek_ns = 20_000; disk_ns_per_byte = 1; disk_fsync_ns = 20_000 }
+
+let disk_profiles =
+  [ ("hdd1996", hdd1996); ("hdd", hdd); ("ssd", ssd); ("nvme", nvme) ]
+
 type t = {
   wire_ns_per_byte : int;
   preamble_bytes : int;
@@ -35,6 +66,7 @@ type t = {
   probe_retries : int;
   bb_threshold_bytes : int;
   multicast_frag_gap_ns : int;
+  disk : disk;
 }
 
 let default =
@@ -75,6 +107,7 @@ let default =
     probe_retries = 3;
     bb_threshold_bytes = 1_024;
     multicast_frag_gap_ns = 0;
+    disk = hdd1996;
   }
 
 let mc68030 = default

@@ -8,6 +8,19 @@
     acknowledgement) land near the paper's numbers.  Everything else
     in the reproduced figures follows from the simulation. *)
 
+type disk = {
+  disk_seek_ns : int;  (** positioning delay charged once per I/O *)
+  disk_ns_per_byte : int;  (** sequential transfer, ns per byte *)
+  disk_fsync_ns : int;
+      (** cost of forcing the write cache to the platter; a synchronous
+          append pays it on top of seek + transfer *)
+}
+(** Timing model of one machine's local disk, used by
+    [Amoeba_grouplib.Stable_store] for WAL appends, checkpoint writes
+    and recovery scans.  Purely a cost model: contents live in the
+    store, durability semantics in its write-cache/durable-frontier
+    logic. *)
+
 type t = {
   (* Wire *)
   wire_ns_per_byte : int;  (** 10 Mbit/s = 800 ns/byte *)
@@ -61,12 +74,30 @@ type t = {
           pause between the fragments of a multi-packet multicast so a
           slow receiver's ring can drain — the open problem of section
           4, solved crudely by rate pacing *)
+  disk : disk;  (** local-disk timing; {!hdd1996} in {!default} *)
 }
 
 val default : t
 
 val mc68030 : t
 (** Alias of {!default}: the paper's testbed. *)
+
+val hdd1996 : disk
+(** The 1996-era disk the paper's machines would have had: ~10 ms
+    seek+rotate, ~1 MB/s sequential, a flush costs another rotation.
+    The default, so legacy checkpoint timing is unchanged. *)
+
+val hdd : disk
+(** Modern 7200-rpm spinning disk: ~8 ms positioning, ~160 MB/s. *)
+
+val ssd : disk
+(** SATA SSD: ~80 us access, ~500 MB/s, ~100 us flush. *)
+
+val nvme : disk
+(** NVMe flash: ~20 us access, ~1 GB/s, ~20 us flush. *)
+
+val disk_profiles : (string * disk) list
+(** Named disk profiles for [--disk]: hdd1996, hdd, ssd, nvme. *)
 
 val with_mbps : int -> t -> t
 (** The same stations on a faster (or slower) Ethernet: rescales the

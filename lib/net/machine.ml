@@ -8,6 +8,9 @@ type t = {
   name : string;
   id : int;
   mutable cpu : Resource.t;
+  mutable disk : Resource.t;
+      (** the local disk spindle/queue; remounted (fresh resource) on
+          restart — contents are the stable store's business *)
   mutable nic : Nic.t;
   mutable group : Engine.group;
       (** lifecycle group of the current incarnation: kernel loop, NIC
@@ -17,6 +20,11 @@ type t = {
   mutable pause_resume : (unit -> unit) option;
       (** wakes the process that is sitting on the CPU while paused *)
   mutable n_restarts : int;
+  mutable crash_hooks : (unit -> unit) list;
+      (** run inside {!crash}, after the alive flag drops and before
+          the group is cancelled; persists across restarts (it models
+          attached hardware, e.g. the stable store's power-loss
+          behaviour) *)
 }
 
 let fresh_nic engine cost trace ether ~group ~name ~id ~cpu =
@@ -30,6 +38,7 @@ let fresh_nic engine cost trace ether ~group ~name ~id ~cpu =
 let create engine cost trace ether ~name ~id =
   let group = Engine.create_group engine ~label:(name ^ "/0") in
   let cpu = Resource.create engine ~name:(name ^ ":cpu") in
+  let disk = Resource.create engine ~name:(name ^ ":disk") in
   let nic, alive = fresh_nic engine cost trace ether ~group ~name ~id ~cpu in
   {
     engine;
@@ -39,12 +48,14 @@ let create engine cost trace ether ~name ~id =
     name;
     id;
     cpu;
+    disk;
     nic;
     group;
     alive;
     paused = false;
     pause_resume = None;
     n_restarts = 0;
+    crash_hooks = [];
   }
 
 let engine t = t.engine
@@ -53,18 +64,24 @@ let trace t = t.trace
 let name t = t.name
 let id t = t.id
 let cpu t = t.cpu
+let disk t = t.disk
 let nic t = t.nic
+let on_crash t f = t.crash_hooks <- f :: t.crash_hooks
 let group t = t.group
 let is_alive t = !(t.alive)
 
 (* Crash-stop: gate the NIC *and* cancel the machine's whole process
    group — kernel loop, armed timers, channel waiters, app processes.
-   A crashed machine contributes zero engine events afterwards. *)
+   A crashed machine contributes zero engine events afterwards.  Crash
+   hooks (attached hardware — the stable store materialising power
+   loss on the write cache) run after the alive flag drops but before
+   the group dies, so they observe the exact moment of failure. *)
 let crash t =
   if !(t.alive) then begin
     t.alive := false;
     t.paused <- false;
     t.pause_resume <- None;
+    List.iter (fun f -> f ()) t.crash_hooks;
     Engine.cancel_group t.engine t.group
   end
 
@@ -105,12 +122,14 @@ let resume t =
 (* Un-crash: the machine reboots under a fresh lifecycle group (the
    restart generation is part of its label), with a fresh CPU — the old
    one may still be "held" by a fiber that died mid-consume and will
-   never release it — and a fresh NIC (empty ring, no multicast
+   never release it — a freshly mounted disk (same reasoning for the
+   I/O queue; the *contents* survive in the stable store, which is the
+   point of having one), and a fresh NIC (empty ring, no multicast
    subscriptions, no handler) attached under its old station id.  The
    fresh alive flag keeps the pre-crash NIC — and everything registered
-   on it — dead.  Kernel state does not survive a reboot either: the
-   owner must build a new FLIP stack and re-join its groups (see
-   Cluster.restart). *)
+   on it — dead.  Kernel state does not survive a reboot: the owner
+   must build a new FLIP stack and re-join its groups (see
+   Cluster.restart), but it can first replay its stable store. *)
 let restart t =
   if not !(t.alive) then begin
     t.paused <- false;
@@ -120,6 +139,7 @@ let restart t =
       Engine.create_group t.engine
         ~label:(Printf.sprintf "%s/%d" t.name t.n_restarts);
     t.cpu <- Resource.create t.engine ~name:(t.name ^ ":cpu");
+    t.disk <- Resource.create t.engine ~name:(t.name ^ ":disk");
     let nic, alive =
       fresh_nic t.engine t.cost t.trace t.ether ~group:t.group ~name:t.name
         ~id:t.id ~cpu:t.cpu

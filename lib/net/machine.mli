@@ -27,6 +27,21 @@ val cpu : t -> Resource.t
 (** The CPU of the {e current} incarnation ({!restart} replaces it, so
     don't cache across a reboot). *)
 
+val disk : t -> Resource.t
+(** The local disk's I/O queue (spindle), serialising WAL appends,
+    checkpoint writes and recovery scans against each other.  Like the
+    CPU it belongs to the current incarnation — {!restart} remounts a
+    fresh one — so fetch it at each I/O, never cache.  Disk {e
+    contents} live in [Amoeba_grouplib.Stable_store] and survive both
+    crash and restart (minus the write cache lost to power failure). *)
+
+val on_crash : t -> (unit -> unit) -> unit
+(** Registers a hook run inside {!crash}, after the alive flag drops
+    and before the lifecycle group is cancelled.  Hooks persist across
+    restarts: they model attached hardware, e.g. the stable store
+    materialising the loss of the disk's volatile write cache at the
+    instant the power goes. *)
+
 val nic : t -> Nic.t
 
 val group : t -> Engine.group
@@ -47,11 +62,14 @@ val crash : t -> unit
 val restart : t -> unit
 (** Reboots a crashed machine: alive again, under a {e fresh}
     lifecycle group (labelled with the restart generation), with a
-    fresh CPU and a fresh NIC (empty receive ring, no multicast
-    subscriptions) attached under the old station id.  The pre-crash
-    group and everything in it stay dead — kernel state does not
-    survive a reboot, so the owner must rebuild its FLIP stack and
-    re-join its groups.  No-op on a live machine. *)
+    fresh CPU, a freshly mounted disk (see {!disk} — contents persist
+    in the stable store) and a fresh NIC (empty receive ring, no
+    multicast subscriptions) attached under the old station id.  The
+    pre-crash group and everything in it stay dead — kernel and
+    application {e memory} do not survive a reboot, so the owner must
+    rebuild its FLIP stack and re-join its groups; durable state can
+    be recovered from the stable store first.  No-op on a live
+    machine. *)
 
 val pause : t -> unit
 (** Stalls the CPU until {!resume}: all protocol and application work

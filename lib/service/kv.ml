@@ -96,6 +96,7 @@ module Rsm_store = Amoeba_grouplib.Rsm.Make (Store)
 
 (* Request wire format (over RPC):
      "G<key>"              get
+     "S<key>"              stale get (bounded-staleness read)
      "P<klen> <key><value>"  put
      "D<key>"              delete
      "B<n> (<len> <req>)*"   batch of n requests, in order
@@ -103,7 +104,11 @@ module Rsm_store = Amoeba_grouplib.Rsm.Make (Store)
      "V<value>" | "N" | "K" | "W<shard>" | "E<reason>"
      "R<n> (<len> <reply>)*" batch reply, one per request, same order *)
 
-type request = Get of string | Put of string * string | Del of string
+type request =
+  | Get of string
+  | Stale_get of string
+  | Put of string * string
+  | Del of string
 
 type reply =
   | Value of string
@@ -112,10 +117,13 @@ type reply =
   | Wrong_shard of int
   | Busy of string
 
-let request_key = function Get k -> k | Put (k, _) -> k | Del k -> k
+let request_key = function
+  | Get k | Stale_get k | Del k -> k
+  | Put (k, _) -> k
 
 let encode_request = function
   | Get k -> Bytes.of_string ("G" ^ k)
+  | Stale_get k -> Bytes.of_string ("S" ^ k)
   | Put (k, v) ->
       Bytes.of_string (Printf.sprintf "P%d %s%s" (String.length k) k v)
   | Del k -> Bytes.of_string ("D" ^ k)
@@ -127,6 +135,7 @@ let decode_request b =
   else
     match s.[0] with
     | 'G' -> Some (Get (String.sub s 1 (len - 1)))
+    | 'S' -> Some (Stale_get (String.sub s 1 (len - 1)))
     | 'D' -> Some (Del (String.sub s 1 (len - 1)))
     | 'P' -> (
         match String.index_opt s ' ' with

@@ -30,7 +30,15 @@ module Rsm_store : module type of Amoeba_grouplib.Rsm.Make (Store)
 
 (** {1 Router/replica request protocol} *)
 
-type request = Get of string | Put of string * string | Del of string
+type request =
+  | Get of string
+  | Stale_get of string
+      (** bounded-staleness read: the replica may answer from its last
+          durable checkpoint (the durable frontier) instead of the
+          live, totally-ordered state — never newer than the live
+          state, never older than the last checkpoint *)
+  | Put of string * string
+  | Del of string
 
 type reply =
   | Value of string  (** [Get] hit *)

@@ -20,6 +20,7 @@ type stats = {
   ops_batched : int;
   partial_flushes : int;
   batch_retries : int;
+  stale_gets : int;
 }
 
 type shard_state = {
@@ -27,9 +28,9 @@ type shard_state = {
   turn : unit Channel.t;
       (* one token: the right to gather the next batch off the queue
          (batching mode only) *)
-  eps : Service.endpoint array;
-  suspect : bool array;
-  reserve : bool array;
+  mutable eps : Service.endpoint array;
+  mutable suspect : bool array;
+  mutable reserve : bool array;
       (* endpoints on the shard's sequencer host: kept out of the
          rotation while any other replica answers, so the sequencer
          machine spends its cycles ordering, not serving RPCs *)
@@ -45,6 +46,8 @@ type t = {
   attempts : int;
   max_batch : int;
   batch_delay : Time.t;
+  stale_reads : bool;
+  mutable s_stale_gets : int;
   mutable s_ops : int;
   mutable s_retries : int;
   mutable s_failovers : int;
@@ -262,7 +265,8 @@ let worker t flip ss () =
   loop ()
 
 let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
-    ?(timeout = Time.ms 250) ?(attempts = 12) ~map ~endpoints () =
+    ?(timeout = Time.ms 250) ?(attempts = 12) ?(stale_reads = false) ~map
+    ~endpoints () =
   let machine = Flip.machine flip in
   let engine = Machine.engine machine in
   let t =
@@ -290,6 +294,8 @@ let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
       attempts;
       max_batch = max 1 max_batch;
       batch_delay;
+      stale_reads;
+      s_stale_gets = 0;
       s_ops = 0;
       s_retries = 0;
       s_failovers = 0;
@@ -317,9 +323,38 @@ let request t req =
   Channel.send t.shards.(s).queue (req, iv);
   Ivar.read t.engine iv
 
-let get t k = request t (Kv.Get k)
+let get t k =
+  if t.stale_reads then begin
+    t.s_stale_gets <- t.s_stale_gets + 1;
+    request t (Kv.Stale_get k)
+  end
+  else request t (Kv.Get k)
+
 let put t k v = request t (Kv.Put (k, v))
 let del t k = request t (Kv.Del k)
+
+(* Swap in a fresh endpoint map — the recovery handoff.  The new
+   creator's pool comes first in each shard's array (that is
+   [Service.recover]'s contract), so the reserve set is re-derived
+   from it rather than from the static shard map, whose sequencer
+   placement the recovery may have changed.  Requests already queued
+   simply get performed against the new endpoints; in-flight attempts
+   against dead addresses fail over normally. *)
+let update_endpoints t endpoints =
+  Array.iteri
+    (fun shard eps ->
+      if shard < Array.length t.shards then begin
+        let ss = t.shards.(shard) in
+        ss.eps <- eps;
+        ss.suspect <- Array.make (Array.length eps) false;
+        ss.reserve <-
+          (if Array.length eps = 0 then [||]
+           else
+             let seq_host = eps.(0).Service.ep_host in
+             Array.map (fun ep -> ep.Service.ep_host = seq_host) eps);
+        ss.rr <- 0
+      end)
+    endpoints
 
 let stats t =
   {
@@ -332,4 +367,5 @@ let stats t =
     ops_batched = t.s_ops_batched;
     partial_flushes = t.s_partial_flushes;
     batch_retries = t.s_batch_retries;
+    stale_gets = t.s_stale_gets;
   }

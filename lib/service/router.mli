@@ -28,6 +28,7 @@ val create :
   ?batch_delay:Time.t ->
   ?timeout:Time.t ->
   ?attempts:int ->
+  ?stale_reads:bool ->
   map:Shard_map.t ->
   endpoints:Service.endpoint array array ->
   unit ->
@@ -38,6 +39,13 @@ val create :
     dead-host verdict suspects every endpoint on that machine at
     once, so one failover spends one attempt however many endpoints
     the victim served.
+
+    [stale_reads] (default false) makes every {!get} a bounded-
+    staleness read ([Kv.Stale_get]): the replica answers from its last
+    durable checkpoint when it has one, trading freshness — the read
+    may miss updates applied since that checkpoint, but never ones a
+    power loss could revoke — for a read that reflects only
+    crash-proof state.  Writes are unaffected.
 
     [max_batch] (default 1) turns on op batching: a worker that takes
     an op off its shard's pipeline keeps accumulating until it holds
@@ -74,6 +82,14 @@ type stats = {
       (** flushes forced by the [batch_delay] timer before the batch
           filled *)
   batch_retries : int;  (** whole-batch replays after failure or Busy *)
+  stale_gets : int;  (** gets issued as bounded-staleness reads *)
 }
 
 val stats : t -> stats
+
+val update_endpoints : t -> Service.endpoint array array -> unit
+(** Swaps in a fresh per-shard endpoint map — the handoff after
+    [Service.recover] re-created the groups.  Suspicion state and
+    round-robin cursors reset; the reserve (sequencer-host) set is
+    re-derived from each shard's first endpoint, which recovery
+    guarantees belongs to the new creator. *)

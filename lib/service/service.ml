@@ -6,11 +6,46 @@ module T = Types
 module R = Kv.Rsm_store
 module Rpc = Amoeba_rpc.Rpc
 
+module Rsm = Amoeba_grouplib.Rsm
+
 type endpoint = {
   ep_shard : int;
   ep_host : int;
   ep_addr : Addr.t;
   ep_probe : Addr.t;
+}
+
+type durable_config = {
+  d_store : Amoeba_grouplib.Stable_store.t;
+  d_sync : Rsm.sync_policy;
+  d_checkpoint_every : int;
+}
+
+(* A shard's durable identity on each of its hosts' disks.  Group
+   addresses change across re-creation, so the log is named by the
+   shard index — what {!recover} looks for after a power loss. *)
+let shard_log shard = Printf.sprintf "shard%d" shard
+
+let durability_of dc shard =
+  {
+    Rsm.store = dc.d_store;
+    log = shard_log shard;
+    sync = dc.d_sync;
+    checkpoint_every = dc.d_checkpoint_every;
+  }
+
+type host_recovery = {
+  hr_host : int;
+  hr_applied : int;
+  hr_error : string option;
+  hr_stats : Rsm.recovery_stats option;
+}
+
+type shard_recovery = {
+  sr_shard : int;
+  sr_creator : int;
+  sr_applied : int;
+  sr_hosts : host_recovery list;
 }
 
 type replica = {
@@ -32,6 +67,7 @@ type t = {
   mutable n_reads : int;
   mutable n_writes_ok : int;
   mutable n_writes_busy : int;
+  mutable recovery : shard_recovery list;
 }
 
 let map t = t.map
@@ -39,6 +75,7 @@ let endpoints t = t.eps
 let reads t = t.n_reads
 let writes_ok t = t.n_writes_ok
 let writes_busy t = t.n_writes_busy
+let recovery_report t = t.recovery
 
 let submit_write t r u =
   match R.submit r.r_rsm u with
@@ -89,6 +126,24 @@ let handle_one t r req =
         (match Kv.Smap.find_opt k (R.state r.r_rsm) with
         | Some v -> Kv.Value v
         | None -> Kv.Not_found)
+    | Kv.Stale_get k ->
+        (* Bounded-staleness read: answered from the last durable
+           checkpoint when there is one — the state a power loss could
+           never take away — without touching the ordered stream.  A
+           replica that has not checkpointed yet falls back to its
+           live copy. *)
+        t.n_reads <- t.n_reads + 1;
+        let state =
+          match R.durable_snapshot r.r_rsm with
+          | Some (st, _) ->
+              let sc = Api.storage_counters (R.group r.r_rsm) in
+              sc.Api.stale_reads <- sc.Api.stale_reads + 1;
+              st
+          | None -> R.state r.r_rsm
+        in
+        (match Kv.Smap.find_opt k state with
+        | Some v -> Kv.Value v
+        | None -> Kv.Not_found)
     | Kv.Put (k, v) ->
         incr t.uid;
         submit_write t r (Kv.Store.Put { uid = !(t.uid); key = k; value = v })
@@ -112,7 +167,7 @@ let handle_batch t r reqs =
       if s <> r.r_shard then replies.(i) <- Kv.Wrong_shard s
       else
         match req with
-        | Kv.Get _ -> ()
+        | Kv.Get _ | Kv.Stale_get _ -> ()
         | Kv.Put (k, v) ->
             incr t.uid;
             writes :=
@@ -131,12 +186,8 @@ let handle_batch t r reqs =
     (fun i req ->
       (* wrong-shard Gets already hold their Wrong_shard reply *)
       match (req, replies.(i)) with
-      | Kv.Get k, Kv.Not_found ->
-          t.n_reads <- t.n_reads + 1;
-          replies.(i) <-
-            (match Kv.Smap.find_opt k (R.state r.r_rsm) with
-            | Some v -> Kv.Value v
-            | None -> Kv.Not_found)
+      | (Kv.Get _ | Kv.Stale_get _), Kv.Not_found ->
+          replies.(i) <- handle_one t r req
       | _ -> ())
     reqs;
   Array.to_list replies
@@ -157,8 +208,13 @@ let handle t r payload =
     in
     Amoeba_rpc.Types_rpc.Reply (Kv.encode_reply reply)
 
-let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
-    ?checkpoint ?(record = false) ?(eps_per_replica = 4) () =
+(* The shared bring-up: [hosts_for shard] lists the shard's hosts with
+   the intended creator FIRST, and [seed_for shard] optionally seeds
+   the creator's replica (the recovery path).  [deploy] and [recover]
+   are thin wrappers. *)
+let build cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
+    ?checkpoint ?durable ?(record = false) ?(eps_per_replica = 4) ~hosts_for
+    ~seed_for () =
   let eng = cl.Cluster.engine in
   let shards = Shard_map.shards map in
   let t =
@@ -174,6 +230,7 @@ let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
       n_reads = 0;
       n_writes_ok = 0;
       n_writes_busy = 0;
+      recovery = [];
     }
   in
   (* One failure-detector responder per machine, shared by all the
@@ -210,15 +267,17 @@ let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
         let tap =
           if record then Some (fun ev -> events := ev :: !events) else None
         in
+        let durable_arg = Option.map (fun dc -> durability_of dc shard) durable in
         let rsm =
           match creator with
           | None ->
               Ok
                 (R.create flip ~resilience ~send_method ~auto_heal:true
-                   ~pipeline ?checkpoint ?tap ())
+                   ~pipeline ?checkpoint ?durable:durable_arg
+                   ?seed:(seed_for shard) ?tap ())
           | Some addr ->
               R.join flip ~resilience ~send_method ~auto_heal:true ~pipeline
-                ?checkpoint ?tap addr
+                ?checkpoint ?durable:durable_arg ?tap addr
         in
         match rsm with
         | Error e -> failwith ("Service.deploy: join failed: " ^ T.error_to_string e)
@@ -237,7 +296,7 @@ let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
   in
   t.eps <-
     Array.init shards (fun shard ->
-        let hosts = Shard_map.replica_hosts t.map shard in
+        let hosts = hosts_for shard in
         let iv0 = start_replica ~shard ~host:(List.hd hosts) ~creator:None in
         let r0, eps0 = Ivar.read eng iv0 in
         t.replicas.(shard) <- [ r0 ];
@@ -252,6 +311,124 @@ let deploy cl ~map ?(resilience = 1) ?(send_method = T.Pb) ?(pipeline = 1)
             (List.tl hosts)
         in
         Array.of_list (eps0 @ rest));
+  t
+
+let deploy cl ~map ?resilience ?send_method ?pipeline ?checkpoint ?durable
+    ?record ?eps_per_replica () =
+  build cl ~map ?resilience ?send_method ?pipeline ?checkpoint ?durable
+    ?record ?eps_per_replica
+    ~hosts_for:(fun shard -> Shard_map.replica_hosts map shard)
+    ~seed_for:(fun _ -> None)
+    ()
+
+(* Whole-cluster power-loss recovery: every shard's every host reads
+   its own disk back (checkpoint + WAL replay, real I/O), the host
+   with the most recovered updates re-creates the shard's group seeded
+   with that state, and the rest join by atomic state transfer (their
+   disks are wiped to the transferred state by the joiner reconcile in
+   [Rsm.join]).  A host whose disk refuses recovery (damage) simply
+   joins — it re-syncs from the creator; if EVERY host refuses, the
+   shard restarts empty, which is the honest reading of "all the disks
+   are damaged". *)
+let recover cl ~map ~durable ?resilience ?send_method ?pipeline ?record
+    ?eps_per_replica () =
+  let eng = cl.Cluster.engine in
+  let shards = Shard_map.shards map in
+  let seed_of = Hashtbl.create shards in
+  let reports =
+    List.init shards (fun shard ->
+        let d = durability_of durable shard in
+        (* all hosts read their disks concurrently; each on its own
+           machine, each paying its own sequential-scan cost *)
+        let results =
+          Shard_map.replica_hosts map shard
+          |> List.map (fun host ->
+                 let iv = Ivar.create () in
+                 Cluster.spawn_on cl host (fun () ->
+                     Ivar.fill iv (R.recover d (Cluster.machine cl host)));
+                 (host, iv))
+          |> List.map (fun (host, iv) -> (host, Ivar.read eng iv))
+        in
+        let creator =
+          List.fold_left
+            (fun best (host, res) ->
+              match (res, best) with
+              | Error _, _ -> best
+              | Ok rec_, Some (_, b) when b.R.r_applied >= rec_.R.r_applied ->
+                  best
+              | Ok rec_, _ -> Some (host, rec_))
+            None results
+        in
+        let creator_host, applied =
+          match creator with
+          | Some (host, rec_) ->
+              Hashtbl.replace seed_of shard (rec_.R.r_state, rec_.R.r_applied);
+              (host, rec_.R.r_applied)
+          | None -> (List.hd (Shard_map.replica_hosts map shard), 0)
+        in
+        {
+          sr_shard = shard;
+          sr_creator = creator_host;
+          sr_applied = applied;
+          sr_hosts =
+            List.map
+              (fun (host, res) ->
+                match res with
+                | Ok rec_ ->
+                    {
+                      hr_host = host;
+                      hr_applied = rec_.R.r_applied;
+                      hr_error = None;
+                      hr_stats = Some rec_.R.r_stats;
+                    }
+                | Error msg ->
+                    {
+                      hr_host = host;
+                      hr_applied = 0;
+                      hr_error = Some msg;
+                      hr_stats = None;
+                    })
+              results;
+        })
+  in
+  let t =
+    build cl ~map ?resilience ?send_method ?pipeline ~durable ?record
+      ?eps_per_replica
+      ~hosts_for:(fun shard ->
+        let sr = List.nth reports shard in
+        sr.sr_creator
+        :: List.filter
+             (fun h -> h <> sr.sr_creator)
+             (Shard_map.replica_hosts map shard))
+      ~seed_for:(fun shard -> Hashtbl.find_opt seed_of shard)
+      ()
+  in
+  t.recovery <- reports;
+  (* Surface what recovery found through each replica's own group-info
+     counters, so GetInfoGroup tells the whole durability story. *)
+  List.iter
+    (fun sr ->
+      List.iter
+        (fun hr ->
+          match hr.hr_stats with
+          | None -> ()
+          | Some st -> (
+              match
+                List.find_opt
+                  (fun r -> r.r_host = hr.hr_host)
+                  t.replicas.(sr.sr_shard)
+              with
+              | None -> ()
+              | Some r ->
+                  let sc = Api.storage_counters (R.group r.r_rsm) in
+                  sc.Api.wal_records_replayed <-
+                    sc.Api.wal_records_replayed + st.Rsm.records_replayed;
+                  sc.Api.torn_tails_truncated <-
+                    sc.Api.torn_tails_truncated + st.Rsm.torn_tails;
+                  sc.Api.checksum_rejects <-
+                    sc.Api.checksum_rejects + st.Rsm.checksum_rejects))
+        sr.sr_hosts)
+    reports;
   t
 
 let applied t shard =

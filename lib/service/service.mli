@@ -23,6 +23,29 @@ type endpoint = {
   ep_probe : Addr.t;  (** failure-detector responder on that host *)
 }
 
+type durable_config = {
+  d_store : Amoeba_grouplib.Stable_store.t;
+  d_sync : Amoeba_grouplib.Rsm.sync_policy;
+  d_checkpoint_every : int;
+}
+(** Durable-shard configuration: each replica of shard [i] keeps a WAL
+    and checkpoints under the stable identity ["shard<i>"] on its own
+    host's disk (see {!Amoeba_grouplib.Rsm.durability}). *)
+
+type host_recovery = {
+  hr_host : int;
+  hr_applied : int;  (** updates its disk could reconstruct; 0 on refusal *)
+  hr_error : string option;  (** the loud refusal, when the disk is damaged *)
+  hr_stats : Amoeba_grouplib.Rsm.recovery_stats option;
+}
+
+type shard_recovery = {
+  sr_shard : int;
+  sr_creator : int;  (** host whose recovered state won (most applied) *)
+  sr_applied : int;  (** the applied count the shard restarted from *)
+  sr_hosts : host_recovery list;
+}
+
 type t
 
 val deploy :
@@ -32,6 +55,7 @@ val deploy :
   ?send_method:Types.send_method ->
   ?pipeline:int ->
   ?checkpoint:Amoeba_grouplib.Stable_store.t * int ->
+  ?durable:durable_config ->
   ?record:bool ->
   ?eps_per_replica:int ->
   unit ->
@@ -50,7 +74,36 @@ val deploy :
     several writes in flight.  [pipeline] (default 1) is each replica
     kernel's in-flight sequencer-round depth: with several endpoint
     workers submitting concurrently, depth > 1 lets a replica keep
-    that many rounds unacknowledged instead of lock-stepping them. *)
+    that many rounds unacknowledged instead of lock-stepping them.
+    [durable] makes every replica log committed updates to a WAL and
+    checkpoint per the config's policy, so {!recover} can bring the
+    whole service back after a total power loss. *)
+
+val recover :
+  Cluster.t ->
+  map:Shard_map.t ->
+  durable:durable_config ->
+  ?resilience:int ->
+  ?send_method:Types.send_method ->
+  ?pipeline:int ->
+  ?record:bool ->
+  ?eps_per_replica:int ->
+  unit ->
+  t
+(** Whole-cluster power-loss recovery, for a cluster whose machines
+    have all been restarted: every host of every shard reads its own
+    disk back (checkpoint + WAL replay, with real I/O cost, all hosts
+    in parallel), the host that reconstructed the most updates
+    re-creates the shard's group seeded with that state, and the
+    others join by atomic state transfer — a host whose disk refuses
+    recovery (damage) re-syncs that way too.  Blocking; returns once
+    every shard serves again.  {!recovery_report} says what each disk
+    yielded, and the per-replica [GetInfoGroup] counters account the
+    replayed/torn/rejected records.  Endpoint arrays put the new
+    creator's pool first — hand them to [Router.update_endpoints]. *)
+
+val recovery_report : t -> shard_recovery list
+(** Per-shard recovery outcomes ([[]] for a {!deploy}ed service). *)
 
 val map : t -> Shard_map.t
 

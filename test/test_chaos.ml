@@ -201,6 +201,55 @@ let prop_batched_adversarial_swarm =
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
            ~net:adversarial_net ~pipeline:4 ~ops_per_send:3 ~seed ()))
 
+(* The power-loss swarm: random schedules that additionally yank the
+   power on the whole cluster once mid-run, with every member logging
+   deliveries to an SSD-modelled stable store.  Half the cases run on
+   the hostile net.  The classic invariants are checked per epoch and
+   the durability-across-restart invariant (I5) bridges the cut:
+   recovered logs must be exact prefixes, acknowledged writes inside
+   the durable frontier must be on some disk, and nothing recovered
+   may be delivered twice. *)
+let power_swarm_case =
+  let gen =
+    QCheck.Gen.(
+      int_range 3 5 >>= fun n ->
+      int_range 0 (n - 2) >>= fun r ->
+      oneofl [ T.Pb; T.Bb ] >>= fun m ->
+      int_range 0 99_999 >>= fun seed ->
+      bool >>= fun hostile ->
+      return (n, r, m, seed, hostile, Fault.random ~seed ~n ~power_cycles:true ()))
+  in
+  let print (n, r, m, seed, hostile, sched) =
+    Printf.sprintf
+      "n=%d r=%d method=%s seed=%d net=%s (replay: amoeba chaos --seed %d -m \
+       %d -r %d --method %s --disk ssd%s --schedule %S)"
+      n r
+      (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+      seed
+      (if hostile then "adversarial" else "clean")
+      seed n r
+      (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+      (if hostile then " --net adversarial" else "")
+      (Fault.to_string sched)
+  in
+  let shrink (n, r, m, seed, hostile, sched) =
+    QCheck.Iter.map
+      (fun sched' -> (n, r, m, seed, hostile, sched'))
+      (QCheck.Shrink.list sched)
+  in
+  QCheck.make ~print ~shrink gen
+
+let prop_power_cycle_swarm =
+  QCheck.Test.make
+    ~name:"swarm: durability survives whole-cluster power loss"
+    ~count:120 power_swarm_case (fun (n, r, m, seed, hostile, sched) ->
+      (* the shrinker may peel the Power_cycle_all step off; the run is
+         then an ordinary durable run, still a valid case *)
+      Chaos.ok
+        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
+           ~net:(if hostile then adversarial_net else Ether.clean)
+           ~disk:Cost_model.ssd ~seed ()))
+
 let test_multigroup_invariants_per_group () =
   (* Three concurrent groups share the wire (sequencers on machines 0,
      1 and 2); machine 1 — one group's sequencer, a plain member of
@@ -489,6 +538,7 @@ let suite =
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
       QCheck_alcotest.to_alcotest ~rand prop_adversarial_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_batched_adversarial_swarm;
+      QCheck_alcotest.to_alcotest ~rand prop_power_cycle_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_schedule_roundtrip;
       QCheck_alcotest.to_alcotest ~rand prop_chaos_deterministic;
       QCheck_alcotest.to_alcotest ~rand prop_multigroup_deterministic;

@@ -297,14 +297,23 @@ let test_atomic_create_aborts_on_dead_member () =
 let test_stable_store_survives_crash () =
   let cl = Cluster.create ~n:1 () in
   let store = Stable_store.create () in
+  let live_write = ref false in
+  let dead_write = ref true in
   Cluster.spawn cl (fun () ->
-      Stable_store.write store (Cluster.machine cl 0) ~key:"a"
-        (Bytes.of_string "payload");
+      live_write :=
+        Stable_store.write store (Cluster.machine cl 0) ~key:"a"
+          (Bytes.of_string "payload");
       Machine.crash (Cluster.machine cl 0);
       (* A dead machine cannot write... *)
-      Stable_store.write store (Cluster.machine cl 0) ~key:"b"
-        (Bytes.of_string "lost"));
+      dead_write :=
+        Stable_store.write store (Cluster.machine cl 0) ~key:"b"
+          (Bytes.of_string "lost"));
   Cluster.run ~until:(Time.sec 5) cl;
+  Alcotest.(check bool) "live write reports success" true !live_write;
+  Alcotest.(check bool) "dead write reports failure" false !dead_write;
+  Alcotest.(check bool)
+    "dropped write counted" true
+    ((Stable_store.counters store).Stable_store.writes_dropped >= 1);
   (* ...but its disk is still readable. *)
   Alcotest.(check (option string))
     "written before the crash" (Some "payload")

@@ -17,4 +17,5 @@ let () =
       Test_harness.suite;
       Test_chaos.suite;
       Test_service.suite;
+      Test_durability.suite;
     ]
