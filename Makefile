@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability fabric check clean
 
 all: build
 
@@ -17,6 +17,7 @@ check:
 	dune build @service-smoke
 	dune build @batch-smoke
 	dune build @durability-smoke
+	dune build @fabric-smoke
 
 build:
 	dune build
@@ -70,6 +71,14 @@ batch:
 #   dune exec bin/amoeba.exe -- workload --disk ssd --fsync commit --power-cycle
 durability:
 	dune build @durability-smoke
+
+# Switched-fabric runs (also part of `dune runtest` via the
+# fabric-smoke alias): the service workload and invariant-checked
+# chaos on `--net switch:*` topologies instead of the shared wire.
+# The full shard x topology sweep at 100+ hosts is
+#   dune exec bench/main.exe -- fabric
+fabric:
+	dune build @fabric-smoke
 
 clean:
 	dune clean

@@ -10,11 +10,11 @@
             rpc_compare ablation_cm ablation_migrate ablation_pbbb
             ablation_processing ablation_userspace ablation_history
             ablation_flowcontrol load_latency service batch recovery
-            micro
+            fabric micro
    No arguments runs everything.
 
    --json   targets that support it (micro, headline, fig1, fig4,
-            service, batch, recovery) also write a BENCH_<target>.json
+            service, batch, recovery, fabric) also write a BENCH_<target>.json
             file (micro writes BENCH_sim.json; batch and recovery
             write their rows into BENCH_service.json); see
             bench/README.md for the schema.
@@ -423,7 +423,8 @@ let headline () =
 let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
     ~wire_mbps ?(max_batch = 1) ?(batch_delay_us = 500) ?(pipeline_depth = 1)
     ?disk ?(fsync = Amoeba_grouplib.Rsm.Group_fsync 8) ?(checkpoint_every = 64)
-    ~seed () =
+    ?(fabric = Amoeba_net.Medium.Shared) ?(ramp = Amoeba_sim.Time.zero)
+    ?probe ~seed () =
   let open Amoeba_service in
   let map =
     Shard_map.create ~shards ~replication ~hosts:(List.init hosts Fun.id) ()
@@ -444,7 +445,7 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
         })
       disk
   in
-  let cl = Cluster.create ~cost ~seed ~n:(hosts + routers) () in
+  let cl = Cluster.create ~cost ~seed ~fabric ~n:(hosts + routers) () in
   let result = ref None in
   let rstats = ref [] in
   Cluster.spawn cl (fun () ->
@@ -469,11 +470,16 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
           dist = Workload.Uniform;
           mode = Workload.Closed workers;
           duration = Amoeba_sim.Time.ms duration_ms;
+          ramp;
           seed;
         }
       in
+      (* Counters only, no timing: utilisation read by [probe] covers
+         the measured window, not the idle deploy phase before it. *)
+      Amoeba_net.Medium.reset_utilisation_window cl.Cluster.net;
       result := Some (Workload.run cl ~routers:rs ~map spec);
-      rstats := List.map Router.stats rs);
+      rstats := List.map Router.stats rs;
+      Option.iter (fun f -> f cl) probe);
   Cluster.run
     ~until:(Amoeba_sim.Time.ms duration_ms + Amoeba_sim.Time.sec 60)
     cl;
@@ -488,10 +494,12 @@ let service_run ~shards ~hosts ~routers ~replication ~workers ~duration_ms
 let service_json_fields : (string * Bench_json.t) list ref = ref []
 let batch_json_fields : (string * Bench_json.t) list ref = ref []
 let recovery_json_fields : (string * Bench_json.t) list ref = ref []
+let fabric_json_fields : (string * Bench_json.t) list ref = ref []
 
 let write_service_json () =
   json_out "service"
-    (!service_json_fields @ !batch_json_fields @ !recovery_json_fields)
+    (!service_json_fields @ !batch_json_fields @ !recovery_json_fields
+   @ !fabric_json_fields)
 
 let service () =
   header
@@ -808,6 +816,110 @@ let recovery () =
     ];
   write_service_json ()
 
+(* ----- fabric: shard count x network topology at 100+ hosts ----- *)
+
+(* The sweep that motivated the switched fabric: PR 6's batching took
+   the 8-shard service to 18 164 ops/s on the 100 Mbit shared wire and
+   left the wire itself as the named bottleneck.  Here the same
+   service runs at 100 and 200 hosts, 8..64 shards, over the shared
+   Ether and over switched topologies (flat, and 4 oversubscribed
+   segments), recording throughput, tail latency and the fabric's own
+   counters.  Clients slow-start over a ramp (measured figures exclude
+   it): thousands of first-contact clients at t=0 starve every CPU at
+   once, and the group kernels read that stall as member failures —
+   a thundering herd no real deployment starts from. *)
+let fabric () =
+  header
+    "Fabric sweep: ops/s and p99 vs shard count x topology (100+ hosts)"
+    "past the paper: the shared Ether is the last bottleneck after PR 6's\n\
+     batching; a store-and-forward switch with full-duplex host links\n\
+     removes the collision ceiling while the same kernel bits run";
+  let replication, seed = (3, 11) in
+  let workers = if !smoke_mode then 64 else 2_048 in
+  let duration_ms = if !smoke_mode then 1_000 else 12_000 in
+  let ramp_ms = if !smoke_mode then 200 else 4_000 in
+  (* (shards, hosts, routers): 100 hosts carry up to 32 shards with
+     every sequencer and follower on its own machine; 64 shards would
+     stack ~3.5 followers per host, so the 64-shard rows double the
+     pool instead of measuring placement starvation. *)
+  let scales =
+    if !smoke_mode then [ (2, 10, 2) ]
+    else [ (8, 100, 8); (16, 100, 8); (32, 100, 8); (64, 200, 8) ]
+  in
+  let topologies hosts routers =
+    let named s =
+      match Amoeba_net.Medium.spec_of_string s with
+      | Ok spec -> (s, spec)
+      | Error e -> failwith ("fabric sweep topology " ^ s ^ ": " ^ e)
+    in
+    [ named "ether"; named "switch" ]
+    @
+    (* 4 leaf segments sized to the whole station count (hosts +
+       routers), uplinks 10x a host link: 27:10 oversubscribed. *)
+    if !smoke_mode then []
+    else [ named (Printf.sprintf "switch:4x%d@10" ((hosts + routers + 3) / 4)) ]
+  in
+  Printf.printf "%8s %6s | %-16s %10s %9s %7s %7s %6s %6s\n" "shards" "hosts"
+    "net" "ops/s" "p99 ms" "failed" "util%" "coll" "qdrop";
+  let rows = ref [] in
+  List.iter
+    (fun (shards, hosts, routers) ->
+      List.iter
+        (fun (label, spec) ->
+          let util = ref 0.0 and coll = ref 0 and qdrops = ref 0 in
+          let probe cl =
+            let m = cl.Cluster.net in
+            util := Amoeba_net.Medium.utilisation m;
+            coll := Amoeba_net.Medium.collisions m;
+            qdrops := Amoeba_net.Medium.queue_drops m
+          in
+          let r, _ =
+            service_run ~shards ~hosts ~routers ~replication ~workers
+              ~duration_ms ~wire_mbps:100 ~max_batch:32 ~pipeline_depth:4
+              ~fabric:spec
+              ~ramp:(Amoeba_sim.Time.ms ramp_ms)
+              ~probe ~seed ()
+          in
+          let open Amoeba_service.Workload in
+          Printf.printf
+            "%8d %6d | %-16s %10.0f %9.1f %7d %6.1f%% %7d %6d\n%!" shards
+            hosts label r.ops_per_sec r.p99_ms r.failed (100.0 *. !util) !coll
+            !qdrops;
+          rows :=
+            Bench_json.Obj
+              [
+                ("shards", Bench_json.Int shards);
+                ("hosts", Bench_json.Int hosts);
+                ("routers", Bench_json.Int routers);
+                ("net", Bench_json.Str label);
+                ("ops_per_sec", Bench_json.Float r.ops_per_sec);
+                ("p99_ms", Bench_json.Float r.p99_ms);
+                ("failed", Bench_json.Int r.failed);
+                ("utilisation", Bench_json.Float !util);
+                ("collisions", Bench_json.Int !coll);
+                ("queue_drops", Bench_json.Int !qdrops);
+              ]
+            :: !rows)
+        (topologies hosts routers))
+    scales;
+  fabric_json_fields :=
+    [
+      ( "fabric",
+        Bench_json.Obj
+          [
+            ("replication", Bench_json.Int replication);
+            ("workers", Bench_json.Int workers);
+            ("duration_ms", Bench_json.Int duration_ms);
+            ("ramp_ms", Bench_json.Int ramp_ms);
+            ("max_batch", Bench_json.Int 32);
+            ("pipeline_depth", Bench_json.Int 4);
+            ("wire_mbps", Bench_json.Int 100);
+            ("seed", Bench_json.Int seed);
+            ("rows", Bench_json.List (List.rev !rows));
+          ] );
+    ];
+  write_service_json ()
+
 (* ----- micro: host-time benchmarks of the simulation core ----- *)
 
 let host_time = Unix.gettimeofday
@@ -1075,6 +1187,7 @@ let targets : (string * (unit -> unit)) list =
     ("service", service);
     ("batch", batch);
     ("recovery", recovery);
+    ("fabric", fabric);
     ("micro", micro);
   ]
 

@@ -54,34 +54,62 @@ let net_profiles =
       } );
   ]
 
+(* --net takes a '+'-separated spec: each component is either a fabric
+   (ether | shared | switch | switch:SxH[@U]) or a condition profile.
+   "switch:2x48@10+bursty" = two 48-port segments, 10x-oversubscribed
+   uplink, bursty Gilbert-Elliott loss on every link. *)
 let net_conv =
   let parse s =
-    match List.assoc_opt s net_profiles with
-    | Some c -> Ok c
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown net profile %S (%s)" s
-               (String.concat "|" (List.map fst net_profiles))))
+    let parts = String.split_on_char '+' s in
+    let rec go fabric cond = function
+      | [] -> Ok (fabric, cond)
+      | part :: rest -> (
+          match List.assoc_opt part net_profiles with
+          | Some c -> go fabric c rest
+          | None -> (
+              match Amoeba_net.Medium.spec_of_string part with
+              | Ok f -> go f cond rest
+              | Error _ ->
+                  Error
+                    (`Msg
+                      (Printf.sprintf
+                         "unknown net spec %S (fabric: ether|switch[:SxH@U]; \
+                          profile: %s)"
+                         part
+                         (String.concat "|" (List.map fst net_profiles))))))
+    in
+    go Amoeba_net.Medium.Shared Amoeba_net.Medium.clean parts
   in
-  let print fmt c =
-    Format.pp_print_string fmt
-      (match List.find_opt (fun (_, c') -> c' = c) net_profiles with
+  let print fmt (fabric, c) =
+    let fab =
+      match fabric with
+      | Amoeba_net.Medium.Shared -> "ether"
+      | Amoeba_net.Medium.Switched p ->
+          Printf.sprintf "switch:%dx%d@%d" p.Amoeba_net.Switch.segments
+            p.Amoeba_net.Switch.segment_size p.Amoeba_net.Switch.uplink_mult
+    in
+    let prof =
+      match List.find_opt (fun (_, c') -> c' = c) net_profiles with
       | Some (name, _) -> name
-      | None -> "<custom>")
+      | None -> "<custom>"
+    in
+    Format.fprintf fmt "%s+%s" fab prof
   in
   Arg.conv (parse, print)
 
 let net_t =
   Arg.(
     value
-    & opt net_conv Amoeba_net.Ether.clean
+    & opt net_conv (Amoeba_net.Medium.Shared, Amoeba_net.Medium.clean)
     & info [ "net" ]
         ~doc:
-          "Persistent link conditions: clean, bursty-light, bursty, \
-           bursty-heavy (Gilbert\xe2\x80\x93Elliott loss), dup, reorder \
-           (delivery jitter), corrupt, or adversarial (all of them, \
-           moderate).")
+          "Fabric and/or link conditions, '+'-separated.  Fabric: ether \
+           (shared CSMA/CD wire, default), switch (one full-duplex \
+           switch), or switch:SxH\xc2\xa0/\xc2\xa0switch:SxH@U (S segments of H \
+           ports, uplink U-times oversubscribed).  Conditions: clean, \
+           bursty-light, bursty, bursty-heavy (Gilbert\xe2\x80\x93Elliott \
+           loss), dup, reorder (delivery jitter), corrupt, or adversarial \
+           (all of them, moderate).  Example: switch:2x48@10+bursty.")
 
 let disk_conv =
   let open Amoeba_net.Cost_model in
@@ -126,9 +154,9 @@ let resilience_t =
   Arg.(value & opt int 0 & info [ "r"; "resilience" ] ~doc:"Resilience degree.")
 
 let delay_cmd =
-  let run members size method_ r net =
+  let run members size method_ r (fabric, net) =
     let d =
-      E.broadcast_delay ~samples:20 ~resilience:r ~net ~n:members ~size
+      E.broadcast_delay ~samples:20 ~resilience:r ~fabric ~net ~n:members ~size
         ~send_method:method_ ()
     in
     Printf.printf
@@ -241,7 +269,7 @@ let chaos_cmd =
             "Concurrent groups sharing the wire (sequencers spread over \
              machines); invariants are checked independently per group.")
   in
-  let run seed members groups r method_ msgs schedule net disk =
+  let run seed members groups r method_ msgs schedule (fabric, net) disk =
     let schedule =
       match (schedule, disk) with
       | Some s, _ -> Some (Fault.of_string s)
@@ -253,7 +281,7 @@ let chaos_cmd =
     in
     let o =
       Chaos.run ~n:members ~groups ~resilience:r ~send_method:method_ ~msgs
-        ?schedule ~net ?disk ~seed ()
+        ?schedule ~net ~fabric ?disk ~seed ()
     in
     Chaos.print_report o;
     if not (Chaos.ok o) then exit 1
@@ -397,6 +425,17 @@ let workload_cmd =
   let duration_t =
     Arg.(value & opt int 5000 & info [ "duration" ] ~doc:"Simulated ms.")
   in
+  let ramp_t =
+    Arg.(
+      value & opt int 0
+      & info [ "ramp-ms" ]
+          ~doc:
+            "Closed-loop slow start: stagger worker startup over this \
+             many simulated ms instead of unleashing the whole herd at \
+             t=0 (thousands of first-contact clients starve every CPU \
+             at once and the group kernels read the stall as member \
+             failures).  0 keeps the all-at-once start.")
+  in
   let crash_seq_t =
     Arg.(
       value & flag
@@ -490,7 +529,9 @@ let workload_cmd =
              instead of the live state.")
   in
   let run shards hosts routers replication r keys value_bytes read_ratio dist
-      skew workers rate duration_ms seed net wire_mbps crash_seq crash_follower
+      skew workers rate duration_ms ramp_ms seed (fabric, net) wire_mbps
+      crash_seq
+      crash_follower
       max_batch batch_delay_us pipeline_depth disk checkpoint_every fsync
       power_cycle stale_reads =
     let open Amoeba_sim in
@@ -516,7 +557,7 @@ let workload_cmd =
       | Some d -> { base with Amoeba_net.Cost_model.disk = d }
       | None -> base
     in
-    let cl = Cluster.create ~cost ~seed ~n () in
+    let cl = Cluster.create ~cost ~seed ~fabric ~n () in
     let eng = cl.Cluster.engine in
     let duration = Amoeba_sim.Time.ms duration_ms in
     let failed = ref false in
@@ -532,8 +573,8 @@ let workload_cmd =
         disk
     in
     Cluster.spawn cl (fun () ->
-        if net <> Amoeba_net.Ether.clean then
-          Amoeba_net.Ether.set_conditions cl.Cluster.ether net;
+        if net <> Amoeba_net.Medium.clean then
+          Amoeba_net.Medium.set_conditions cl.Cluster.net net;
         let svc =
           Service.deploy cl ~map ~resilience:r ~pipeline:pipeline_depth
             ~record:crashing ?durable ()
@@ -652,7 +693,16 @@ let workload_cmd =
           | None -> Workload.Closed workers
         in
         let spec =
-          { Workload.keys; value_bytes; read_ratio; dist; mode; duration; seed }
+          {
+            Workload.keys;
+            value_bytes;
+            read_ratio;
+            dist;
+            mode;
+            duration;
+            ramp = Amoeba_sim.Time.ms ramp_ms;
+            seed;
+          }
         in
         let res = Workload.run cl ~routers:rs ~map spec in
         Format.printf "%a@." Workload.pp_result res;
@@ -675,6 +725,29 @@ let workload_cmd =
           (agg (fun s -> s.Router.batch_retries));
         Printf.printf "service:   %d reads, %d writes ok, %d busy rejections\n"
           (Service.reads svc) (Service.writes_ok svc) (Service.writes_busy svc);
+        (* Per-replica applied counts by shard: identical numbers mean a
+           healthy group, divergent ones a fissioned membership — the
+           fingerprint that cracked the 32-shard herd collapse.  Env-
+           gated so normal output stays stable for the smoke aliases. *)
+        (try
+           if Sys.getenv "AMOEBA_SHARD_DEBUG" = "1" then
+             for s = 0 to shards - 1 do
+               Printf.printf "shard %d applied: %s\n" s
+                 (String.concat " "
+                    (List.map
+                       (fun (h, a) -> Printf.sprintf "m%d:%d" h a)
+                       (Service.applied svc s)))
+             done
+         with Not_found -> ());
+        let m = cl.Cluster.net in
+        Printf.printf
+          "fabric:    %.1f%% utilisation, %d frames, %d KB, %d collisions, %d \
+           queue drops\n"
+          (100. *. Amoeba_net.Medium.utilisation m)
+          (Amoeba_net.Medium.frames_delivered m)
+          (Amoeba_net.Medium.bytes_delivered m / 1024)
+          (Amoeba_net.Medium.collisions m)
+          (Amoeba_net.Medium.queue_drops m);
         (match durable with
         | None -> ()
         | Some dc ->
@@ -716,7 +789,7 @@ let workload_cmd =
     Term.(
       const run $ shards_t $ hosts_t $ routers_t $ replication_t $ resilience_t
       $ keys_t $ value_bytes_t $ read_ratio_t $ dist_t $ skew_t $ workers_t
-      $ rate_t $ duration_t $ seed_t $ net_t $ wire_t $ crash_seq_t
+      $ rate_t $ duration_t $ ramp_t $ seed_t $ net_t $ wire_t $ crash_seq_t
       $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t
       $ disk_t $ checkpoint_every_t $ fsync_t $ power_cycle_t $ stale_reads_t)
 

@@ -18,6 +18,7 @@ type outcome = {
   resets : int;
   frames_lost : int;
   partition_drops : int;
+  queue_drops : int;  (** switch fabric tail drops (0 on the shared wire) *)
   rx_overflows : int;
   machine_restarts : int;
   duplicates_dropped : int;  (** kernel-refused duplicate/stale frames *)
@@ -82,8 +83,9 @@ let wal_entries replay =
     replay.Store.records
 
 let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
-    ?(msgs = 4) ?(horizon = Time.ms 2000) ?schedule ?(net = Ether.clean)
-    ?(pipeline = 1) ?(ops_per_send = 1) ?disk ~seed () =
+    ?(msgs = 4) ?(horizon = Time.ms 2000) ?schedule ?(net = Medium.clean)
+    ?(fabric = Medium.Shared) ?(pipeline = 1) ?(ops_per_send = 1) ?disk ~seed
+    () =
   if groups < 1 then invalid_arg "Chaos.run: groups < 1";
   let ops_per_send = max 1 ops_per_send in
   let sched =
@@ -107,9 +109,9 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
   let has_cycle = cycles > 0 in
   let c =
     match disk with
-    | None -> Cluster.create ~seed ~n ()
+    | None -> Cluster.create ~seed ~fabric ~n ()
     | Some d ->
-        Cluster.create ~seed
+        Cluster.create ~seed ~fabric
           ~cost:{ Cost_model.default with Cost_model.disk = d }
           ~n ()
   in
@@ -122,11 +124,11 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
      tail-gap repair runs on a quiet net, the same contract the
      schedule's bounded bursts obey (every burst ends by
      horizon + 800ms). *)
-  if net <> Ether.clean then begin
-    Ether.set_conditions c.Cluster.ether net;
+  if net <> Medium.clean then begin
+    Medium.set_conditions c.Cluster.net net;
     ignore
       (Engine.schedule eng ~after:(horizon + Time.sec 1) (fun () ->
-           Ether.set_conditions c.Cluster.ether Ether.clean))
+           Medium.set_conditions c.Cluster.net Medium.clean))
   end;
   let crashed = Array.make n false in
   List.iter
@@ -471,8 +473,9 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
     retransmissions = sum (fun i -> i.Api.retransmissions);
     solicitations = sum (fun i -> i.Api.status_solicitations);
     resets = sum (fun i -> i.Api.resets_survived);
-    frames_lost = Ether.frames_lost c.Cluster.ether;
-    partition_drops = Ether.partition_drops c.Cluster.ether;
+    frames_lost = Medium.frames_lost c.Cluster.net;
+    partition_drops = Medium.partition_drops c.Cluster.net;
+    queue_drops = Medium.queue_drops c.Cluster.net;
     rx_overflows =
       Array.fold_left
         (fun acc m -> acc + Nic.rx_dropped (Machine.nic m))
@@ -490,10 +493,10 @@ let run ?(n = 4) ?(groups = 1) ?(resilience = 0) ?(send_method = Pb)
          acc := !acc + Amoeba_flip.Flip.corrupt_dropped (Cluster.flip c i)
        done;
        !acc);
-    oneway_drops = Ether.oneway_drops c.Cluster.ether;
-    cond_losses = Ether.cond_losses c.Cluster.ether;
-    dups_injected = Ether.duplicates_injected c.Cluster.ether;
-    corruptions_injected = Ether.corruptions_injected c.Cluster.ether;
+    oneway_drops = Medium.oneway_drops c.Cluster.net;
+    cond_losses = Medium.cond_losses c.Cluster.net;
+    dups_injected = Medium.duplicates_injected c.Cluster.net;
+    corruptions_injected = Medium.corruptions_injected c.Cluster.net;
     batches_sent = sum (fun i -> i.Api.batches_sent);
     ops_per_batch_avg =
       (* batched-op totals reconstructed from each member's average *)
@@ -552,6 +555,8 @@ let print_report o =
     o.nacks o.retransmissions o.solicitations o.resets o.machine_restarts;
   Printf.printf "network:   %d frames lost, %d partition drops, %d rx overflows\n"
     o.frames_lost o.partition_drops o.rx_overflows;
+  if o.queue_drops > 0 then
+    Printf.printf "fabric:    %d switch queue tail drops\n" o.queue_drops;
   Printf.printf
     "adversary: %d burst losses, %d oneway drops, %d dups injected, %d \
      corruptions injected\n"

@@ -25,6 +25,9 @@ type outcome = {
   resets : int;  (** recovery incarnations installed, summed over members *)
   frames_lost : int;  (** frames dropped by loss injection *)
   partition_drops : int;  (** receptions suppressed by partitions *)
+  queue_drops : int;
+      (** switch-fabric tail drops (ingress + egress + uplink FIFOs);
+          always 0 on the shared wire *)
   rx_overflows : int;  (** frames lost to full receive rings *)
   machine_restarts : int;
   duplicates_dropped : int;
@@ -61,6 +64,7 @@ val run :
   ?horizon:Time.t ->
   ?schedule:Fault.schedule ->
   ?net:Amoeba_net.Ether.conditions ->
+  ?fabric:Amoeba_net.Medium.spec ->
   ?pipeline:int ->
   ?ops_per_send:int ->
   ?disk:Amoeba_net.Cost_model.disk ->
@@ -84,6 +88,11 @@ val run :
     duplication, jitter, corruption) for the whole active phase; they
     are cleared one second after the horizon so tail repair and the
     flush run on a quiet net, like the schedule's bounded bursts.
+
+    [fabric] (default [Medium.Shared]) selects the medium the cluster
+    is built on: the paper's shared CSMA/CD wire or a switched
+    full-duplex fabric ([Medium.Switched p]).  Schedules, conditions
+    and invariants run unchanged on either.
 
     [pipeline] (default 1) sets every kernel's in-flight round depth;
     [ops_per_send] (default 1) declares each send as a batch of that

@@ -45,17 +45,59 @@ let fingerprint = function
    number [s] delivered the same event at [s].  Streams that end in
    [Expelled] are excluded: with r=0 an expelled member may hold
    tentative deliveries beyond the survivors' global-max, which the
-   reset legitimately discards and reassigns. *)
+   reset legitimately discards and reassigns.
+
+   Total order is an invariant *per configuration*: a member that was
+   unreachable (paused, partitioned) while a reset ran was dropped
+   from the new configuration, and every sequence number from the
+   reset point on belongs to the new incarnation's stream.  Such a
+   member is expelled in fact even if it never learns — e.g. an old
+   sequencer with resilience 0 resuming into a quiescent group hears
+   nothing that would tell it.  So a stream that never installed the
+   run's highest incarnation is compared only below the first reset
+   it missed; its deliveries past that point are the tentative tail
+   the reset legitimately discarded. *)
 let total_order streams =
+  (* Every reset any stream delivered, as (incarnation, seq). *)
+  let resets =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (function
+            | Group_reset { seq; incarnation; _ } -> Some (incarnation, seq)
+            | _ -> None)
+          s.events)
+      streams
+  in
+  (* The highest incarnation a stream installed; min_int when it never
+     saw a reset (still on the group's founding incarnation). *)
+  let installed s =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Group_reset { incarnation; _ } -> max acc incarnation
+        | _ -> acc)
+      min_int s.events
+  in
+  (* First seq reassigned by a reset this stream missed; max_int when
+     it saw them all. *)
+  let cutoff s =
+    let mine = installed s in
+    List.fold_left
+      (fun acc (inc, seq) -> if inc > mine then min acc seq else acc)
+      max_int resets
+  in
   let seen : (int, string * string) Hashtbl.t = Hashtbl.create 64 in
   let problems = ref [] in
   List.iter
     (fun s ->
       if not (expelled s) then
+        let cut = cutoff s in
         List.iter
           (fun e ->
             match seq_of e with
             | None -> ()
+            | Some seq when seq >= cut -> ()
             | Some seq -> (
                 let fp = fingerprint e in
                 match Hashtbl.find_opt seen seq with

@@ -6,22 +6,23 @@ type t = {
   engine : Engine.t;
   cost : Cost_model.t;
   trace : Trace.t;
-  ether : Ether.t;
+  net : Medium.t;
   machines : Machine.t array;
   flips : Flip.t array;
 }
 
-let create ?(cost = Cost_model.default) ?(seed = 1) ~n () =
+let create ?(cost = Cost_model.default) ?(seed = 1) ?(fabric = Medium.Shared)
+    ~n () =
   let engine = Engine.create ~seed () in
   let trace = Trace.create () in
-  let ether = Ether.create engine cost in
+  let net = Medium.create engine cost fabric in
   let machines =
     Array.init n (fun i ->
-        Machine.create engine cost trace ether ~name:(Printf.sprintf "m%d" i)
+        Machine.create engine cost trace net ~name:(Printf.sprintf "m%d" i)
           ~id:i)
   in
   let flips = Array.map Flip.create machines in
-  { engine; cost; trace; ether; machines; flips }
+  { engine; cost; trace; net; machines; flips }
 
 let size t = Array.length t.machines
 let machine t i = t.machines.(i)

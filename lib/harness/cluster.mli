@@ -1,6 +1,7 @@
-(** A simulated testbed: engine + shared Ethernet + n machines, each
-    with a FLIP stack — the fixture every test, example and benchmark
-    builds on. *)
+(** A simulated testbed: engine + network fabric (the shared Ethernet
+    by default, or a full-duplex switch) + n machines, each with a
+    FLIP stack — the fixture every test, example and benchmark builds
+    on. *)
 
 open Amoeba_sim
 open Amoeba_net
@@ -10,14 +11,17 @@ type t = {
   engine : Engine.t;
   cost : Cost_model.t;
   trace : Trace.t;
-  ether : Ether.t;
+  net : Medium.t;
   machines : Machine.t array;
   flips : Flip.t array;
 }
 
-val create : ?cost:Cost_model.t -> ?seed:int -> n:int -> unit -> t
-(** [create ~n ()] builds [n] machines named m0..m(n-1) on one
-    Ethernet segment, mirroring the paper's single-LAN testbed. *)
+val create :
+  ?cost:Cost_model.t -> ?seed:int -> ?fabric:Medium.spec -> n:int -> unit -> t
+(** [create ~n ()] builds [n] machines named m0..m(n-1) on one shared
+    medium.  The default [fabric] is [Medium.Shared] — one Ethernet
+    segment, the paper's single-LAN testbed; [Medium.Switched p] puts
+    the same machines on a switched full-duplex fabric instead. *)
 
 val size : t -> int
 

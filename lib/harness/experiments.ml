@@ -61,15 +61,16 @@ let build_group ?(resilience = 0) ?(send_method = T.Pb) ?history cl ~n =
   creator :: joiners
 
 let broadcast_delay ?(cost = Cost_model.default) ?(samples = 20)
-    ?(resilience = 0) ?(net = Ether.clean) ~n ~size ~send_method () =
-  let cl = Cluster.create ~cost ~n:(max n 2) () in
+    ?(resilience = 0) ?(net = Medium.clean) ?(fabric = Medium.Shared) ~n ~size
+    ~send_method () =
+  let cl = Cluster.create ~cost ~fabric ~n:(max n 2) () in
   let result = ref { mean_ms = 0.; min_ms = 0.; max_ms = 0.; samples = 0 } in
   Cluster.spawn cl (fun () ->
       let groups = build_group ~resilience ~send_method cl ~n in
       List.iter (drain_events cl) groups;
       (* Adversarial conditions apply to the measurement loop only;
          setup runs on a quiet net, like the paper's warm testbed. *)
-      if net <> Ether.clean then Ether.set_conditions cl.Cluster.ether net;
+      if net <> Medium.clean then Medium.set_conditions cl.Cluster.net net;
       (* The paper measures a sender on a different machine than the
          sequencer. *)
       let sender = if n > 1 then List.nth groups 1 else List.hd groups in
@@ -86,7 +87,7 @@ let broadcast_delay ?(cost = Cost_model.default) ?(samples = 20)
             (* Under injected loss a send may exhaust its bounded
                retries; that sample is simply not a delay.  On a clean
                net a failure is a real bug. *)
-            if net = Ether.clean then
+            if net = Medium.clean then
               failwith ("send failed: " ^ T.error_to_string e));
         (* A short pause between sends, as in a measurement loop. *)
         Engine.sleep cl.Cluster.engine (Time.us 200)
@@ -187,6 +188,9 @@ let multigroup_throughput ?(duration_ms = 2_000) ~groups ~members () =
       done;
       Cluster.spawn cl (fun () ->
           Engine.sleep cl.Cluster.engine warmup;
+          (* Measure utilisation over the same window as the message
+             rate: the group-formation warmup used to dilute it. *)
+          Medium.reset_utilisation_window cl.Cluster.net;
           let count () =
             List.fold_left
               (fun acc s -> acc + Kernel.next_expected (Api.kernel s))
@@ -198,8 +202,8 @@ let multigroup_throughput ?(duration_ms = 2_000) ~groups ~members () =
           let secs = Time.to_sec (deadline - warmup) in
           measured :=
             ( float_of_int (c1 - c0) /. secs,
-              Ether.utilisation cl.Cluster.ether,
-              Ether.collisions cl.Cluster.ether )));
+              Medium.utilisation cl.Cluster.net,
+              Medium.collisions cl.Cluster.net )));
   Cluster.run ~until:(deadline + Time.sec 1) cl;
   let rate, util, coll = !measured in
   { total_msgs_per_sec = rate; ether_utilisation = util; collisions = coll }
@@ -357,7 +361,7 @@ let baseline_compare ?(duration_ms = 1_500) ~n proto =
         for _ = 1 to 3 do
           pi.pi_send 1 Bytes.empty
         done;
-        let frames0 = Ether.frames_delivered cl.Cluster.ether in
+        let frames0 = Medium.frames_delivered cl.Cluster.net in
         let intr0 =
           Nic.interrupts (Machine.nic (Cluster.machine cl (n - 1)))
         in
@@ -370,7 +374,7 @@ let baseline_compare ?(duration_ms = 1_500) ~n proto =
           Engine.sleep cl.Cluster.engine (Time.ms 2)
         done;
         Engine.sleep cl.Cluster.engine (Time.ms 100);
-        let frames1 = Ether.frames_delivered cl.Cluster.ether in
+        let frames1 = Medium.frames_delivered cl.Cluster.net in
         let intr1 =
           Nic.interrupts (Machine.nic (Cluster.machine cl (n - 1)))
         in

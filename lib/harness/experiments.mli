@@ -17,6 +17,7 @@ val broadcast_delay :
   ?samples:int ->
   ?resilience:int ->
   ?net:Amoeba_net.Ether.conditions ->
+  ?fabric:Amoeba_net.Medium.spec ->
   n:int ->
   size:int ->
   send_method:Types.send_method ->
@@ -27,7 +28,8 @@ val broadcast_delay :
     receives.  Reports the SendToGroup delay.  [net] installs
     persistent link conditions for the measurement loop (setup stays
     clean); a send that exhausts its retries under injected loss is
-    dropped from the sample set rather than failing the run. *)
+    dropped from the sample set rather than failing the run.  [fabric]
+    selects the medium (shared wire by default). *)
 
 type throughput_result = {
   msgs_per_sec : float;

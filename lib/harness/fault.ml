@@ -39,55 +39,55 @@ let fire ?(on_restart = fun _ -> ()) ?(on_power_down = fun () -> ())
       end
   | Pause i -> Machine.pause (Cluster.machine c i)
   | Resume i -> Machine.resume (Cluster.machine c i)
-  | Partition (a, b) -> Ether.partition c.Cluster.ether a b
-  | Heal -> Ether.heal c.Cluster.ether
+  | Partition (a, b) -> Medium.partition c.Cluster.net a b
+  | Heal -> Medium.heal c.Cluster.net
   | Loss_burst (rate, dur) ->
-      let prev = Ether.loss_rate c.Cluster.ether in
-      Ether.set_loss_rate c.Cluster.ether rate;
+      let prev = Medium.loss_rate c.Cluster.net in
+      Medium.set_loss_rate c.Cluster.net rate;
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
-             Ether.set_loss_rate c.Cluster.ether prev))
-  | Oneway (src, dst) -> Ether.cut_oneway c.Cluster.ether ~src ~dst
+             Medium.set_loss_rate c.Cluster.net prev))
+  | Oneway (src, dst) -> Medium.cut_oneway c.Cluster.net ~src ~dst
   | Burst (p_gb, p_bg, loss_bad, dur) ->
-      let e = c.Cluster.ether in
-      let prev = (Ether.conditions e).Ether.gilbert in
-      Ether.set_conditions e
+      let e = c.Cluster.net in
+      let prev = (Medium.conditions e).Medium.gilbert in
+      Medium.set_conditions e
         {
-          (Ether.conditions e) with
-          Ether.gilbert = Some { Ether.p_gb; p_bg; loss_good = 0.; loss_bad };
+          (Medium.conditions e) with
+          Medium.gilbert = Some { Medium.p_gb; p_bg; loss_good = 0.; loss_bad };
         };
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
              (* Restore only our own field, reading the then-current
                 conditions: overlapping condition bursts of different
                 kinds must compose, not clobber each other. *)
-             Ether.set_conditions e
-               { (Ether.conditions e) with Ether.gilbert = prev }))
+             Medium.set_conditions e
+               { (Medium.conditions e) with Medium.gilbert = prev }))
   | Duplicate (prob, dur) ->
-      let e = c.Cluster.ether in
-      let prev = (Ether.conditions e).Ether.dup_prob in
-      Ether.set_conditions e { (Ether.conditions e) with Ether.dup_prob = prob };
+      let e = c.Cluster.net in
+      let prev = (Medium.conditions e).Medium.dup_prob in
+      Medium.set_conditions e { (Medium.conditions e) with Medium.dup_prob = prob };
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
-             Ether.set_conditions e
-               { (Ether.conditions e) with Ether.dup_prob = prev }))
+             Medium.set_conditions e
+               { (Medium.conditions e) with Medium.dup_prob = prev }))
   | Jitter (ns, dur) ->
-      let e = c.Cluster.ether in
-      let prev = (Ether.conditions e).Ether.jitter_ns in
-      Ether.set_conditions e { (Ether.conditions e) with Ether.jitter_ns = ns };
+      let e = c.Cluster.net in
+      let prev = (Medium.conditions e).Medium.jitter_ns in
+      Medium.set_conditions e { (Medium.conditions e) with Medium.jitter_ns = ns };
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
-             Ether.set_conditions e
-               { (Ether.conditions e) with Ether.jitter_ns = prev }))
+             Medium.set_conditions e
+               { (Medium.conditions e) with Medium.jitter_ns = prev }))
   | Corrupt (prob, dur) ->
-      let e = c.Cluster.ether in
-      let prev = (Ether.conditions e).Ether.corrupt_prob in
-      Ether.set_conditions e
-        { (Ether.conditions e) with Ether.corrupt_prob = prob };
+      let e = c.Cluster.net in
+      let prev = (Medium.conditions e).Medium.corrupt_prob in
+      Medium.set_conditions e
+        { (Medium.conditions e) with Medium.corrupt_prob = prob };
       ignore
         (Engine.schedule c.Cluster.engine ~after:dur (fun () ->
-             Ether.set_conditions e
-               { (Ether.conditions e) with Ether.corrupt_prob = prev }))
+             Medium.set_conditions e
+               { (Medium.conditions e) with Medium.corrupt_prob = prev }))
   | Power_cycle_all outage ->
       (* Total power loss: every machine — already-crashed ones
          included — is down for [outage], then power returns and all

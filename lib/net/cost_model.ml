@@ -67,6 +67,10 @@ type t = {
   bb_threshold_bytes : int;
   multicast_frag_gap_ns : int;
   disk : disk;
+  switch_fwd_ns : int;
+  switch_ingress_frames : int;
+  switch_egress_frames : int;
+  switch_uplink_frames : int;
 }
 
 let default =
@@ -108,6 +112,14 @@ let default =
     bb_threshold_bytes = 1_024;
     multicast_frag_gap_ns = 0;
     disk = hdd1996;
+    (* Store-and-forward switch: ~2 us lookup+forward per frame —
+       below the minimum frame time at 10 and 100 Mbit/s, so a port
+       forwards at line rate and ingress drops only appear when the
+       *fabric* (an oversubscribed uplink) is the bottleneck. *)
+    switch_fwd_ns = 2_000;
+    switch_ingress_frames = 64;
+    switch_egress_frames = 64;
+    switch_uplink_frames = 256;
   }
 
 let mc68030 = default

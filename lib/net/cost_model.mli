@@ -75,6 +75,16 @@ type t = {
           slow receiver's ring can drain — the open problem of section
           4, solved crudely by rate pacing *)
   disk : disk;  (** local-disk timing; {!hdd1996} in {!default} *)
+  (* Switched fabric (Switch) *)
+  switch_fwd_ns : int;
+      (** store-and-forward lookup+forwarding latency per frame; also
+          the per-port ingress service time, kept below the minimum
+          frame time at 10/100 Mbit/s so ports forward at line rate *)
+  switch_ingress_frames : int;  (** per-port ingress FIFO depth *)
+  switch_egress_frames : int;  (** per-port egress FIFO depth *)
+  switch_uplink_frames : int;
+      (** per-direction FIFO depth of each segment uplink — the queue
+          that overflows under fabric oversubscription *)
 }
 
 val default : t

@@ -78,6 +78,11 @@ type t = {
   mutable n_duplicated : int;
   mutable n_corrupted : int;
   mutable n_jittered : int;
+  mutable win_start : Time.t;
+      (** start of the current utilisation window; 0 until the first
+          {!reset_utilisation_window}, so legacy whole-run readings
+          are unchanged *)
+  mutable win_busy : Time.t;  (** [busy_ns] as of [win_start] *)
 }
 
 let create engine cost =
@@ -108,6 +113,8 @@ let create engine cost =
     n_duplicated = 0;
     n_corrupted = 0;
     n_jittered = 0;
+    win_start = Time.zero;
+    win_busy = Time.zero;
   }
 
 let attach ?id t ~rx =
@@ -382,6 +389,15 @@ let frames_delivered t = t.n_frames
 let bytes_delivered t = t.n_bytes
 let excessive_collision_drops t = t.n_excessive
 
+(* Utilisation is windowed: [reset_utilisation_window] marks the start
+   of a measurement interval, so warmup and idle phases before it no
+   longer dilute the reading.  Without a reset the window is the whole
+   run, the pre-window behaviour. *)
+let reset_utilisation_window t =
+  t.win_start <- Engine.now t.engine;
+  t.win_busy <- t.busy_ns
+
 let utilisation t =
-  let elapsed = Engine.now t.engine in
-  if elapsed = 0 then 0. else float_of_int t.busy_ns /. float_of_int elapsed
+  let elapsed = Engine.now t.engine - t.win_start in
+  if elapsed <= 0 then 0.
+  else float_of_int (t.busy_ns - t.win_busy) /. float_of_int elapsed

@@ -159,4 +159,12 @@ val bytes_delivered : t -> int
 val excessive_collision_drops : t -> int
 
 val utilisation : t -> float
-(** Fraction of elapsed simulated time the medium was carrying bits. *)
+(** Fraction of the current measurement window the medium was carrying
+    bits.  The window opens at creation and restarts at each
+    {!reset_utilisation_window}; a report that resets the window when
+    its warmup ends measures the steady state instead of a reading
+    diluted by setup and idle time. *)
+
+val reset_utilisation_window : t -> unit
+(** Starts a fresh utilisation window at the current simulated time.
+    Counters ({!collisions}, {!frames_delivered}, ...) are unaffected. *)

@@ -4,7 +4,7 @@ type t = {
   engine : Engine.t;
   cost : Cost_model.t;
   trace : Trace.t;
-  ether : Ether.t;
+  net : Medium.t;
   name : string;
   id : int;
   mutable cpu : Resource.t;
@@ -27,24 +27,24 @@ type t = {
           behaviour) *)
 }
 
-let fresh_nic engine cost trace ether ~group ~name ~id ~cpu =
+let fresh_nic engine cost trace net ~group ~name ~id ~cpu =
   let alive = ref true in
   let nic =
-    Nic.create engine cost trace ether ~group ~station:id ~host:name ~cpu
+    Nic.create engine cost trace net ~group ~station:id ~host:name ~cpu
       ~alive:(fun () -> !alive)
   in
   (nic, alive)
 
-let create engine cost trace ether ~name ~id =
+let create engine cost trace net ~name ~id =
   let group = Engine.create_group engine ~label:(name ^ "/0") in
   let cpu = Resource.create engine ~name:(name ^ ":cpu") in
   let disk = Resource.create engine ~name:(name ^ ":disk") in
-  let nic, alive = fresh_nic engine cost trace ether ~group ~name ~id ~cpu in
+  let nic, alive = fresh_nic engine cost trace net ~group ~name ~id ~cpu in
   {
     engine;
     cost;
     trace;
-    ether;
+    net;
     name;
     id;
     cpu;
@@ -141,7 +141,7 @@ let restart t =
     t.cpu <- Resource.create t.engine ~name:(t.name ^ ":cpu");
     t.disk <- Resource.create t.engine ~name:(t.name ^ ":disk");
     let nic, alive =
-      fresh_nic t.engine t.cost t.trace t.ether ~group:t.group ~name:t.name
+      fresh_nic t.engine t.cost t.trace t.net ~group:t.group ~name:t.name
         ~id:t.id ~cpu:t.cpu
     in
     t.nic <- nic;

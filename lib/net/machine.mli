@@ -10,7 +10,7 @@ open Amoeba_sim
 type t
 
 val create :
-  Engine.t -> Cost_model.t -> Trace.t -> Ether.t -> name:string -> id:int -> t
+  Engine.t -> Cost_model.t -> Trace.t -> Medium.t -> name:string -> id:int -> t
 
 val engine : t -> Engine.t
 
@@ -21,7 +21,7 @@ val trace : t -> Trace.t
 val name : t -> string
 
 val id : t -> int
-(** Station id on the Ethernet. *)
+(** Station id on the medium. *)
 
 val cpu : t -> Resource.t
 (** The CPU of the {e current} incarnation ({!restart} replaces it, so

@@ -1,0 +1,127 @@
+(** The shared medium interface {!Nic}, {!Machine} and the harness
+    talk to: either the paper's shared CSMA/CD {!Ether} segment or the
+    switched full-duplex {!Switch} fabric.
+
+    A first-class variant rather than a functor so a cluster can be
+    built over either fabric at runtime ([--net switch:2x48\@10]) and
+    so the Ether path stays {e bit-identical}: dispatch adds one match
+    per call, no RNG draws and no timing. *)
+
+open Amoeba_sim
+
+type t =
+  | Ether of Ether.t
+  | Switch of Switch.t
+
+type port
+
+(** How to build the medium for a cluster. *)
+type spec =
+  | Shared  (** one CSMA/CD Ether segment — the paper's testbed *)
+  | Switched of Switch.profile
+
+(** Re-exported from {!Ether} (type-equal), so condition records work
+    unchanged against either fabric. *)
+type gilbert = Ether.gilbert = {
+  p_gb : float;
+  p_bg : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type conditions = Ether.conditions = {
+  gilbert : gilbert option;
+  dup_prob : float;
+  jitter_ns : int;
+  corrupt_prob : float;
+}
+
+val clean : conditions
+
+val create : Engine.t -> Cost_model.t -> spec -> t
+
+val shared : Ether.t -> t
+
+val switched : Switch.t -> t
+
+val ether : t -> Ether.t option
+
+val switch : t -> Switch.t option
+
+val spec_of_string : string -> (spec, string) result
+(** ["ether"] (also ["shared"], ["bus"]) and ["switch"],
+    ["switch:SxH\@U"] (see {!Switch.profile_of_string}). *)
+
+val spec_to_string : spec -> string
+
+val attach : ?id:int -> t -> rx:(Frame.t -> unit) -> port
+
+val port_id : port -> int
+
+val transmit : t -> port -> Frame.t -> [ `Sent | `Dropped ]
+
+(** {1 Fault injection} — dispatched to the underlying fabric; see
+    {!Ether} for the full semantics of each call. *)
+
+val set_drop_fun : t -> (Frame.t -> bool) option -> unit
+
+val set_loss_rate : t -> float -> unit
+
+val loss_rate : t -> float
+
+val frames_lost : t -> int
+
+val partition : t -> int list -> int list -> unit
+
+val partition_pair : t -> int -> int -> unit
+
+val heal_pair : t -> int -> int -> unit
+
+val heal : t -> unit
+
+val partitioned : t -> int -> int -> bool
+
+val partition_drops : t -> int
+
+val cut_oneway : t -> src:int -> dst:int -> unit
+
+val heal_oneway : t -> src:int -> dst:int -> unit
+
+val oneway_cut : t -> src:int -> dst:int -> bool
+
+val oneway_drops : t -> int
+
+val set_conditions : t -> conditions -> unit
+
+val conditions : t -> conditions
+
+val set_link_conditions : t -> src:int -> dst:int -> conditions option -> unit
+
+val link_conditions : t -> src:int -> dst:int -> conditions option
+
+val cond_losses : t -> int
+
+val duplicates_injected : t -> int
+
+val corruptions_injected : t -> int
+
+val frames_jittered : t -> int
+
+(** {1 Statistics} *)
+
+val collisions : t -> int
+(** Always 0 on a switched fabric (full duplex). *)
+
+val frames_delivered : t -> int
+
+val bytes_delivered : t -> int
+
+val excessive_collision_drops : t -> int
+
+val queue_drops : t -> int
+(** Switch tail drops (ingress + egress + uplink); always 0 on the
+    shared wire, which has no queues. *)
+
+val utilisation : t -> float
+
+val reset_utilisation_window : t -> unit

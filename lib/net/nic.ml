@@ -6,8 +6,8 @@ type t = {
   engine : Engine.t;
   cost : Cost_model.t;
   trace : Trace.t;
-  ether : Ether.t;
-  port : Ether.port;
+  net : Medium.t;
+  port : Medium.port;
   station : int;
   host : string;
   cpu : Resource.t;
@@ -59,7 +59,7 @@ let rec service t () =
      match t.handler with Some h -> h frame | None -> ());
   service t ()
 
-let create engine cost trace ether ~group ~station ~host ~cpu ~alive =
+let create engine cost trace net ~group ~station ~host ~cpu ~alive =
   let t_ref = ref None in
   (* A match, not Option.iter: this runs once per frame on the wire and
      a [fun t -> ...] capturing [frame] would allocate a closure per
@@ -67,13 +67,13 @@ let create engine cost trace ether ~group ~station ~host ~cpu ~alive =
   let rx frame =
     match !t_ref with Some t -> on_wire_rx t frame | None -> ()
   in
-  let port = Ether.attach ~id:station ether ~rx in
+  let port = Medium.attach ~id:station net ~rx in
   let t =
     {
       engine;
       cost;
       trace;
-      ether;
+      net;
       port;
       station;
       host;
@@ -114,7 +114,7 @@ let send t frame =
     Trace.record t.trace t.engine ~layer:"ether" ~host:t.host cost;
     Resource.acquire t.tx_lock;
     let wire_start = Engine.now t.engine in
-    let outcome = Ether.transmit t.ether t.port frame in
+    let outcome = Medium.transmit t.net t.port frame in
     Trace.record t.trace t.engine ~layer:"ether" ~host:"wire"
       (Engine.now t.engine - wire_start);
     Resource.release t.tx_lock;

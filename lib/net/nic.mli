@@ -16,7 +16,7 @@ val create :
   Engine.t ->
   Cost_model.t ->
   Trace.t ->
-  Ether.t ->
+  Medium.t ->
   group:Engine.group ->
   station:int ->
   host:string ->

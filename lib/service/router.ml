@@ -66,20 +66,25 @@ type t = {
    become reachable again. *)
 let pick ss =
   let n = Array.length ss.eps in
-  let usable i = not ss.suspect.(i) in
-  if not (Array.exists Fun.id (Array.init n usable)) then
-    Array.fill ss.suspect 0 n false;
-  let follower_up =
-    Array.exists Fun.id
-      (Array.init n (fun i -> usable i && not ss.reserve.(i)))
-  in
-  let want i = usable i && ((not follower_up) || not ss.reserve.(i)) in
-  let rec go tries =
-    let i = ss.rr mod n in
-    ss.rr <- ss.rr + 1;
-    if (not (want i)) && tries < 2 * n then go (tries + 1) else i
-  in
-  go 0
+  if n = 0 then None
+    (* a recovery handoff can momentarily leave a shard with no
+       endpoints; the caller backs off rather than dividing by zero *)
+  else begin
+    let usable i = not ss.suspect.(i) in
+    if not (Array.exists Fun.id (Array.init n usable)) then
+      Array.fill ss.suspect 0 n false;
+    let follower_up =
+      Array.exists Fun.id
+        (Array.init n (fun i -> usable i && not ss.reserve.(i)))
+    in
+    let want i = usable i && ((not follower_up) || not ss.reserve.(i)) in
+    let rec go tries =
+      let i = ss.rr mod n in
+      ss.rr <- ss.rr + 1;
+      if (not (want i)) && tries < 2 * n then go (tries + 1) else i
+    in
+    Some (go 0)
+  end
 
 (* Endpoints on one machine share fate: a dead-host verdict for one
    condemns its whole pool, so the rotation skips them all instead of
@@ -95,47 +100,70 @@ let perform t client ss req =
     if attempt > t.attempts then Failed "attempts exhausted"
     else begin
       if attempt > 1 then t.s_retries <- t.s_retries + 1;
-      let i = pick ss in
-      let ep = ss.eps.(i) in
-      match Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout ~retries:1 payload with
-      | Ok bytes -> (
-          ss.suspect.(i) <- false;
-          match Kv.decode_reply bytes with
-          | Some (Kv.Value v) -> Value v
-          | Some Kv.Not_found -> Not_found
-          | Some Kv.Written -> Written
-          | Some (Kv.Wrong_shard _) ->
-              (* Static map: can only happen on a stale/buggy peer.
-                 Re-enqueue on the shard the key really hashes to. *)
-              t.s_redirects <- t.s_redirects + 1;
-              let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
-              let iv = Ivar.create () in
-              Channel.send t.shards.(s).queue (req, iv);
-              Ivar.read t.engine iv
-          | Some (Kv.Busy _) ->
-              (* The shard is recovering; give it a moment. *)
-              Engine.sleep t.engine (Time.ms (25 * attempt));
-              go (attempt + 1)
-          | None -> go (attempt + 1))
-      | Error `No_route ->
-          (* FLIP could not locate the endpoint.  A dead host looks
-             like this, but so does a congested wire eating the locate
-             probes — so step aside briefly before hammering another
-             replica. *)
-          t.s_failovers <- t.s_failovers + 1;
-          suspect_host ss ep.Service.ep_host;
-          Engine.sleep t.engine (Time.ms (5 * attempt));
+      match pick ss with
+      | None ->
+          (* Mid-recovery: no endpoints installed yet.  Back off like
+             a [Busy] reply until [update_endpoints] lands. *)
+          Engine.sleep t.engine (Time.ms (25 * attempt));
           go (attempt + 1)
-      | Error `Timeout ->
-          (* Slow or dead?  Ask the failure detector, like the group
-             kernel would. *)
-          if Failure_detector.probe t.det ep.Service.ep_probe then go (attempt + 1)
-          else begin
-            t.s_probes_dead <- t.s_probes_dead + 1;
-            t.s_failovers <- t.s_failovers + 1;
-            suspect_host ss ep.Service.ep_host;
-            go (attempt + 1)
-          end
+      | Some i -> (
+          (* Snapshot the arrays [i] indexes before the blocking call:
+             a power-cycle recovery may run [update_endpoints] while
+             the RPC is in flight, swapping in arrays of a different
+             length, and the post-call verdict must land on the
+             endpoint actually tried — not index out of bounds in the
+             fresh state. *)
+          let eps = ss.eps and suspect = ss.suspect in
+          let ep = eps.(i) in
+          match
+            Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout
+              ~retries:1 payload
+          with
+          | Ok bytes -> (
+              suspect.(i) <- false;
+              match Kv.decode_reply bytes with
+              | Some (Kv.Value v) -> Value v
+              | Some Kv.Not_found -> Not_found
+              | Some Kv.Written -> Written
+              | Some (Kv.Wrong_shard _) ->
+                  (* Static map: can only happen on a stale/buggy peer.
+                     Re-enqueue on the shard the key really hashes to. *)
+                  t.s_redirects <- t.s_redirects + 1;
+                  let s = Shard_map.shard_of_key t.map (Kv.request_key req) in
+                  let iv = Ivar.create () in
+                  Channel.send t.shards.(s).queue (req, iv);
+                  Ivar.read t.engine iv
+              | Some (Kv.Busy _) ->
+                  (* The shard is recovering; give it a moment. *)
+                  Engine.sleep t.engine (Time.ms (25 * attempt));
+                  go (attempt + 1)
+              | None -> go (attempt + 1))
+          | Error `No_route ->
+              (* FLIP could not locate the endpoint.  A dead host looks
+                 like this, but so does a congested wire eating the locate
+                 probes — so step aside briefly before hammering another
+                 replica. *)
+              t.s_failovers <- t.s_failovers + 1;
+              suspect_host ss ep.Service.ep_host;
+              Engine.sleep t.engine (Time.ms (5 * attempt));
+              go (attempt + 1)
+          | Error `Timeout ->
+              (* Slow or dead?  Ask the failure detector, like the group
+                 kernel would.  Alive means congested — the request is
+                 probably still sitting in the replica's queue, so an
+                 immediate resend doubles its load exactly when it is
+                 drowning.  Back off before retrying; only a dead
+                 verdict fails over at once. *)
+              if Failure_detector.probe t.det ep.Service.ep_probe then begin
+                Engine.sleep t.engine (Time.ms (25 * attempt));
+                go (attempt + 1)
+              end
+              else begin
+                t.s_probes_dead <- t.s_probes_dead + 1;
+                t.s_failovers <- t.s_failovers + 1;
+                suspect_host ss ep.Service.ep_host;
+                go (attempt + 1)
+              end)
     end
   in
   go 1
@@ -159,14 +187,22 @@ let rec perform_batch t client ss items attempt =
         t.s_batch_retries <- t.s_batch_retries + 1
       end;
       let payload = Kv.encode_batch_request (List.map fst items) in
-      let i = pick ss in
-      let ep = ss.eps.(i) in
-      (match
-         Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout ~retries:1
-           payload
-       with
+      match pick ss with
+      | None ->
+          (* Mid-recovery: no endpoints yet; see [perform]. *)
+          Engine.sleep t.engine (Time.ms (25 * attempt));
+          perform_batch t client ss items (attempt + 1)
+      | Some i -> (
+      (* Same snapshot rule as [perform]: [update_endpoints] may swap
+         the arrays while the batch RPC is in flight. *)
+      let eps = ss.eps and suspect = ss.suspect in
+      let ep = eps.(i) in
+      match
+        Rpc.call client ~dst:ep.Service.ep_addr ~timeout:t.timeout ~retries:1
+          payload
+      with
       | Ok bytes -> (
-          ss.suspect.(i) <- false;
+          suspect.(i) <- false;
           match Kv.decode_batch_reply bytes with
           | Some replies when List.length replies = List.length items ->
               let busy = ref [] in
@@ -197,8 +233,13 @@ let rec perform_batch t client ss items attempt =
           Engine.sleep t.engine (Time.ms (5 * attempt));
           perform_batch t client ss items (attempt + 1)
       | Error `Timeout ->
-          if Failure_detector.probe t.det ep.Service.ep_probe then
+          (* Same congestion rule as [perform]: alive-but-slow backs
+             off instead of re-shipping the whole batch into the
+             replica's backlog. *)
+          if Failure_detector.probe t.det ep.Service.ep_probe then begin
+            Engine.sleep t.engine (Time.ms (25 * attempt));
             perform_batch t client ss items (attempt + 1)
+          end
           else begin
             t.s_probes_dead <- t.s_probes_dead + 1;
             t.s_failovers <- t.s_failovers + 1;

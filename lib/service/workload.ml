@@ -11,6 +11,7 @@ type spec = {
   dist : dist;
   mode : mode;
   duration : Time.t;
+  ramp : Time.t;
   seed : int;
 }
 
@@ -60,35 +61,42 @@ type acc = {
   mutable writes : int;
   per_shard : int array;
   mutable in_flight : int;
+  mutable issued : int;  (* every op ever started, warmup included *)
 }
 
-let one_op eng ~map ~acc ~sampler ~spec ~rng router =
+let one_op eng ~map ~acc ~sampler ~spec ~rng ~measure_from router =
   let key = "k" ^ string_of_int (sampler rng) in
   let is_read = Random.State.float rng 1.0 < spec.read_ratio in
-  acc.attempted <- acc.attempted + 1;
-  acc.in_flight <- acc.in_flight + 1;
   let t0 = Engine.now eng in
+  (* Warmup exclusion: ops issued while the ramp is still admitting
+     clients carry real load but are not measured — the figures
+     describe the full herd at steady state, not the slow start. *)
+  let measured = t0 >= measure_from in
+  acc.issued <- acc.issued + 1;
+  if measured then acc.attempted <- acc.attempted + 1;
+  acc.in_flight <- acc.in_flight + 1;
   let reply =
     if is_read then Router.get router key
     else begin
       (* Values carry a unique stamp then pad to size: distinct bodies
          keep the checker's no-duplicates invariant meaningful. *)
-      let stamp = Printf.sprintf "v%d." acc.attempted in
+      let stamp = Printf.sprintf "v%d." acc.issued in
       let pad = max 0 (spec.value_bytes - String.length stamp) in
       Router.put router key (stamp ^ String.make pad 'x')
     end
   in
   let dt_ms = Time.to_ms (Engine.now eng - t0) in
   acc.in_flight <- acc.in_flight - 1;
-  match reply with
-  | Router.Failed _ -> acc.failed <- acc.failed + 1
-  | Router.Value _ | Router.Not_found | Router.Written ->
-      acc.completed <- acc.completed + 1;
-      Stats.add acc.stats dt_ms;
-      if is_read then acc.reads <- acc.reads + 1
-      else acc.writes <- acc.writes + 1;
-      let s = Shard_map.shard_of_key map key in
-      acc.per_shard.(s) <- acc.per_shard.(s) + 1
+  if measured then
+    match reply with
+    | Router.Failed _ -> acc.failed <- acc.failed + 1
+    | Router.Value _ | Router.Not_found | Router.Written ->
+        acc.completed <- acc.completed + 1;
+        Stats.add acc.stats dt_ms;
+        if is_read then acc.reads <- acc.reads + 1
+        else acc.writes <- acc.writes + 1;
+        let s = Shard_map.shard_of_key map key in
+        acc.per_shard.(s) <- acc.per_shard.(s) + 1
 
 let run cl ~routers ~map spec =
   let eng = cl.Cluster.engine in
@@ -102,13 +110,17 @@ let run cl ~routers ~map spec =
       writes = 0;
       per_shard = Array.make (Shard_map.shards map) 0;
       in_flight = 0;
+      issued = 0;
     }
   in
   let sampler = make_sampler spec in
   let routers = Array.of_list routers in
   let nr = Array.length routers in
   if nr = 0 then invalid_arg "Workload.run: no routers";
-  let stop = Engine.now eng + spec.duration in
+  let start = Engine.now eng in
+  let stop = start + spec.duration in
+  let ramp = max 0 (min spec.ramp spec.duration) in
+  let measure_from = start + ramp in
   (match spec.mode with
   | Closed n ->
       let remaining = ref n in
@@ -117,8 +129,16 @@ let run cl ~routers ~map spec =
         let rng = Random.State.make [| spec.seed; 0x6b1d; i |] in
         let router = routers.(i mod nr) in
         Cluster.spawn cl (fun () ->
+            (* Slow start: stagger client arrivals over the ramp
+               window.  A few thousand clients all firing at t=0
+               starve every host's CPU at once (locate broadcasts,
+               first-contact RPCs), which the group kernels read as
+               member failures — the measurement then starts with a
+               reset storm no real deployment would begin from. *)
+            if ramp > 0 && n > 1 then
+              Engine.sleep eng (i * ramp / (n - 1));
             while Engine.now eng < stop do
-              one_op eng ~map ~acc ~sampler ~spec ~rng router
+              one_op eng ~map ~acc ~sampler ~spec ~rng ~measure_from router
             done;
             decr remaining;
             if !remaining = 0 then Ivar.fill all_done ())
@@ -138,7 +158,8 @@ let run cl ~routers ~map spec =
           incr i;
           let rng = Random.State.make [| spec.seed; 0x09e5; k |] in
           Cluster.spawn cl (fun () ->
-              one_op eng ~map ~acc ~sampler ~spec ~rng routers.(k mod nr))
+              one_op eng ~map ~acc ~sampler ~spec ~rng ~measure_from
+                routers.(k mod nr))
         end
       done;
       (* Drain in-flight operations, bounded by a grace period. *)
@@ -146,7 +167,7 @@ let run cl ~routers ~map spec =
       while acc.in_flight > 0 && Engine.now eng < deadline do
         Engine.sleep eng (Time.ms 10)
       done);
-  let dur_s = Time.to_sec spec.duration in
+  let dur_s = Time.to_sec (spec.duration - ramp) in
   {
     attempted = acc.attempted;
     completed = acc.completed;

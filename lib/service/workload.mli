@@ -26,6 +26,12 @@ type spec = {
   dist : dist;
   mode : mode;
   duration : Time.t;  (** measurement window *)
+  ramp : Time.t;
+      (** closed-loop slow start: client [i] of [n] enters the loop at
+          [i * ramp / (n-1)], so the full herd is running only after
+          [ramp].  Zero (the default everywhere) keeps the historical
+          all-at-once start.  Ignored in open-loop mode, whose Poisson
+          arrivals have no initial stampede to soften. *)
   seed : int;  (** workload seed (independent of the cluster's) *)
 }
 

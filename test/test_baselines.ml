@@ -109,7 +109,7 @@ let test_migrating_token_follows_sender () =
       (* First send fetches the token remotely... *)
       Migrating.send sender (body "b1");
       Engine.sleep cl.Cluster.engine (Time.ms 5);
-      let before = Ether.frames_delivered cl.Cluster.ether in
+      let before = Medium.frames_delivered cl.Cluster.net in
       (* ...the rest of the burst sequences locally: 1 frame each.  A
          local send returns at sequencing time, before its multicast
          clears the wire, so let the frames settle before counting. *)
@@ -117,7 +117,7 @@ let test_migrating_token_follows_sender () =
         Migrating.send sender (body (Printf.sprintf "b%d" k))
       done;
       Engine.sleep cl.Cluster.engine (Time.ms 5);
-      frames_burst := Ether.frames_delivered cl.Cluster.ether - before;
+      frames_burst := Medium.frames_delivered cl.Cluster.net - before;
       moves := Migrating.token_moves (List.nth nodes 2));
   Cluster.run ~until:(Time.sec 60) cl;
   Alcotest.(check int) "token moved to the burst sender once" 1 !moves;
@@ -134,7 +134,7 @@ let test_cm_loss_recovery () =
       Engine.sleep cl.Cluster.engine (Time.ms 100);
       (* Drop one data frame; the retransmission machinery repairs. *)
       let dropped = ref false in
-      Ether.set_drop_fun cl.Cluster.ether
+      Medium.set_drop_fun cl.Cluster.net
         (Some
            (fun frame ->
              match Amoeba_flip.Flip.packet_of_frame frame with

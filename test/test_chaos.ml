@@ -54,40 +54,58 @@ let saw_expelled g =
 
 (* ----- the swarm: random schedules x workloads, shrunk on failure ----- *)
 
+(* Every swarm case also draws the fabric the cluster runs on: the
+   paper's shared wire, a flat full-duplex switch, or a two-segment
+   switch whose 2x uplink is oversubscribed for groups of 3+ — so the
+   same schedules and invariants cover queueing-loss fabrics too. *)
+let fabrics =
+  [
+    Medium.Shared;
+    Medium.Switched Switch.flat;
+    Medium.Switched { Switch.segments = 2; segment_size = 3; uplink_mult = 2 };
+  ]
+
+let fabric_to_string = function
+  | Medium.Shared -> "ether"
+  | Medium.Switched p -> Switch.profile_to_string p
+
 let swarm_case =
   let gen =
     QCheck.Gen.(
       int_range 3 5 >>= fun n ->
       int_range 0 (n - 2) >>= fun r ->
       oneofl [ T.Pb; T.Bb ] >>= fun m ->
+      oneofl fabrics >>= fun fabric ->
       int_range 0 99_999 >>= fun seed ->
-      return (n, r, m, seed, Fault.random ~seed ~n ()))
+      return (n, r, m, fabric, seed, Fault.random ~seed ~n ()))
   in
-  let print (n, r, m, seed, sched) =
+  let print (n, r, m, fabric, seed, sched) =
     Printf.sprintf
-      "n=%d r=%d method=%s seed=%d (replay: amoeba chaos --seed %d -m %d -r \
-       %d --method %s --schedule %S)"
+      "n=%d r=%d method=%s net=%s seed=%d (replay: amoeba chaos --seed %d -m \
+       %d -r %d --method %s --net %s --schedule %S)"
       n r
       (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
-      seed seed n r
+      (fabric_to_string fabric) seed seed n r
       (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
+      (fabric_to_string fabric)
       (Fault.to_string sched)
   in
   (* Shrink only the schedule: QCheck peels steps off until the
      smallest fault sequence that still breaks an invariant remains,
      and [print] renders it as a chaos-CLI replay line. *)
-  let shrink (n, r, m, seed, sched) =
+  let shrink (n, r, m, fabric, seed, sched) =
     QCheck.Iter.map
-      (fun sched' -> (n, r, m, seed, sched'))
+      (fun sched' -> (n, r, m, fabric, seed, sched'))
       (QCheck.Shrink.list sched)
   in
   QCheck.make ~print ~shrink gen
 
 let prop_swarm_invariants =
   QCheck.Test.make ~name:"swarm: invariants hold under random fault schedules"
-    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+    ~count:120 swarm_case (fun (n, r, m, fabric, seed, sched) ->
       Chaos.ok
-        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched ~seed ()))
+        (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched ~fabric
+           ~seed ()))
 
 let prop_schedule_roundtrip =
   QCheck.Test.make ~name:"fault schedule survives to_string/of_string"
@@ -167,10 +185,10 @@ let test_loss_burst_repaired () =
    swarm. *)
 let adversarial_net =
   {
-    Amoeba_net.Ether.gilbert =
+    Amoeba_net.Medium.gilbert =
       Some
         {
-          Amoeba_net.Ether.p_gb = 0.01;
+          Amoeba_net.Medium.p_gb = 0.01;
           p_bg = 0.3;
           loss_good = 0.002;
           loss_bad = 0.4;
@@ -183,10 +201,10 @@ let adversarial_net =
 let prop_adversarial_swarm =
   QCheck.Test.make
     ~name:"swarm: invariants hold on a hostile net under random schedules"
-    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+    ~count:120 swarm_case (fun (n, r, m, fabric, seed, sched) ->
       Chaos.ok
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
-           ~net:adversarial_net ~seed ()))
+           ~net:adversarial_net ~fabric ~seed ()))
 
 (* The same hostile net and random schedules with batching and
    pipelining on: every send is declared as a 3-op batch to the
@@ -196,10 +214,10 @@ let prop_adversarial_swarm =
 let prop_batched_adversarial_swarm =
   QCheck.Test.make
     ~name:"swarm: batching + pipelining hold invariants on a hostile net"
-    ~count:120 swarm_case (fun (n, r, m, seed, sched) ->
+    ~count:120 swarm_case (fun (n, r, m, fabric, seed, sched) ->
       Chaos.ok
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
-           ~net:adversarial_net ~pipeline:4 ~ops_per_send:3 ~seed ()))
+           ~net:adversarial_net ~fabric ~pipeline:4 ~ops_per_send:3 ~seed ()))
 
 (* The power-loss swarm: random schedules that additionally yank the
    power on the whole cluster once mid-run, with every member logging
@@ -215,26 +233,31 @@ let power_swarm_case =
       int_range 3 5 >>= fun n ->
       int_range 0 (n - 2) >>= fun r ->
       oneofl [ T.Pb; T.Bb ] >>= fun m ->
+      oneofl fabrics >>= fun fabric ->
       int_range 0 99_999 >>= fun seed ->
       bool >>= fun hostile ->
-      return (n, r, m, seed, hostile, Fault.random ~seed ~n ~power_cycles:true ()))
+      return
+        (n, r, m, fabric, seed, hostile,
+         Fault.random ~seed ~n ~power_cycles:true ()))
   in
-  let print (n, r, m, seed, hostile, sched) =
+  let print (n, r, m, fabric, seed, hostile, sched) =
     Printf.sprintf
-      "n=%d r=%d method=%s seed=%d net=%s (replay: amoeba chaos --seed %d -m \
-       %d -r %d --method %s --disk ssd%s --schedule %S)"
+      "n=%d r=%d method=%s seed=%d net=%s+%s (replay: amoeba chaos --seed %d \
+       -m %d -r %d --method %s --disk ssd --net %s%s --schedule %S)"
       n r
       (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
       seed
+      (fabric_to_string fabric)
       (if hostile then "adversarial" else "clean")
       seed n r
       (match m with T.Pb -> "pb" | T.Bb -> "bb" | T.Auto -> "auto")
-      (if hostile then " --net adversarial" else "")
+      (fabric_to_string fabric)
+      (if hostile then "+adversarial" else "")
       (Fault.to_string sched)
   in
-  let shrink (n, r, m, seed, hostile, sched) =
+  let shrink (n, r, m, fabric, seed, hostile, sched) =
     QCheck.Iter.map
-      (fun sched' -> (n, r, m, seed, hostile, sched'))
+      (fun sched' -> (n, r, m, fabric, seed, hostile, sched'))
       (QCheck.Shrink.list sched)
   in
   QCheck.make ~print ~shrink gen
@@ -242,13 +265,40 @@ let power_swarm_case =
 let prop_power_cycle_swarm =
   QCheck.Test.make
     ~name:"swarm: durability survives whole-cluster power loss"
-    ~count:120 power_swarm_case (fun (n, r, m, seed, hostile, sched) ->
+    ~count:120 power_swarm_case (fun (n, r, m, fabric, seed, hostile, sched) ->
       (* the shrinker may peel the Power_cycle_all step off; the run is
          then an ordinary durable run, still a valid case *)
       Chaos.ok
         (Chaos.run ~n ~resilience:r ~send_method:m ~schedule:sched
-           ~net:(if hostile then adversarial_net else Ether.clean)
-           ~disk:Cost_model.ssd ~seed ()))
+           ~net:(if hostile then adversarial_net else Medium.clean)
+           ~fabric ~disk:Cost_model.ssd ~seed ()))
+
+(* Regression (found by the fabric swarm, reproduces on the shared
+   wire too): the r=0 sequencer pauses, the survivors reset without
+   it, one of them then crashes, and the old sequencer resumes into a
+   near-quiet group.  Nothing pings an r=0 sequencer, so it never
+   learns of its expulsion — the checker must still scope total order
+   per configuration and discount the ghost's discarded tail. *)
+let test_ghost_sequencer_after_missed_reset () =
+  let schedule =
+    [
+      step 501_075_970 (Fault.Pause 0);
+      step 1_881_750_145 (Fault.Crash 2);
+      step 1_887_605_124 (Fault.Resume 0);
+    ]
+  in
+  List.iter
+    (fun fabric ->
+      let o =
+        Chaos.run ~n:3 ~resilience:0 ~send_method:T.Bb ~schedule ~fabric
+          ~seed:90615 ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "invariants hold on %s" (fabric_to_string fabric))
+        true (Chaos.ok o);
+      Alcotest.(check bool) "the group reset around the pause" true
+        (o.Chaos.resets > 0))
+    fabrics
 
 let test_multigroup_invariants_per_group () =
   (* Three concurrent groups share the wire (sequencers on machines 0,
@@ -350,7 +400,7 @@ let test_resilient_sends_under_loss () =
          that no send exhausts its bounded retries (probe_retries
          attempts) under this seed — a send that loses every attempt
          legitimately errors with Sequencer_unreachable. *)
-      Ether.set_loss_rate cl.Cluster.ether 0.12;
+      Medium.set_loss_rate cl.Cluster.net 0.12;
       List.iteri
         (fun i g ->
           Cluster.spawn cl (fun () ->
@@ -361,7 +411,7 @@ let test_resilient_sends_under_loss () =
               done))
         groups;
       Engine.sleep cl.Cluster.engine (Time.sec 5);
-      Ether.set_loss_rate cl.Cluster.ether 0.;
+      Medium.set_loss_rate cl.Cluster.net 0.;
       ignore (check_ok "flush" (Api.send_to_group g1 (body "flush")));
       Engine.sleep cl.Cluster.engine (Time.sec 2);
       let streams = List.map message_bodies groups in
@@ -393,14 +443,14 @@ let test_partition_blocks_then_heals () =
   with_cluster 3 (fun cl ->
       let groups = build_auto_heal cl 3 in
       let g0 = List.hd groups and g2 = List.nth groups 2 in
-      Ether.partition cl.Cluster.ether [ 2 ] [ 0; 1 ];
+      Medium.partition cl.Cluster.net [ 2 ] [ 0; 1 ];
       ignore (check_ok "cut send" (Api.send_to_group g0 (body "cut")));
       Engine.sleep cl.Cluster.engine (Time.ms 200);
       Alcotest.(check (list string)) "isolated member saw nothing" []
         (message_bodies g2);
       Alcotest.(check bool) "drops were counted" true
-        (Ether.partition_drops cl.Cluster.ether > 0);
-      Ether.heal cl.Cluster.ether;
+        (Medium.partition_drops cl.Cluster.net > 0);
+      Medium.heal cl.Cluster.net;
       ignore (check_ok "healed send" (Api.send_to_group g0 (body "healed")));
       Engine.sleep cl.Cluster.engine (Time.sec 2);
       Alcotest.(check (list string))
@@ -535,6 +585,8 @@ let suite =
       tc "loss burst repaired" test_loss_burst_repaired;
       tc "multi-group invariants hold per group"
         test_multigroup_invariants_per_group;
+      tc "ghost sequencer after a missed reset"
+        test_ghost_sequencer_after_missed_reset;
       QCheck_alcotest.to_alcotest ~rand prop_swarm_invariants;
       QCheck_alcotest.to_alcotest ~rand prop_adversarial_swarm;
       QCheck_alcotest.to_alcotest ~rand prop_batched_adversarial_swarm;

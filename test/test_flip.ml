@@ -22,7 +22,7 @@ let make_world n =
   let flips =
     List.init n (fun i ->
         Flip.create
-          (Machine.create eng cost tr ether ~name:(Printf.sprintf "m%d" i) ~id:i))
+          (Machine.create eng cost tr (Medium.shared ether) ~name:(Printf.sprintf "m%d" i) ~id:i))
   in
   { eng; ether; flips }
 

@@ -3,6 +3,7 @@ let () =
     [
       Test_sim.suite;
       Test_net.suite;
+      Test_switch.suite;
       Test_flip.suite;
       Test_core.suite;
       Test_wire.suite;

@@ -113,7 +113,7 @@ let test_utilisation_positive () =
 
 let make_machines eng tr ether n =
   List.init n (fun i ->
-      Machine.create eng cost tr ether ~name:(Printf.sprintf "m%d" i) ~id:i)
+      Machine.create eng cost tr (Medium.shared ether) ~name:(Printf.sprintf "m%d" i) ~id:i)
 
 let test_nic_unicast_filtering () =
   let eng, tr, ether = make_world () in
@@ -173,8 +173,8 @@ let test_nic_ring_overflow_drops () =
   let eng = Engine.create () in
   let tr = Trace.create () in
   let ether = Ether.create eng slow in
-  let m0 = Machine.create eng slow tr ether ~name:"src" ~id:0 in
-  let m1 = Machine.create eng slow tr ether ~name:"dst" ~id:1 in
+  let m0 = Machine.create eng slow tr (Medium.shared ether) ~name:"src" ~id:0 in
+  let m1 = Machine.create eng slow tr (Medium.shared ether) ~name:"dst" ~id:1 in
   Nic.set_handler (Machine.nic m1) (fun _ -> ());
   Engine.spawn eng (fun () ->
       for i = 1 to 64 do

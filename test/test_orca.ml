@@ -103,12 +103,12 @@ let test_reads_are_local () =
       let h0 = Counter.declare (List.nth rts 0) ~name:"c" ~init:7 in
       let _h1 = Counter.declare (List.nth rts 1) ~name:"c" ~init:7 in
       Engine.sleep cl.Cluster.engine (Time.ms 10);
-      let frames_before = Ether.frames_delivered cl.Cluster.ether in
+      let frames_before = Medium.frames_delivered cl.Cluster.net in
       for _ = 1 to 100 do
         ignore (Counter.read h0 Fun.id)
       done;
       Alcotest.(check int) "no wire traffic for reads" frames_before
-        (Ether.frames_delivered cl.Cluster.ether))
+        (Medium.frames_delivered cl.Cluster.net))
 
 let test_guard_blocks_until_condition () =
   with_runtimes 2 (fun cl rts ->

@@ -166,7 +166,7 @@ let run_isolation ~conditions () =
       receiver 1 ga';
       receiver 2 gb;
       receiver 3 gb';
-      Ether.set_conditions cl.Cluster.ether conditions;
+      Medium.set_conditions cl.Cluster.net conditions;
       let sender g tag =
         Cluster.spawn cl (fun () ->
             for k = 1 to 10 do
@@ -181,7 +181,7 @@ let run_isolation ~conditions () =
       sender gb "B0";
       sender gb' "B1";
       Engine.sleep cl.Cluster.engine (Time.sec 30);
-      Ether.set_conditions cl.Cluster.ether Ether.clean;
+      Medium.set_conditions cl.Cluster.net Medium.clean;
       (* One clean message per group flushes any pending repair. *)
       ignore (Api.send_to_group ga (Bytes.of_string "A0.flush"));
       ignore (Api.send_to_group gb (Bytes.of_string "B0.flush")));
@@ -208,13 +208,13 @@ let run_isolation ~conditions () =
     "group B delivered exactly its messages" (expected "B")
     (List.sort compare (got 2))
 
-let test_isolation_clean () = run_isolation ~conditions:Ether.clean ()
+let test_isolation_clean () = run_isolation ~conditions:Medium.clean ()
 
 let test_isolation_adversarial () =
   run_isolation
     ~conditions:
       {
-        Ether.gilbert =
+        Medium.gilbert =
           Some { p_gb = 0.01; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
         dup_prob = 0.05;
         jitter_ns = Time.ms 2;
@@ -363,6 +363,59 @@ let test_router_failover_on_sequencer_crash () =
     ~crash_host:(fun map -> Shard_map.sequencer_host map 0)
     ~expect_failover:false ()
 
+(* ---------- endpoint swap mid-flight ----------
+
+   Regression for the post-power-cycle failover path: a recovery hands
+   the router endpoint arrays of a *different length* (and briefly no
+   endpoints at all) while writes are in flight.  The router used to
+   keep indices and per-endpoint state from the old arrays, so a
+   shrink could raise out-of-bounds on the reply path; now it
+   snapshots the arrays per attempt and backs off while the set is
+   empty.  Every write must still commit. *)
+
+let test_router_survives_endpoint_swap_mid_flight () =
+  let cl = Cluster.create ~n:5 ~seed:11 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map = Shard_map.create ~shards:1 ~replication:3 ~hosts:[ 0; 1; 2 ] () in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let full = Service.endpoints svc in
+      let router =
+        Router.create (Cluster.flip cl 4) ~attempts:30 ~map ~endpoints:full ()
+      in
+      let done_ch = Channel.create () in
+      let keys = List.init 24 (fun i -> "k" ^ string_of_int i) in
+      List.iter
+        (fun k ->
+          Cluster.spawn cl (fun () ->
+              Channel.send done_ch (k, Router.put router k ("v." ^ k))))
+        keys;
+      (* Shrink to one endpoint per shard while the puts are in
+         flight, pass through an empty window (recovery in progress),
+         then restore the full set — three different array lengths. *)
+      Engine.sleep cl.Cluster.engine (Time.ms 2);
+      Router.update_endpoints router
+        (Array.map (fun eps -> Array.sub eps 0 1) full);
+      Engine.sleep cl.Cluster.engine (Time.ms 5);
+      Router.update_endpoints router (Array.map (fun _ -> [||]) full);
+      Engine.sleep cl.Cluster.engine (Time.ms 60);
+      Router.update_endpoints router full;
+      List.iter
+        (fun _ ->
+          match Channel.recv cl.Cluster.engine done_ch with
+          | _, Router.Written -> ()
+          | k, Router.Failed m -> Alcotest.failf "put %s failed: %s" k m
+          | k, _ -> Alcotest.failf "put %s: unexpected reply" k)
+        keys;
+      (* The writes all applied exactly once despite the swaps. *)
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      List.iter
+        (fun (_, a) -> Alcotest.(check int) "applied exactly once" 24 a)
+        (Service.applied svc 0);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
 (* ---------- router-side batching ---------- *)
 
 (* Fire all [ks] as concurrent puts through [router] and wait for
@@ -509,6 +562,7 @@ let run_workload ~seed () =
           dist = Workload.Zipf 0.99;
           mode = Workload.Closed 4;
           duration = Time.sec 2;
+          ramp = Time.zero;
           seed;
         }
       in
@@ -557,6 +611,7 @@ let test_workload_open_loop () =
           dist = Workload.Uniform;
           mode = Workload.Open 100.0;
           duration = Time.sec 2;
+          ramp = Time.zero;
           seed = 1;
         }
       in
@@ -587,6 +642,8 @@ let suite =
         test_router_failover_on_follower_crash;
       tc "service rides out a crashed sequencer"
         test_router_failover_on_sequencer_crash;
+      tc "router survives endpoint swap mid-flight"
+        test_router_survives_endpoint_swap_mid_flight;
       tc "batches flush on size" test_batch_flush_on_size;
       tc "batches flush on the Nagle timer" test_batch_flush_on_timeout;
       tc "batch stream spans a sequencer crash"

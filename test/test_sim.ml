@@ -266,6 +266,24 @@ let test_stats_empty () =
   Alcotest.(check (float 1e-9)) "mean empty" 0. (Stats.mean s);
   Alcotest.(check (float 1e-9)) "p99 empty" 0. (Stats.percentile s 99.)
 
+(* Regression: a percentile read caches the sorted samples; adds after
+   the read must invalidate that cache, so the next p50/p95/p99 see
+   the new samples — including across the internal array regrowth. *)
+let test_stats_percentile_not_stale () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3. ];
+  Alcotest.(check (float 1e-9)) "p50 before" 2. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p99 before" 3. (Stats.percentile s 99.);
+  (* Grow well past the initial 16-slot capacity after the read. *)
+  for i = 4 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  (* nearest-rank on 100 samples: round (0.5 *. 99) = 50 -> 51. *)
+  Alcotest.(check (float 1e-9)) "p50 updated" 51. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p95 updated" 95. (Stats.percentile s 95.);
+  Alcotest.(check (float 1e-9)) "p99 updated" 99. (Stats.percentile s 99.);
+  Alcotest.(check (float 1e-9)) "max updated" 100. (Stats.max_value s)
+
 let test_time_conversions () =
   Alcotest.(check int) "us" 1_000 (Time.us 1);
   Alcotest.(check int) "ms" 1_000_000 (Time.ms 1);
@@ -550,6 +568,7 @@ let suite =
       tc "trace disabled is silent" test_trace_disabled_records_nothing;
       tc "stats basics" test_stats_basics;
       tc "stats empty" test_stats_empty;
+      tc "stats percentile not stale" test_stats_percentile_not_stale;
       tc "time conversions" test_time_conversions;
       tc "suspend resume is one-shot" test_suspend_resume_is_one_shot;
       tc "step count advances" test_step_count_advances;
