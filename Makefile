@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability fabric check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability fabric migration check clean
 
 all: build
 
@@ -18,6 +18,7 @@ check:
 	dune build @batch-smoke
 	dune build @durability-smoke
 	dune build @fabric-smoke
+	dune build @migration-smoke
 
 build:
 	dune build
@@ -35,10 +36,13 @@ bench-smoke:
 	dune build @bench-smoke
 
 # Seeded fault-injection runs with invariant checking (also part of
-# `dune runtest` via the chaos-smoke alias).  Replay any seed with
+# `dune runtest` via the chaos-smoke alias), plus the mid-migration
+# chaos scenarios.  Replay any seed with
 #   dune exec bin/amoeba.exe -- chaos --seed N
+#   dune exec bin/amoeba.exe -- migration-chaos --seed N
 chaos:
 	dune build @chaos-smoke
+	dune build @migration-smoke
 
 # Invariant-checked runs under persistent adversarial link conditions
 # (also part of `dune runtest` via the chaos-net-smoke alias).  Replay
@@ -79,6 +83,16 @@ durability:
 #   dune exec bench/main.exe -- fabric
 fabric:
 	dune build @fabric-smoke
+
+# Live-migration smoke (also part of `dune runtest` via the
+# migration-smoke alias): invariant-checked mid-migration chaos —
+# source-sequencer crash, destination crash (rollback), whole-cluster
+# power cycle inside the transfer window — plus `--migrate` and
+# `--rebalance` workload runs.  The 120-schedule swarm lives in
+# test/test_migration.ml (part of `dune runtest`).  Replay with e.g.
+#   dune exec bin/amoeba.exe -- migration-chaos --seed N --power-cycle
+migration:
+	dune build @migration-smoke
 
 clean:
 	dune clean

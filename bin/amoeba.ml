@@ -528,12 +528,36 @@ let workload_cmd =
              replica's last durable checkpoint (the durable frontier) \
              instead of the live state.")
   in
+  let migrate_t =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:
+            "Live-migrate shard 0 onto fresh hosts a third of the way \
+             through, while the workload keeps running: the destinations \
+             join the running group (atomic checkpoint + delta state \
+             transfer), the sequencer role cuts over view-synchronously \
+             and the routers repoint.  Prints the migration window.  \
+             Needs enough hosts free of shard 0 replicas to hold a full \
+             replica set.")
+  in
+  let rebalance_t =
+    Arg.(
+      value & flag
+      & info [ "rebalance" ]
+          ~doc:
+            "Start the elastic rebalancer: sample per-shard load every \
+             250 simulated ms, and when one machine's sequencing load \
+             exceeds twice the pool mean, live-migrate the hottest shard \
+             it sequences onto the coldest fresh hosts.  Pair with --dist \
+             zipf, whose hot-key skew is what trips it.")
+  in
   let run shards hosts routers replication r keys value_bytes read_ratio dist
       skew workers rate duration_ms ramp_ms seed (fabric, net) wire_mbps
       crash_seq
       crash_follower
       max_batch batch_delay_us pipeline_depth disk checkpoint_every fsync
-      power_cycle stale_reads =
+      power_cycle stale_reads migrate rebalance =
     let open Amoeba_sim in
     let open Amoeba_service in
     let dist =
@@ -661,6 +685,57 @@ let workload_cmd =
                | _ ->
                    Printf.printf
                      "(allowed by the fsync policy's trailing window)\n%!"));
+        let repoint () =
+          List.iter
+            (fun router -> Router.update_endpoints router (Service.endpoints svc))
+            rs
+        in
+        let pp_hosts hs =
+          String.concat "," (List.map (Printf.sprintf "m%d") hs)
+        in
+        (if migrate then
+           Cluster.spawn cl (fun () ->
+               Engine.sleep eng (duration / 3);
+               let cur = Shard_map.replica_hosts (Service.map svc) 0 in
+               let free =
+                 List.filter (fun h -> not (List.mem h cur)) host_list
+               in
+               let k = List.length cur in
+               if List.length free < k then
+                 Printf.printf
+                   "migrate: only %d hosts free of shard 0 replicas, %d \
+                    needed\n%!"
+                   (List.length free) k
+               else begin
+                 let tgt = List.filteri (fun i _ -> i < k) free in
+                 let t0 = Engine.now eng in
+                 match Service.migrate_shard svc ~shard:0 ~hosts:tgt () with
+                 | Ok () ->
+                     repoint ();
+                     Printf.printf
+                       "migrated:  shard 0 [%s] -> [%s] in %.1f simulated ms\n%!"
+                       (pp_hosts cur)
+                       (pp_hosts (Shard_map.replica_hosts (Service.map svc) 0))
+                       (Amoeba_sim.Time.to_sec (Engine.now eng - t0) *. 1000.)
+                 | Error e -> Printf.printf "migrate: failed: %s\n%!" e
+               end));
+        (if rebalance then
+           ignore
+             (Rebalancer.start cl svc
+                ~on_move:(fun mv ->
+                  match mv.Rebalancer.mv_result with
+                  | Ok () ->
+                      repoint ();
+                      Printf.printf
+                        "rebalanced: shard %d [%s] -> [%s] at t=%.1fs\n%!"
+                        mv.Rebalancer.mv_shard
+                        (pp_hosts mv.Rebalancer.mv_from)
+                        (pp_hosts mv.Rebalancer.mv_to)
+                        (Amoeba_sim.Time.to_sec mv.Rebalancer.mv_time)
+                  | Error e ->
+                      Printf.printf "rebalance: shard %d move failed: %s\n%!"
+                        mv.Rebalancer.mv_shard e)
+                ()));
         let crash_at delay what h =
           Cluster.spawn cl (fun () ->
               Engine.sleep eng delay;
@@ -791,7 +866,70 @@ let workload_cmd =
       $ keys_t $ value_bytes_t $ read_ratio_t $ dist_t $ skew_t $ workers_t
       $ rate_t $ duration_t $ ramp_t $ seed_t $ net_t $ wire_t $ crash_seq_t
       $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t
-      $ disk_t $ checkpoint_every_t $ fsync_t $ power_cycle_t $ stale_reads_t)
+      $ disk_t $ checkpoint_every_t $ fsync_t $ power_cycle_t $ stale_reads_t
+      $ migrate_t $ rebalance_t)
+
+let migration_chaos_cmd =
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed.")
+  in
+  let crash_source_t =
+    Arg.(
+      value & flag
+      & info [ "crash-source" ]
+          ~doc:"Crash the source sequencer machine mid-migration.")
+  in
+  let crash_dest_t =
+    Arg.(
+      value & flag
+      & info [ "crash-dest" ]
+          ~doc:"Crash the destination head machine mid-migration.")
+  in
+  let power_cycle_t =
+    Arg.(
+      value & flag
+      & info [ "power-cycle" ]
+          ~doc:
+            "Power off every server host mid-migration, restart 275 ms \
+             later, recover from the union of old and new replica disks, \
+             and read back the pre-migration sentinels (fsync-per-commit: \
+             any acked sentinel lost fails the run).")
+  in
+  let workers_t =
+    Arg.(value & opt int 8 & info [ "workers" ] ~doc:"Closed-loop clients.")
+  in
+  let duration_t =
+    Arg.(value & opt int 1200 & info [ "duration" ] ~doc:"Simulated ms.")
+  in
+  let run seed (fabric, net) crash_source crash_dest power_cycle workers
+      duration_ms =
+    let open Amoeba_service in
+    let spec =
+      {
+        Migration_chaos.mc_seed = seed;
+        mc_fabric = fabric;
+        mc_hostile = net <> Amoeba_net.Medium.clean;
+        mc_crash_source = crash_source;
+        mc_crash_dest = crash_dest;
+        mc_power_cycle = power_cycle;
+        mc_workers = workers;
+        mc_duration_ms = duration_ms;
+      }
+    in
+    let o = Migration_chaos.run spec in
+    Format.printf "%a@." Migration_chaos.pp_outcome o;
+    if not (Migration_chaos.ok o) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "migration-chaos"
+       ~doc:
+         "Replay a seeded mid-migration chaos run: live-migrate a shard \
+          under a running Zipf workload while crashing the source \
+          sequencer, the destination, and/or power-cycling the cluster, \
+          then check migration-safety plus the classic invariants.")
+    Term.(
+      const run $ seed_t $ net_t $ crash_source_t $ crash_dest_t
+      $ power_cycle_t $ workers_t $ duration_t)
 
 let main =
   Cmd.group
@@ -807,6 +945,7 @@ let main =
       chaos_cmd;
       serve_cmd;
       workload_cmd;
+      migration_chaos_cmd;
     ]
 
 let () = exit (Cmd.eval main)

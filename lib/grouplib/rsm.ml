@@ -396,8 +396,15 @@ module Make (App : APP) = struct
         match Api.send_to_group t.g q with
         | Error e -> Error e
         | Ok _ -> (
+            (* The responder serves the query from its applier, in
+               stream position — behind whatever apply backlog its
+               disk has accumulated — and a big snapshot takes real
+               wire time, so each retry waits twice as long as the
+               last (500 ms, 1 s, 2 s, 4 s).  A caller in a hurry
+               bounds the whole join with its own watchdog anyway. *)
             match
-              Channel.recv_timeout t.engine t.snapshots ~timeout:(Time.ms 500)
+              Channel.recv_timeout t.engine t.snapshots
+                ~timeout:(Time.ms (500 * (1 lsl (tries - 1))))
             with
             | None -> attempt (tries + 1)
             | Some (count, state_bytes) -> (

@@ -365,6 +365,85 @@ let durable_recovery ~pre ~recovered ~completed ~post =
     post;
   v "durable-recovery" (List.rev !problems)
 
+type owner = {
+  ow_host : int;
+  ow_group : string;
+  ow_live : bool;
+  ow_retired : bool;
+}
+
+(* I6 — migration safety: after a live shard migration (completed,
+   aborted, or interrupted by faults), the shard still has exactly one
+   owning group and the cutover lost nothing.
+
+   (a) Exactly one owner: at least one live, non-retired replica
+       serves the shard, and all of them belong to the same group —
+       never zero owners (an orphaned shard) and never two groups both
+       believing they own it (split brain across the handoff).
+   (b) No committed op lost: every acknowledged write was sequenced —
+       its body appears in at least one replica stream, source or
+       destination, live, retired or crashed.  An ack with no stream
+       behind it was invented by the dual-routing window.
+   (c) No duplicate through the dual-routing window: while old and new
+       endpoints both serve, a retried write must not be sequenced
+       twice — each acknowledged body appears at most once per live
+       owner stream (idempotent uid-tagged retries are the cover). *)
+let migration_safety ~owners ~streams ~completed =
+  let problems = ref [] in
+  let problem fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+  (* (a) exactly one owner *)
+  let serving = List.filter (fun o -> o.ow_live && not o.ow_retired) owners in
+  (match serving with
+  | [] -> problem "no live owner: the shard is orphaned"
+  | o :: rest ->
+      List.iter
+        (fun o' ->
+          if o'.ow_group <> o.ow_group then
+            problem "split brain: m%d serves group %s but m%d serves %s"
+              o.ow_host o.ow_group o'.ow_host o'.ow_group)
+        rest);
+  (* (b) every acked write sequenced somewhere *)
+  let sequenced = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (function
+          | Message { sender; body; _ } ->
+              Hashtbl.replace sequenced (sender, Bytes.to_string body) ()
+          | _ -> ())
+        s.events)
+    streams;
+  List.iter
+    (fun (origin, body) ->
+      if not (Hashtbl.mem sequenced (origin, body)) then
+        problem "completed write %S from %d sequenced in no stream" body origin)
+    completed;
+  (* (c) no acked write sequenced twice in a live owner's stream *)
+  let acked = Hashtbl.create 64 in
+  List.iter
+    (fun (origin, body) -> Hashtbl.replace acked (origin, body) ())
+    completed;
+  List.iter
+    (fun s ->
+      let counts = Hashtbl.create 64 in
+      List.iter
+        (function
+          | Message { sender; body; _ } ->
+              let key = (sender, Bytes.to_string body) in
+              if Hashtbl.mem acked key then
+                Hashtbl.replace counts key
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          | _ -> ())
+        s.events;
+      Hashtbl.iter
+        (fun (origin, body) n ->
+          if n > 1 then
+            problem "%s delivered acked write %S from %d %d times" s.label body
+              origin n)
+        counts)
+    streams;
+  v "migration-safety" (List.rev !problems)
+
 let run ?(durability_applies = true) ~streams ~completed () =
   [
     total_order streams;

@@ -66,6 +66,33 @@ val durable_recovery :
     applies regardless of crash counts: total power loss is exactly
     what it is for. *)
 
+type owner = {
+  ow_host : int;  (** machine index holding a replica of the shard *)
+  ow_group : string;  (** printed group address the replica serves *)
+  ow_live : bool;  (** machine alive at the end of the run *)
+  ow_retired : bool;  (** replica retired by a migration cutover *)
+}
+(** One replica's claim on a shard at the end of a run — the
+    migration checker's view of who believes they own the shard. *)
+
+val migration_safety :
+  owners:owner list ->
+  streams:stream list ->
+  completed:(mid * string) list ->
+  verdict
+(** I6 — migration safety.  After a live shard migration (completed,
+    rolled back, or interrupted by crashes / power loss), checks that
+    (a) {e exactly one owner}: at least one live non-retired replica
+    serves the shard and all of them serve the same group — no
+    orphaned shard, no split brain across the handoff; (b) {e no
+    committed op lost}: every acknowledged write was sequenced in at
+    least one replica stream (source or destination, live or not);
+    (c) {e no dup through the dual-routing window}: no acknowledged
+    write is sequenced twice within any single stream — uid-tagged
+    idempotent retries must have deduplicated the overlap.  [streams]
+    should include the retired source replicas' streams so (b) can
+    credit writes that never crossed the cutover. *)
+
 val run :
   ?durability_applies:bool ->
   streams:stream list ->

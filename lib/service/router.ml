@@ -47,6 +47,7 @@ type t = {
   max_batch : int;
   batch_delay : Time.t;
   stale_reads : bool;
+  mutable jseed : int;  (* xorshift state for retry-backoff jitter *)
   mutable s_stale_gets : int;
   mutable s_ops : int;
   mutable s_retries : int;
@@ -86,6 +87,21 @@ let pick ss =
     Some (go 0)
   end
 
+(* Retry backoff with ±25% jitter.  Clients that all timed out on the
+   same drowning replica back off by the same [ms * attempt], wake on
+   the same boundary and re-collide forever — the herd just
+   resynchronises at each step.  A per-router xorshift spreads them
+   out deterministically; the stream is only consumed on a retry, so
+   a healthy run sleeps zero times and stays bit-identical. *)
+let backoff t ms attempt =
+  let s = t.jseed in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  t.jseed <- s land max_int;
+  let base = Time.ms (ms * attempt) in
+  Engine.sleep t.engine (base / 1000 * (750 + (t.jseed mod 501)))
+
 (* Endpoints on one machine share fate: a dead-host verdict for one
    condemns its whole pool, so the rotation skips them all instead of
    burning a timeout-and-probe cycle per sibling. *)
@@ -104,7 +120,7 @@ let perform t client ss req =
       | None ->
           (* Mid-recovery: no endpoints installed yet.  Back off like
              a [Busy] reply until [update_endpoints] lands. *)
-          Engine.sleep t.engine (Time.ms (25 * attempt));
+          backoff t 25 attempt;
           go (attempt + 1)
       | Some i -> (
           (* Snapshot the arrays [i] indexes before the blocking call:
@@ -135,7 +151,7 @@ let perform t client ss req =
                   Ivar.read t.engine iv
               | Some (Kv.Busy _) ->
                   (* The shard is recovering; give it a moment. *)
-                  Engine.sleep t.engine (Time.ms (25 * attempt));
+                  backoff t 25 attempt;
                   go (attempt + 1)
               | None -> go (attempt + 1))
           | Error `No_route ->
@@ -145,7 +161,7 @@ let perform t client ss req =
                  replica. *)
               t.s_failovers <- t.s_failovers + 1;
               suspect_host ss ep.Service.ep_host;
-              Engine.sleep t.engine (Time.ms (5 * attempt));
+              backoff t 5 attempt;
               go (attempt + 1)
           | Error `Timeout ->
               (* Slow or dead?  Ask the failure detector, like the group
@@ -155,7 +171,7 @@ let perform t client ss req =
                  drowning.  Back off before retrying; only a dead
                  verdict fails over at once. *)
               if Failure_detector.probe t.det ep.Service.ep_probe then begin
-                Engine.sleep t.engine (Time.ms (25 * attempt));
+                backoff t 25 attempt;
                 go (attempt + 1)
               end
               else begin
@@ -190,7 +206,7 @@ let rec perform_batch t client ss items attempt =
       match pick ss with
       | None ->
           (* Mid-recovery: no endpoints yet; see [perform]. *)
-          Engine.sleep t.engine (Time.ms (25 * attempt));
+          backoff t 25 attempt;
           perform_batch t client ss items (attempt + 1)
       | Some i -> (
       (* Same snapshot rule as [perform]: [update_endpoints] may swap
@@ -224,20 +240,20 @@ let rec perform_batch t client ss items attempt =
               | [] -> ()
               | leftover ->
                   (* The shard is recovering; give it a moment. *)
-                  Engine.sleep t.engine (Time.ms (25 * attempt));
+                  backoff t 25 attempt;
                   perform_batch t client ss leftover (attempt + 1))
           | Some _ | None -> perform_batch t client ss items (attempt + 1))
       | Error `No_route ->
           t.s_failovers <- t.s_failovers + 1;
           suspect_host ss ep.Service.ep_host;
-          Engine.sleep t.engine (Time.ms (5 * attempt));
+          backoff t 5 attempt;
           perform_batch t client ss items (attempt + 1)
       | Error `Timeout ->
           (* Same congestion rule as [perform]: alive-but-slow backs
              off instead of re-shipping the whole batch into the
              replica's backlog. *)
           if Failure_detector.probe t.det ep.Service.ep_probe then begin
-            Engine.sleep t.engine (Time.ms (25 * attempt));
+            backoff t 25 attempt;
             perform_batch t client ss items (attempt + 1)
           end
           else begin
@@ -336,6 +352,7 @@ let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
       max_batch = max 1 max_batch;
       batch_delay;
       stale_reads;
+      jseed = 0x2545F491;
       s_stale_gets = 0;
       s_ops = 0;
       s_retries = 0;
@@ -374,20 +391,33 @@ let get t k =
 let put t k v = request t (Kv.Put (k, v))
 let del t k = request t (Kv.Del k)
 
-(* Swap in a fresh endpoint map — the recovery handoff.  The new
-   creator's pool comes first in each shard's array (that is
-   [Service.recover]'s contract), so the reserve set is re-derived
-   from it rather than from the static shard map, whose sequencer
-   placement the recovery may have changed.  Requests already queued
-   simply get performed against the new endpoints; in-flight attempts
-   against dead addresses fail over normally. *)
+(* Swap in a fresh endpoint map — the recovery or migration handoff.
+   The new sequencer host's pool comes first in each shard's array
+   (that is [Service.recover] / [Service.migrate_shard]'s contract),
+   so the reserve set is re-derived from it rather than from the
+   static shard map, whose sequencer placement the swap may have
+   changed.  Health state {e carries over} for hosts present in both
+   maps: a migration typically moves one shard while the others keep
+   their replicas, and resetting their suspicion would send the next
+   request of every pinned shard straight back into a known-dead host
+   — a spurious timeout-probe-failover wave per swap.  Hosts new to a
+   shard start trusted.  Requests already queued simply get performed
+   against the new endpoints; in-flight attempts against dead
+   addresses fail over normally. *)
 let update_endpoints t endpoints =
   Array.iteri
     (fun shard eps ->
       if shard < Array.length t.shards then begin
         let ss = t.shards.(shard) in
+        let bad_host h =
+          Array.exists Fun.id
+            (Array.mapi
+               (fun j ep -> ss.suspect.(j) && ep.Service.ep_host = h)
+               ss.eps)
+        in
+        let suspect = Array.map (fun ep -> bad_host ep.Service.ep_host) eps in
         ss.eps <- eps;
-        ss.suspect <- Array.make (Array.length eps) false;
+        ss.suspect <- suspect;
         ss.reserve <-
           (if Array.length eps = 0 then [||]
            else
@@ -396,6 +426,18 @@ let update_endpoints t endpoints =
         ss.rr <- 0
       end)
     endpoints
+
+(* Test hook: the hosts shard [i]'s rotation currently suspects. *)
+let suspected t shard =
+  let ss = t.shards.(shard) in
+  List.sort_uniq compare
+    (List.concat
+       (Array.to_list
+          (Array.mapi
+             (fun j ep -> if ss.suspect.(j) then [ ep.Service.ep_host ] else [])
+             ss.eps)))
+
+let suspect_host_for_test t shard host = suspect_host t.shards.(shard) host
 
 let stats t =
   {

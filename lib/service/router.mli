@@ -89,7 +89,20 @@ val stats : t -> stats
 
 val update_endpoints : t -> Service.endpoint array array -> unit
 (** Swaps in a fresh per-shard endpoint map — the handoff after
-    [Service.recover] re-created the groups.  Suspicion state and
-    round-robin cursors reset; the reserve (sequencer-host) set is
-    re-derived from each shard's first endpoint, which recovery
-    guarantees belongs to the new creator. *)
+    [Service.recover] re-created the groups or [Service.migrate_shard]
+    moved one.  Suspicion {e carries over} for hosts present in both
+    the old and new map (a swap must not reset the failure detector
+    and aim the next request of every untouched shard at a known-dead
+    host); hosts new to a shard start trusted.  Round-robin cursors
+    reset; the reserve (sequencer-host) set is re-derived from each
+    shard's first endpoint, which recovery and migration guarantee
+    belongs to the new sequencer's machine. *)
+
+val suspected : t -> int -> int list
+(** The machine indices shard [i]'s rotation currently suspects dead —
+    a test hook for the carry-over contract above. *)
+
+val suspect_host_for_test : t -> int -> int -> unit
+(** [suspect_host_for_test t shard host] marks every one of shard
+    [shard]'s endpoints on machine [host] suspect, as a dead-host
+    verdict would.  Test hook. *)

@@ -88,6 +88,7 @@ val recover :
   ?pipeline:int ->
   ?record:bool ->
   ?eps_per_replica:int ->
+  ?hosts_for:(int -> int list) ->
   unit ->
   t
 (** Whole-cluster power-loss recovery, for a cluster whose machines
@@ -100,7 +101,14 @@ val recover :
     every shard serves again.  {!recovery_report} says what each disk
     yielded, and the per-replica [GetInfoGroup] counters account the
     replayed/torn/rejected records.  Endpoint arrays put the new
-    creator's pool first — hand them to [Router.update_endpoints]. *)
+    creator's pool first — hand them to [Router.update_endpoints].
+
+    [hosts_for] overrides the per-shard host list (default: the map's
+    placement) — the mid-migration recovery path.  When the power died
+    somewhere inside a {!migrate_shard}, the shard's durable state may
+    sit on its old replica set, its new one, or both; pass the union
+    and the longest-log election plus joiner disk reconcile restart
+    the shard with exactly one owner whatever instant the cut hit. *)
 
 val recovery_report : t -> shard_recovery list
 (** Per-shard recovery outcomes ([[]] for a {!deploy}ed service). *)
@@ -136,4 +144,71 @@ val completed : t -> shard:int -> (Types.mid * string) list
 val check : t -> crashed:int list -> (int * Checker.verdict list) list
 (** Runs all four chaos invariants independently per shard.
     Durability applies to a shard only when the crashed machines
-    hosting its replicas number at most the resilience degree. *)
+    hosting its replicas number at most the resilience degree.  A
+    shard a migration touched (completed or rolled back) additionally
+    gets the {!Checker.migration_safety} verdict. *)
+
+(** {2 Live migration} *)
+
+type migration = {
+  m_shard : int;
+  m_from : int list;  (** replica hosts before the attempt *)
+  m_to : int list;  (** requested target hosts *)
+  m_started : Amoeba_sim.Time.t;
+  m_finished : Amoeba_sim.Time.t;
+  m_result : (unit, string) result;
+}
+
+val migrate_shard :
+  t ->
+  shard:int ->
+  ?timeout:Amoeba_sim.Time.t ->
+  hosts:int list ->
+  unit ->
+  (unit, string) result
+(** State-transfers shard [shard]'s group onto [hosts] while the
+    workload keeps running.  Blocking — call from a cluster process.
+
+    Phase 1, no interruption: each destination {e joins} the running
+    group, an atomic state transfer (the creator's checkpoint at a
+    stream cut plus the buffered delta past it) after which the
+    joiner's disk is reconciled to the transferred state.  Phase 2,
+    the cutover: outgoing replicas retire (answering [Busy] so the
+    router walks away), followers leave first and the outgoing
+    sequencer leaves {e last} — the kernel's graceful-leave rule hands
+    sequencer duty to the lowest-numbered survivor at a fixed point of
+    the stream, so ordering is view-synchronous across the handoff —
+    and each fully-left source disk is wiped (the durable handoff).
+    The map entry is reassigned with the new sequencer's host first;
+    hand {!endpoints} to [Router.update_endpoints] to close the
+    dual-routing window, during which retried writes are covered by
+    fresh-uid idempotence.
+
+    Hosts shared between the old and new set keep their replica —
+    moving only the sequencer away is
+    [migrate_shard ~hosts:(followers @ [new_host])].
+
+    Crash-safe: [timeout] (default 2 s) bounds every blocking step via
+    root-side watchdogs; a destination dying mid-join rolls the whole
+    attempt back (destinations retire and leave, the source keeps the
+    shard) and returns [Error].  At every instant the shard has
+    exactly one owning group — the {!Checker.migration_safety}
+    invariant the chaos swarm enforces. *)
+
+val migrations : t -> migration list
+(** Every attempt, oldest first — including rolled-back ones. *)
+
+val sequencer_of : t -> int -> int
+(** The machine currently hosting shard [i]'s sequencer, per the live
+    group's own view (falls back to the map when no replica answers) —
+    where the shard's ordering CPU cost lands, which is what a
+    {!Rebalancer} balances. *)
+
+val shard_ops : t -> int array
+(** Requests handled per shard since deployment (reads + writes +
+    batched ops) — the load signal a {!Rebalancer} samples. *)
+
+val check_migration : t -> shard:int -> crashed:int list -> Checker.verdict
+(** Just the {!Checker.migration_safety} verdict for one shard — for
+    drivers that need it on a service {!check} would not cover, e.g. a
+    freshly {!recover}ed one after a mid-migration power loss. *)

@@ -7,6 +7,7 @@ type t = {
   replication : int;
   hosts : int array;
   ring : (int * int) array;  (* (point, shard), sorted by point *)
+  assign : int list array;  (* per-shard replica hosts, sequencer first *)
 }
 
 (* 64-bit FNV-1a with a splitmix64 finaliser (plain FNV has weak
@@ -26,6 +27,27 @@ let fnv1a s =
   let z = logxor z (shift_right_logical z 31) in
   to_int z land Stdlib.max_int
 
+(* The sequencer's CPU is each shard's scarce resource (the paper's
+   central measurement), so followers keep off the sequencer machines
+   entirely whenever the pool is big enough: they are drawn
+   round-robin from the hosts that sequence no shard, which both keeps
+   a shard's members pairwise distinct and spreads follower load
+   evenly.  When every host sequences some shard (shards >= hosts)
+   there is nowhere to hide, and followers fall back to striding
+   across the whole pool. *)
+let default_assign ~shards ~replication hosts i =
+  let h = Array.length hosts in
+  let seq = hosts.(i mod h) in
+  let followers = replication - 1 in
+  let free = if shards >= h then [||] else Array.sub hosts shards (h - shards) in
+  if Array.length free >= followers then
+    seq
+    :: List.init followers (fun j ->
+           free.(((i * followers) + j) mod Array.length free))
+  else
+    let step = max 1 (h / replication) in
+    List.init replication (fun j -> hosts.((i + (j * step)) mod h))
+
 let create ?(virtual_nodes = 64) ?(replication = 3) ~shards ~hosts () =
   if shards < 1 then invalid_arg "Shard_map.create: shards < 1";
   if replication < 1 then invalid_arg "Shard_map.create: replication < 1";
@@ -39,7 +61,8 @@ let create ?(virtual_nodes = 64) ?(replication = 3) ~shards ~hosts () =
         (fnv1a (Printf.sprintf "shard-%d#%d" shard vnode), shard))
   in
   Array.sort compare ring;
-  { shards; replication; hosts; ring }
+  let assign = Array.init shards (default_assign ~shards ~replication hosts) in
+  { shards; replication; hosts; ring; assign }
 
 let shards t = t.shards
 let replication t = t.replication
@@ -59,32 +82,29 @@ let shard_of_key t key =
 
 let sequencer_host t i =
   if i < 0 || i >= t.shards then invalid_arg "Shard_map.sequencer_host";
-  t.hosts.(i mod Array.length t.hosts)
+  List.hd t.assign.(i)
 
-(* The sequencer's CPU is each shard's scarce resource (the paper's
-   central measurement), so followers keep off the sequencer machines
-   entirely whenever the pool is big enough: they are drawn
-   round-robin from the hosts that sequence no shard, which both keeps
-   a shard's members pairwise distinct and spreads follower load
-   evenly.  When every host sequences some shard (shards >= hosts)
-   there is nowhere to hide, and followers fall back to striding
-   across the whole pool. *)
 let replica_hosts t i =
   if i < 0 || i >= t.shards then invalid_arg "Shard_map.replica_hosts";
-  let h = Array.length t.hosts in
-  let seq = t.hosts.(i mod h) in
-  let followers = t.replication - 1 in
-  let free =
-    if t.shards >= h then [||]
-    else Array.sub t.hosts t.shards (h - t.shards)
-  in
-  if Array.length free >= followers then
-    seq
-    :: List.init followers (fun j ->
-           free.(((i * followers) + j) mod Array.length free))
-  else
-    let step = max 1 (h / t.replication) in
-    List.init t.replication (fun j -> t.hosts.((i + (j * step)) mod h))
+  t.assign.(i)
+
+(* Shards-to-hosts is the only part of the map a migration moves: the
+   key ring never changes, so every router keeps hashing keys to the
+   same shard indices and the reassignment disturbs exactly one
+   shard's placement. *)
+let reassign t ~shard ~hosts =
+  if shard < 0 || shard >= t.shards then invalid_arg "Shard_map.reassign";
+  if hosts = [] then invalid_arg "Shard_map.reassign: no hosts";
+  if List.length (List.sort_uniq compare hosts) <> List.length hosts then
+    invalid_arg "Shard_map.reassign: duplicate hosts";
+  List.iter
+    (fun h ->
+      if not (Array.exists (fun x -> x = h) t.hosts) then
+        invalid_arg "Shard_map.reassign: host outside the pool")
+    hosts;
+  let assign = Array.copy t.assign in
+  assign.(shard) <- hosts;
+  { t with assign }
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>%d shard(s), replication %d, hosts %a@," t.shards

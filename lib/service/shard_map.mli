@@ -55,4 +55,15 @@ val replica_hosts : t -> int -> int list
     machines (the sequencer's cycles are the shard's scarce
     resource). *)
 
+val reassign : t -> shard:int -> hosts:int list -> t
+(** [reassign t ~shard ~hosts] is [t] with shard [shard]'s replicas
+    placed on [hosts] (sequencer host first) — the map-level half of a
+    live migration.  The key ring is untouched: {!shard_of_key} is
+    unchanged for every key, and {!replica_hosts}/{!sequencer_host}
+    change for exactly the reassigned shard (minimal disruption).
+    [hosts] may differ in length from the map's default replication.
+
+    @raise Invalid_argument on an out-of-range shard, an empty or
+    duplicate-carrying host list, or a host outside the pool. *)
+
 val pp : Format.formatter -> t -> unit

@@ -206,6 +206,86 @@ let test_recover_skips_checkpointed_indices () =
       Alcotest.(check int) "state consistent (no double-apply)" 55
         rec_.R.r_state.Log_app.sum
 
+(* ----- state-transfer resumption: the migration destination's crash
+   window ----- *)
+
+(* A joiner's disk reconcile writes a fresh checkpoint of the
+   transferred state; the WAL delta past it only accumulates as the
+   replica keeps applying.  Crash the destination right inside that
+   window — checkpoint installed, no delta applied — and its disk
+   alone can only take it back to the transfer point.  Resumption is
+   recover-from-checkpoint (zero records to replay) followed by a
+   re-join: the atomic state transfer closes exactly the gap the
+   crash left, and the reconciled disk then covers the full state. *)
+let test_state_transfer_resumption () =
+  let store = Stable_store.create () in
+  let d =
+    { Rsm.store; log = "xfer"; sync = Rsm.Every_commit; checkpoint_every = 4 }
+  in
+  let cl = Cluster.create ~cost:ssd ~n:2 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let eng = cl.Cluster.engine in
+      let recover_on_m1 () =
+        let ch = Channel.create () in
+        Cluster.spawn_on cl 1 (fun () ->
+            Channel.send ch (R.recover d (Cluster.machine cl 1)));
+        Channel.recv eng ch
+      in
+      let src = R.create (Cluster.flip cl 0) ~durable:d () in
+      for k = 1 to 8 do
+        ignore (check_ok "seed submit" (R.submit src k))
+      done;
+      (* destination joins: atomic state transfer + disk reconcile
+         (fresh checkpoint at applied=8 on m1's disk) *)
+      let dst =
+        check_ok "join" (R.join (Cluster.flip cl 1) ~durable:d (R.address src))
+      in
+      Alcotest.(check int) "transfer caught the seed state" 8 (R.applied dst);
+      Engine.sleep eng (Time.ms 200);
+      (* the crash window: checkpoint installed, no WAL delta yet *)
+      Machine.crash (Cluster.machine cl 1);
+      (* the delta the destination will have to catch up on lives only
+         in the survivor's stream and WAL *)
+      for k = 9 to 12 do
+        ignore (check_ok "delta submit" (R.submit src k))
+      done;
+      Engine.sleep eng (Time.ms 200);
+      Cluster.restart cl 1;
+      (match recover_on_m1 () with
+      | Error msg -> Alcotest.failf "resumption refused: %s" msg
+      | Ok rec_ ->
+          Alcotest.(check int) "checkpoint alone resumed the transfer" 8
+            rec_.R.r_stats.Rsm.ckpt_count;
+          Alcotest.(check int) "no delta was on disk yet" 0
+            rec_.R.r_stats.Rsm.records_replayed;
+          Alcotest.(check int) "recovered to the transfer point" 8
+            rec_.R.r_applied);
+      (* resumption completes by re-joining: the state transfer closes
+         exactly the 9..12 gap and reconciles the disk to the full
+         state *)
+      let dst' =
+        check_ok "re-join"
+          (R.join (Cluster.flip cl 1) ~durable:d (R.address src))
+      in
+      Engine.sleep eng (Time.ms 200);
+      Alcotest.(check int) "catch-up complete" 12 (R.applied dst');
+      Alcotest.(check int) "state consistent" 78 (R.state dst').Log_app.sum;
+      (* the reconciled disk now stands on its own: a second crash and
+         recovery restores the caught-up state from m1's disk alone *)
+      Machine.crash (Cluster.machine cl 1);
+      Engine.sleep eng (Time.ms 100);
+      Cluster.restart cl 1;
+      (match recover_on_m1 () with
+      | Error msg -> Alcotest.failf "post-catch-up recovery: %s" msg
+      | Ok rec_ ->
+          Alcotest.(check int) "disk covers the caught-up state" 12
+            rec_.R.r_applied;
+          Alcotest.(check int) "sum survives" 78 rec_.R.r_state.Log_app.sum);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
 (* ----- whole-cluster power loss through the chaos harness ----- *)
 
 let power_cycle_schedule =
@@ -391,6 +471,8 @@ let suite =
         test_truncated_checkpoint_refused;
       tc "recovery skips checkpointed indices" `Quick
         test_recover_skips_checkpointed_indices;
+      tc "state-transfer resumption after a mid-window crash" `Quick
+        test_state_transfer_resumption;
       tc "power cycle on a clean net" `Quick test_power_cycle_clean;
       tc "power cycle on a hostile net" `Quick test_power_cycle_adversarial;
       tc "healthy durable run" `Quick test_healthy_durable_run;

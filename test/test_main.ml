@@ -19,4 +19,5 @@ let () =
       Test_chaos.suite;
       Test_service.suite;
       Test_durability.suite;
+      Test_migration.suite;
     ]

@@ -1,0 +1,354 @@
+(* Live shard migration: directed scenarios for the happy path, the
+   sequencer-only move, and the rollback on a dead destination; the
+   shard-map reassignment properties; and the fifth 120-schedule chaos
+   swarm — random crash/power-cycle plans aimed at the transfer window,
+   checked against migration-safety plus the base invariants. *)
+
+open Amoeba_sim
+open Amoeba_net
+open Amoeba_harness
+open Amoeba_service
+
+(* ---------- shard-map reassignment properties ---------- *)
+
+let pool10 = List.init 10 Fun.id
+
+let some_keys = List.init 400 (fun i -> Printf.sprintf "key-%d" i)
+
+(* A reassignment touches exactly the shard it names: the ring (and so
+   every key's shard) is untouched, every other shard's placement is
+   untouched, and the named shard lands exactly on the requested hosts
+   with the requested sequencer. *)
+let prop_reassign_touches_exactly_one_shard =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 6 >>= fun shards ->
+      int_range 0 (shards - 1) >>= fun shard ->
+      int_range 0 99_999 >>= fun seed -> return (shards, shard, seed))
+  in
+  let print (shards, shard, seed) =
+    Printf.sprintf "shards=%d shard=%d seed=%d" shards shard seed
+  in
+  QCheck.Test.make ~name:"reassign changes exactly the named shard"
+    ~count:100
+    (QCheck.make ~print gen)
+    (fun (shards, shard, seed) ->
+      let map = Shard_map.create ~shards ~hosts:pool10 () in
+      let rng = Random.State.make [| seed |] in
+      let cur = Shard_map.replica_hosts map shard in
+      (* a target of random size drawn from the pool, biased fresh *)
+      let k = 1 + Random.State.int rng 3 in
+      let fresh = List.filter (fun h -> not (List.mem h cur)) pool10 in
+      let target =
+        let shuffled =
+          List.map (fun h -> (Random.State.bits rng, h)) fresh
+          |> List.sort compare |> List.map snd
+        in
+        List.filteri (fun i _ -> i < k) shuffled
+      in
+      let map' = Shard_map.reassign map ~shard ~hosts:target in
+      List.for_all
+        (fun key -> Shard_map.shard_of_key map key = Shard_map.shard_of_key map' key)
+        some_keys
+      && List.init shards Fun.id
+         |> List.for_all (fun s ->
+                if s = shard then
+                  Shard_map.replica_hosts map' s = target
+                  && Shard_map.sequencer_host map' s = List.hd target
+                else
+                  Shard_map.replica_hosts map' s = Shard_map.replica_hosts map s
+                  && Shard_map.sequencer_host map' s
+                     = Shard_map.sequencer_host map s))
+
+(* Sequencer spreading survives a random sequence of migrations: as
+   long as each move's new sequencer host is not already sequencing
+   another shard (the Rebalancer's own policy — it targets cold
+   machines), the all-sequencers-distinct property is preserved, and
+   every placement stays pairwise-distinct and in-pool. *)
+let prop_reassign_sequence_keeps_spreading =
+  QCheck.Test.make ~name:"sequencer spreading survives random migrations"
+    ~count:100
+    QCheck.(int_range 0 99_999)
+    (fun seed ->
+      let shards = 4 in
+      let rng = Random.State.make [| seed; 0x5EED |] in
+      let map0 = Shard_map.create ~shards ~replication:2 ~hosts:pool10 () in
+      let map = ref map0 in
+      for _ = 1 to 8 do
+        let shard = Random.State.int rng shards in
+        let seqs =
+          List.init shards (fun s ->
+              if s = shard then -1 else Shard_map.sequencer_host !map s)
+        in
+        let free =
+          List.filter (fun h -> not (List.mem h seqs)) pool10
+          |> List.map (fun h -> (Random.State.bits rng, h))
+          |> List.sort compare |> List.map snd
+        in
+        let target = List.filteri (fun i _ -> i < 2) free in
+        map := Shard_map.reassign !map ~shard ~hosts:target
+      done;
+      let seq_hosts = List.init shards (Shard_map.sequencer_host !map) in
+      List.length (List.sort_uniq compare seq_hosts) = shards
+      && List.init shards Fun.id
+         |> List.for_all (fun s ->
+                let hs = Shard_map.replica_hosts !map s in
+                List.length (List.sort_uniq compare hs) = List.length hs
+                && List.for_all (fun h -> List.mem h pool10) hs
+                && List.hd hs = Shard_map.sequencer_host !map s
+                && List.for_all
+                     (fun key ->
+                       Shard_map.shard_of_key !map key
+                       = Shard_map.shard_of_key map0 key)
+                     some_keys))
+
+(* ---------- directed migration scenarios ---------- *)
+
+let fail_verdicts label verdicts =
+  List.iter
+    (fun (shard, vs) ->
+      List.iter
+        (fun v ->
+          if not v.Checker.ok then
+            Alcotest.failf "%s: shard %d invariant %s violated: %s" label shard
+              v.Checker.invariant v.Checker.detail)
+        vs)
+    verdicts
+
+(* A migration under a stream of concurrent writes: every put commits
+   (the dual-routing window is covered by Busy backoff + fresh-uid
+   retries), the map ends up on the target hosts, the data survives
+   the move, and migration-safety plus the base invariants hold. *)
+let test_migrate_under_load () =
+  let cl = Cluster.create ~n:7 ~seed:31 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:2 ~replication:2 ~hosts:[ 0; 1; 2; 3; 4; 5 ] ()
+      in
+      let in_use =
+        Shard_map.replica_hosts map 0 @ Shard_map.replica_hosts map 1
+      in
+      let target =
+        List.filter (fun h -> not (List.mem h in_use)) (Shard_map.hosts map)
+        |> fun free -> List.filteri (fun i _ -> i < 2) free
+      in
+      let svc = Service.deploy cl ~map ~resilience:1 ~record:true () in
+      let router =
+        Router.create (Cluster.flip cl 6) ~attempts:30 ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      let done_ch = Channel.create () in
+      let keys = List.init 30 (fun i -> "k" ^ string_of_int i) in
+      List.iter
+        (fun k ->
+          Cluster.spawn cl (fun () ->
+              Engine.sleep cl.Cluster.engine (Time.ms (Hashtbl.hash k mod 120));
+              Channel.send done_ch (k, Router.put router k ("v." ^ k))))
+        keys;
+      Engine.sleep cl.Cluster.engine (Time.ms 20);
+      (match Service.migrate_shard svc ~shard:0 ~hosts:target () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "migration failed: %s" e);
+      Router.update_endpoints router (Service.endpoints svc);
+      List.iter
+        (fun _ ->
+          match Channel.recv cl.Cluster.engine done_ch with
+          | _, Router.Written -> ()
+          | k, Router.Failed m -> Alcotest.failf "put %s failed: %s" k m
+          | k, _ -> Alcotest.failf "put %s: unexpected reply" k)
+        keys;
+      Alcotest.(check (list int))
+        "map reassigned onto the target" (List.sort compare target)
+        (List.sort compare (Shard_map.replica_hosts (Service.map svc) 0));
+      (match Service.migrations svc with
+      | [ m ] ->
+          Alcotest.(check bool) "attempt recorded as Ok" true (m.Service.m_result = Ok ());
+          Alcotest.(check (list int))
+            "recorded target" (List.sort compare target)
+            (List.sort compare m.Service.m_to)
+      | ms -> Alcotest.failf "expected one migration record, got %d" (List.length ms));
+      (* the moved data is still there, served by the new replicas *)
+      Engine.sleep cl.Cluster.engine (Time.ms 300);
+      List.iter
+        (fun k ->
+          match Router.get router k with
+          | Router.Value v -> Alcotest.(check string) ("get " ^ k) ("v." ^ k) v
+          | _ -> Alcotest.failf "get %s failed after migration" k)
+        keys;
+      fail_verdicts "under-load" (Service.check svc ~crashed:[]);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 120) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* Moving only the sequencer away: the followers keep their replicas
+   (no state re-transfer for them) and the kernel's graceful-leave
+   rule hands sequencing to the oldest survivor — the first follower.
+   The map must record whichever host really sequences now. *)
+let test_migrate_sequencer_only () =
+  let cl = Cluster.create ~n:6 ~seed:32 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:1 ~replication:3 ~hosts:[ 0; 1; 2; 3 ] ()
+      in
+      let svc = Service.deploy cl ~map ~resilience:1 ~record:true () in
+      let router =
+        Router.create (Cluster.flip cl 5) ~attempts:30 ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      for i = 1 to 8 do
+        match Router.put router ("k" ^ string_of_int i) "pre" with
+        | Router.Written -> ()
+        | _ -> Alcotest.failf "pre put %d failed" i
+      done;
+      let cur = Shard_map.replica_hosts map 0 in
+      let old_seq = List.hd cur in
+      let followers = List.tl cur in
+      let fresh =
+        List.filter (fun h -> not (List.mem h cur)) (Shard_map.hosts map)
+      in
+      (match
+         Service.migrate_shard svc ~shard:0 ~hosts:(followers @ fresh) ()
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "sequencer-only migration failed: %s" e);
+      Router.update_endpoints router (Service.endpoints svc);
+      let map' = Service.map svc in
+      Alcotest.(check bool)
+        "old sequencer host left the shard" false
+        (List.mem old_seq (Shard_map.replica_hosts map' 0));
+      Alcotest.(check int)
+        "map records the real new sequencer"
+        (Service.sequencer_of svc 0)
+        (Shard_map.sequencer_host map' 0);
+      for i = 9 to 16 do
+        match Router.put router ("k" ^ string_of_int i) "post" with
+        | Router.Written -> ()
+        | _ -> Alcotest.failf "post put %d failed" i
+      done;
+      fail_verdicts "sequencer-only" (Service.check svc ~crashed:[]);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 120) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* A destination that is already dead: the join watchdog trips, the
+   attempt rolls back, the source keeps the shard and keeps serving —
+   and migration-safety still holds (exactly one owner throughout). *)
+let test_migrate_rollback_on_dead_target () =
+  let cl = Cluster.create ~n:7 ~seed:33 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:1 ~replication:2 ~hosts:[ 0; 1; 2; 3 ] ()
+      in
+      let svc = Service.deploy cl ~map ~resilience:1 ~record:true () in
+      let router =
+        Router.create (Cluster.flip cl 6) ~attempts:30 ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      for i = 1 to 6 do
+        match Router.put router ("k" ^ string_of_int i) "pre" with
+        | Router.Written -> ()
+        | _ -> Alcotest.failf "pre put %d failed" i
+      done;
+      let cur = Shard_map.replica_hosts map 0 in
+      let target =
+        List.filter (fun h -> not (List.mem h cur)) (Shard_map.hosts map)
+      in
+      Machine.crash (Cluster.machine cl (List.hd target));
+      (match
+         Service.migrate_shard svc ~shard:0 ~timeout:(Time.ms 400) ~hosts:target
+           ()
+       with
+      | Ok () -> Alcotest.fail "migration onto a dead host reported success"
+      | Error _ -> ());
+      Alcotest.(check (list int))
+        "source kept the shard" (List.sort compare cur)
+        (List.sort compare (Shard_map.replica_hosts (Service.map svc) 0));
+      (match Service.migrations svc with
+      | [ m ] ->
+          Alcotest.(check bool) "attempt recorded as failed" true
+            (match m.Service.m_result with Error _ -> true | Ok () -> false)
+      | _ -> Alcotest.fail "expected exactly one migration record");
+      (* the source still serves *)
+      for i = 7 to 12 do
+        match Router.put router ("k" ^ string_of_int i) "post" with
+        | Router.Written -> ()
+        | r ->
+            Alcotest.failf "post-rollback put %d did not commit (%s)" i
+              (match r with Router.Failed m -> m | _ -> "unexpected reply")
+      done;
+      Engine.sleep cl.Cluster.engine (Time.sec 1);
+      fail_verdicts "rollback" (Service.check svc ~crashed:[ List.hd target ]);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 120) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
+(* ---------- the migration chaos swarm ---------- *)
+
+(* Same fabric palette as the other swarms: the paper's shared wire, a
+   flat full-duplex switch, and a two-segment switch with a 2x
+   oversubscribed uplink. *)
+let fabrics =
+  [
+    Medium.Shared;
+    Medium.Switched Switch.flat;
+    Medium.Switched { Switch.segments = 2; segment_size = 3; uplink_mult = 2 };
+  ]
+
+let swarm_case =
+  let gen =
+    QCheck.Gen.(
+      int_range 0 99_999 >>= fun seed ->
+      oneofl fabrics >>= fun fabric ->
+      bool >>= fun hostile ->
+      bool >>= fun crash_source ->
+      bool >>= fun crash_dest ->
+      bool >>= fun power ->
+      return
+        {
+          Migration_chaos.mc_seed = seed;
+          mc_fabric = fabric;
+          mc_hostile = hostile;
+          mc_crash_source = crash_source;
+          mc_crash_dest = crash_dest;
+          mc_power_cycle = power;
+          mc_workers = 8;
+          mc_duration_ms = 1200;
+        })
+  in
+  QCheck.make ~print:Migration_chaos.replay_line gen
+
+let prop_migration_swarm =
+  QCheck.Test.make
+    ~name:"swarm: migration-safety holds under mid-migration chaos" ~count:120
+    swarm_case (fun spec -> Migration_chaos.ok (Migration_chaos.run spec))
+
+let prop_migration_chaos_deterministic =
+  QCheck.Test.make ~name:"migration chaos replays bit-identically" ~count:4
+    QCheck.(int_range 0 9_999)
+    (fun seed ->
+      let spec =
+        {
+          (Migration_chaos.default ~seed) with
+          Migration_chaos.mc_crash_source = true;
+          mc_power_cycle = true;
+        }
+      in
+      Migration_chaos.run spec = Migration_chaos.run spec)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let rand = Random.State.make [| 0x316A7E |] in
+  ( "migration",
+    [
+      tc "migrate under concurrent writes" test_migrate_under_load;
+      tc "sequencer-only move keeps follower state"
+        test_migrate_sequencer_only;
+      tc "dead destination rolls back" test_migrate_rollback_on_dead_target;
+      QCheck_alcotest.to_alcotest ~rand prop_reassign_touches_exactly_one_shard;
+      QCheck_alcotest.to_alcotest ~rand prop_reassign_sequence_keeps_spreading;
+      QCheck_alcotest.to_alcotest ~rand prop_migration_swarm;
+      QCheck_alcotest.to_alcotest ~rand prop_migration_chaos_deterministic;
+    ] )

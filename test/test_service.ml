@@ -416,6 +416,53 @@ let test_router_survives_endpoint_swap_mid_flight () =
   Cluster.run ~until:(Time.sec 60) cl;
   Alcotest.(check bool) "scenario finished" true !done_
 
+(* ---------- suspect carry-over across an endpoint swap ----------
+
+   A router that has probed a host dead must not forget it just
+   because the endpoint set was refreshed: after update_endpoints, a
+   host present in both the old and new arrays keeps its suspect
+   state, while hosts new to the shard start trusted. *)
+
+let test_router_suspects_carry_over () =
+  let cl = Cluster.create ~n:6 ~seed:13 () in
+  let done_ = ref false in
+  Cluster.spawn cl (fun () ->
+      let map =
+        Shard_map.create ~shards:1 ~replication:3 ~hosts:[ 0; 1; 2; 3 ] ()
+      in
+      let svc = Service.deploy cl ~map ~resilience:0 () in
+      let router =
+        Router.create (Cluster.flip cl 5) ~map
+          ~endpoints:(Service.endpoints svc) ()
+      in
+      let hosts = Shard_map.replica_hosts map 0 in
+      let doomed = List.nth hosts 1 in
+      Router.suspect_host_for_test router 0 doomed;
+      Alcotest.(check (list int))
+        "host marked suspect" [ doomed ]
+        (Router.suspected router 0);
+      (* Same service, refreshed endpoint arrays: the suspicion must
+         survive the swap for the host present in both. *)
+      Router.update_endpoints router (Service.endpoints svc);
+      Alcotest.(check (list int))
+        "suspicion survived the endpoint swap" [ doomed ]
+        (Router.suspected router 0);
+      (* A migration-shaped swap: the shard moves to entirely different
+         hosts — nothing carries over, the fresh hosts start trusted. *)
+      let fresh =
+        List.filter (fun h -> not (List.mem h hosts)) (Shard_map.hosts map)
+      in
+      (match Service.migrate_shard svc ~shard:0 ~hosts:(fresh @ [ List.hd hosts ]) () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "migration failed: %s" e);
+      Router.update_endpoints router (Service.endpoints svc);
+      Alcotest.(check (list int))
+        "hosts new to the shard start trusted" []
+        (Router.suspected router 0);
+      done_ := true);
+  Cluster.run ~until:(Time.sec 60) cl;
+  Alcotest.(check bool) "scenario finished" true !done_
+
 (* ---------- router-side batching ---------- *)
 
 (* Fire all [ks] as concurrent puts through [router] and wait for
@@ -593,6 +640,14 @@ let test_workload_deterministic () =
   Alcotest.(check int) "same attempted" r1.Workload.attempted r2.Workload.attempted;
   Alcotest.(check (float 0.0)) "same p99" r1.Workload.p99_ms r2.Workload.p99_ms
 
+(* Retry backoff jitter must not cost determinism: the jitter stream
+   is seeded per router and only consumed on retries, so two identical
+   runs produce identical results. *)
+let test_jitter_deterministic () =
+  let r1 = run_workload ~seed:77 () in
+  let r2 = run_workload ~seed:77 () in
+  Alcotest.(check bool) "identical runs" true (r1 = r2)
+
 let test_workload_open_loop () =
   let cl = Cluster.create ~n:5 ~seed:9 () in
   let result = ref None in
@@ -644,6 +699,9 @@ let suite =
         test_router_failover_on_sequencer_crash;
       tc "router survives endpoint swap mid-flight"
         test_router_survives_endpoint_swap_mid_flight;
+      tc "suspects carry over an endpoint swap"
+        test_router_suspects_carry_over;
+      tc "retry jitter keeps runs deterministic" test_jitter_deterministic;
       tc "batches flush on size" test_batch_flush_on_size;
       tc "batches flush on the Nagle timer" test_batch_flush_on_timeout;
       tc "batch stream spans a sequencer crash"
