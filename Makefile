@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; see bench/README.md for the
 # benchmark suite.
 
-.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability fabric migration check clean
+.PHONY: all build test bench bench-smoke chaos chaos-net service batch durability fabric migration loadgen check clean
 
 all: build
 
@@ -19,6 +19,7 @@ check:
 	dune build @durability-smoke
 	dune build @fabric-smoke
 	dune build @migration-smoke
+	dune build @loadgen-smoke
 
 build:
 	dune build
@@ -93,6 +94,14 @@ fabric:
 #   dune exec bin/amoeba.exe -- migration-chaos --seed N --power-cycle
 migration:
 	dune build @migration-smoke
+
+# Loadgen smoke (also part of `dune runtest` via the loadgen-smoke
+# alias): the open-loop YCSB-style generator, a fixed-rate trial and a
+# bounded SLO saturation search, plus the tiny bench sweep that writes
+# and schema-checks BENCH_loadgen.json.  The full knee sweep is
+#   dune exec bench/main.exe -- loadgen --json
+loadgen:
+	dune build @loadgen-smoke
 
 clean:
 	dune clean

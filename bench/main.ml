@@ -10,18 +10,19 @@
             rpc_compare ablation_cm ablation_migrate ablation_pbbb
             ablation_processing ablation_userspace ablation_history
             ablation_flowcontrol load_latency service batch recovery
-            fabric migration micro
+            fabric migration loadgen micro
    No arguments runs everything.
 
    --json   targets that support it (micro, headline, fig1, fig4,
-            service, batch, recovery, fabric, migration) also write a
-            BENCH_<target>.json file (micro writes BENCH_sim.json;
-            batch, recovery, fabric and migration write their rows
-            into BENCH_service.json); see bench/README.md for the
-            schema.
-   --smoke  micro, service, batch, recovery and migration: tiny
-            parameters (and for micro, JSON to stdout instead of a
-            file), so CI can exercise the perf plumbing in seconds. *)
+            service, batch, recovery, fabric, migration, loadgen) also
+            write a BENCH_<target>.json file (micro writes
+            BENCH_sim.json; batch, recovery, fabric and migration
+            write their rows into BENCH_service.json); see
+            bench/README.md for the schema.
+   --smoke  micro, service, batch, recovery, migration and loadgen:
+            tiny parameters (and for micro, JSON to stdout instead of
+            a file), so CI can exercise the perf plumbing in
+            seconds. *)
 
 open Amoeba_net
 open Amoeba_harness
@@ -1100,6 +1101,35 @@ let migration () =
     ];
   write_service_json ()
 
+(* ----- loadgen: SLO-driven saturation sweep ----- *)
+
+(* The YCSB-style open-loop sweep: for each shard count x fabric
+   configuration, binary-search the highest Poisson offered load whose
+   p99 stays under the SLO with >= 95 % completion.  All the machinery
+   lives in lib/loadgen (shared with `amoeba loadgen`); this target is
+   the sweep driver plus the BENCH_loadgen.json emission. *)
+let loadgen () =
+  let module L = Amoeba_loadgen in
+  header
+    "Loadgen: max sustainable offered load (knee) vs shard count x fabric"
+    "conclusion 1, service view: each shard's sequencer is a fixed-rate\n\
+     server, so the knee of the latency curve scales with shards until\n\
+     the fabric pushes back; mixed YCSB-A load with multi-key txns";
+  let params = L.Report.default_params ~smoke:!smoke_mode in
+  Printf.printf
+    "mix %s over %d keys, values %s, %d-key txns; SLO p99 <= %.0f ms at >= \
+     %.0f%% completion; %d ms windows, seed %d\n"
+    params.L.Report.mix.L.Mix.name params.L.Report.keys
+    (L.Dist.to_string params.L.Report.value_dist)
+    params.L.Report.txn_size params.L.Report.slo.L.Saturation.p99_ms
+    (100.0 *. params.L.Report.slo.L.Saturation.min_completion)
+    params.L.Report.duration_ms params.L.Report.seed;
+  L.Report.print_header ();
+  let rows =
+    L.Report.sweep ~progress:L.Report.print_row ~smoke:!smoke_mode params
+  in
+  if !json_mode then L.Report.write_json ~path:"BENCH_loadgen.json" params rows
+
 (* ----- micro: host-time benchmarks of the simulation core ----- *)
 
 let host_time = Unix.gettimeofday
@@ -1369,6 +1399,7 @@ let targets : (string * (unit -> unit)) list =
     ("recovery", recovery);
     ("fabric", fabric);
     ("migration", migration);
+    ("loadgen", loadgen);
     ("micro", micro);
   ]
 

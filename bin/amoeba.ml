@@ -26,74 +26,17 @@ let method_conv =
   in
   Arg.conv (parse, print)
 
-(* Named profiles of persistent link conditions for the delay and
-   chaos commands: the same shapes the adversarial swarm test uses, so
-   any profile can be replayed from the command line.  The bursty-*
-   variants vary Gilbert–Elliott burst severity for the
-   loss-vs-delivery-delay table in EXPERIMENTS.md. *)
-let net_profiles =
-  let open Amoeba_net.Ether in
-  let burst p_gb p_bg loss_bad =
-    { clean with gilbert = Some { p_gb; p_bg; loss_good = 0.005; loss_bad } }
-  in
-  [
-    ("clean", clean);
-    ("bursty-light", burst 0.01 0.4 0.3);
-    ("bursty", burst 0.02 0.25 0.6);
-    ("bursty-heavy", burst 0.05 0.15 0.9);
-    ("dup", { clean with dup_prob = 0.05 });
-    ("reorder", { clean with jitter_ns = Amoeba_sim.Time.ms 3 });
-    ("corrupt", { clean with corrupt_prob = 0.02 });
-    ( "adversarial",
-      {
-        gilbert =
-          Some { p_gb = 0.01; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
-        dup_prob = 0.05;
-        jitter_ns = Amoeba_sim.Time.ms 2;
-        corrupt_prob = 0.01;
-      } );
-  ]
-
 (* --net takes a '+'-separated spec: each component is either a fabric
    (ether | shared | switch | switch:SxH[@U]) or a condition profile.
-   "switch:2x48@10+bursty" = two 48-port segments, 10x-oversubscribed
-   uplink, bursty Gilbert-Elliott loss on every link. *)
+   The profile table lives in {!Amoeba_net.Medium.condition_profiles},
+   so the CLI, the adversarial swarm test and the loadgen sweep share
+   one notion of what e.g. "bursty" means. *)
 let net_conv =
   let parse s =
-    let parts = String.split_on_char '+' s in
-    let rec go fabric cond = function
-      | [] -> Ok (fabric, cond)
-      | part :: rest -> (
-          match List.assoc_opt part net_profiles with
-          | Some c -> go fabric c rest
-          | None -> (
-              match Amoeba_net.Medium.spec_of_string part with
-              | Ok f -> go f cond rest
-              | Error _ ->
-                  Error
-                    (`Msg
-                      (Printf.sprintf
-                         "unknown net spec %S (fabric: ether|switch[:SxH@U]; \
-                          profile: %s)"
-                         part
-                         (String.concat "|" (List.map fst net_profiles))))))
-    in
-    go Amoeba_net.Medium.Shared Amoeba_net.Medium.clean parts
+    Result.map_error (fun e -> `Msg e) (Amoeba_net.Medium.net_of_string s)
   in
-  let print fmt (fabric, c) =
-    let fab =
-      match fabric with
-      | Amoeba_net.Medium.Shared -> "ether"
-      | Amoeba_net.Medium.Switched p ->
-          Printf.sprintf "switch:%dx%d@%d" p.Amoeba_net.Switch.segments
-            p.Amoeba_net.Switch.segment_size p.Amoeba_net.Switch.uplink_mult
-    in
-    let prof =
-      match List.find_opt (fun (_, c') -> c' = c) net_profiles with
-      | Some (name, _) -> name
-      | None -> "<custom>"
-    in
-    Format.fprintf fmt "%s+%s" fab prof
+  let print fmt nc =
+    Format.pp_print_string fmt (Amoeba_net.Medium.net_to_string nc)
   in
   Arg.conv (parse, print)
 
@@ -406,11 +349,16 @@ let workload_cmd =
   let dist_t =
     Arg.(
       value & opt string "uniform"
-      & info [ "dist" ] ~doc:"Key popularity: uniform or zipf.")
+      & info [ "dist" ]
+          ~doc:
+            "Key popularity: uniform, zipf, or latest (YCSB-D's \
+             read-latest: a Zipf-distributed offset back from the newest \
+             key).")
   in
   let skew_t =
     Arg.(
-      value & opt float 0.99 & info [ "skew" ] ~doc:"Zipf exponent (with --dist zipf).")
+      value & opt float 0.99
+      & info [ "skew" ] ~doc:"Skew exponent (with --dist zipf or latest).")
   in
   let workers_t =
     Arg.(
@@ -552,20 +500,30 @@ let workload_cmd =
              it sequences onto the coldest fresh hosts.  Pair with --dist \
              zipf, whose hot-key skew is what trips it.")
   in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also print the measured result as a JSON object.  The JSON \
+             figures read the same ramp-excluded accumulator as the text \
+             figures, so the two cannot disagree about warmup exclusion.")
+  in
   let run shards hosts routers replication r keys value_bytes read_ratio dist
       skew workers rate duration_ms ramp_ms seed (fabric, net) wire_mbps
       crash_seq
       crash_follower
       max_batch batch_delay_us pipeline_depth disk checkpoint_every fsync
-      power_cycle stale_reads migrate rebalance =
+      power_cycle stale_reads migrate rebalance json =
     let open Amoeba_sim in
     let open Amoeba_service in
     let dist =
       match dist with
       | "uniform" -> Workload.Uniform
       | "zipf" -> Workload.Zipf skew
+      | "latest" -> Workload.Latest skew
       | s ->
-          Printf.eprintf "unknown distribution %S (uniform|zipf)\n" s;
+          Printf.eprintf "unknown distribution %S (uniform|zipf|latest)\n" s;
           exit 2
     in
     if power_cycle && disk = None then begin
@@ -586,6 +544,13 @@ let workload_cmd =
     let duration = Amoeba_sim.Time.ms duration_ms in
     let failed = ref false in
     let crashing = crash_seq || crash_follower in
+    (* Invariants are checked whenever the run disturbs the service —
+       crashes, live migration, elastic rebalancing — not only on the
+       crash paths: a migration that loses or duplicates a write must
+       fail the run (exit 1), not just print throughput.  The record
+       tap is a pure callback with no simulated cost, so enabling it
+       does not move any measured figure. *)
+    let checking = crashing || migrate || rebalance in
     let durable =
       Option.map
         (fun _ ->
@@ -601,7 +566,7 @@ let workload_cmd =
           Amoeba_net.Medium.set_conditions cl.Cluster.net net;
         let svc =
           Service.deploy cl ~map ~resilience:r ~pipeline:pipeline_depth
-            ~record:crashing ?durable ()
+            ~record:checking ?durable ()
         in
         (* In batching mode one worker per shard is the sweet spot: a
            single accumulation-and-ship pipeline per (router, shard)
@@ -781,6 +746,28 @@ let workload_cmd =
         in
         let res = Workload.run cl ~routers:rs ~map spec in
         Format.printf "%a@." Workload.pp_result res;
+        if json then
+          print_string
+            (Bench_json.to_string
+               (Bench_json.Obj
+                  [
+                    ("attempted", Bench_json.Int res.Workload.attempted);
+                    ("completed", Bench_json.Int res.Workload.completed);
+                    ("failed", Bench_json.Int res.Workload.failed);
+                    ("ops_per_sec", Bench_json.Float res.Workload.ops_per_sec);
+                    ("mean_ms", Bench_json.Float res.Workload.mean_ms);
+                    ("p50_ms", Bench_json.Float res.Workload.p50_ms);
+                    ("p95_ms", Bench_json.Float res.Workload.p95_ms);
+                    ("p99_ms", Bench_json.Float res.Workload.p99_ms);
+                    ("max_ms", Bench_json.Float res.Workload.max_ms);
+                    ("reads", Bench_json.Int res.Workload.reads);
+                    ("writes", Bench_json.Int res.Workload.writes);
+                    ( "per_shard",
+                      Bench_json.List
+                        (List.map
+                           (fun c -> Bench_json.Int c)
+                           (Array.to_list res.Workload.per_shard)) );
+                  ]));
         let agg f = List.fold_left (fun a r -> a + f (Router.stats r)) 0 rs in
         Printf.printf
           "routers:   %d ops, %d retries, %d failovers, %d dead probes\n"
@@ -841,7 +828,7 @@ let workload_cmd =
         if stale_reads then
           Printf.printf "stale:     %d bounded-staleness gets\n"
             (agg (fun s -> s.Router.stale_gets));
-        if crashing then begin
+        if checking then begin
           List.iter
             (fun (shard, vs) ->
               List.iter
@@ -867,7 +854,7 @@ let workload_cmd =
       $ rate_t $ duration_t $ ramp_t $ seed_t $ net_t $ wire_t $ crash_seq_t
       $ crash_follower_t $ max_batch_t $ batch_delay_t $ pipeline_depth_t
       $ disk_t $ checkpoint_every_t $ fsync_t $ power_cycle_t $ stale_reads_t
-      $ migrate_t $ rebalance_t)
+      $ migrate_t $ rebalance_t $ json_t)
 
 let migration_chaos_cmd =
   let seed_t =
@@ -931,6 +918,270 @@ let migration_chaos_cmd =
       const run $ seed_t $ net_t $ crash_source_t $ crash_dest_t
       $ power_cycle_t $ workers_t $ duration_t)
 
+let loadgen_cmd =
+  let module L = Amoeba_loadgen in
+  let mix_t =
+    Arg.(
+      value & opt string "a"
+      & info [ "mix" ]
+          ~doc:
+            "YCSB mix: a (50/50 update-heavy, Zipf), b (95/5 read-mostly, \
+             Zipf), c (read-only, Zipf), d (95/5 read-latest + inserts).")
+  in
+  let txn_ratio_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "txn-ratio" ]
+          ~doc:
+            "Fraction of operations issued as multi-key single-shard \
+             read-modify-write transactions (taken from the mix's update \
+             share first).")
+  in
+  let txn_size_t =
+    Arg.(
+      value & opt int 3
+      & info [ "txn-size" ] ~doc:"Keys per multi-key transaction.")
+  in
+  let keys_t =
+    Arg.(value & opt int 1_000 & info [ "keys" ] ~doc:"Key space size.")
+  in
+  let value_dist_t =
+    Arg.(
+      value & opt string "fixed:32"
+      & info [ "value-dist" ]
+          ~doc:
+            "Value size distribution: fixed:N, uniform:MIN:MAX, or \
+             lognormal:MEDIAN:SIGMA.")
+  in
+  let shards_t =
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc:"Shard count.")
+  in
+  let hosts_t =
+    Arg.(value & opt int 4 & info [ "hosts" ] ~doc:"Replica host machines.")
+  in
+  let routers_t =
+    Arg.(value & opt int 2 & info [ "routers" ] ~doc:"Router machines.")
+  in
+  let replication_t =
+    Arg.(value & opt int 2 & info [ "replication" ] ~doc:"Replicas per shard.")
+  in
+  let wire_t =
+    Arg.(value & opt int 100 & info [ "wire-mbps" ] ~doc:"Wire speed, Mbit/s.")
+  in
+  let max_batch_t =
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~doc:"Router op batching.")
+  in
+  let pipeline_depth_t =
+    Arg.(
+      value & opt int 4
+      & info [ "pipeline-depth" ] ~doc:"Kernel in-flight sequencer rounds.")
+  in
+  let duration_t =
+    Arg.(
+      value & opt int 2_000
+      & info [ "duration" ] ~doc:"Measured window per trial, simulated ms.")
+  in
+  let warmup_t =
+    Arg.(
+      value & opt int 500
+      & info [ "warmup" ]
+          ~doc:"Warmup per trial, simulated ms (excluded from figures).")
+  in
+  let seed_t = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Trial seed.") in
+  let slo_t =
+    Arg.(
+      value & opt float 50.0
+      & info [ "slo-p99-ms" ] ~doc:"The SLO: trial p99 must stay under this.")
+  in
+  let min_completion_t =
+    Arg.(
+      value & opt float 0.95
+      & info [ "min-completion" ]
+          ~doc:"And completed/attempted must reach this.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ]
+          ~doc:
+            "Run one open-loop trial at this offered rate (ops/s) instead \
+             of searching for the knee.")
+  in
+  let lo_t =
+    Arg.(
+      value & opt float 50.0
+      & info [ "lo" ] ~doc:"Floor rate the saturation search starts from.")
+  in
+  let tol_t =
+    Arg.(
+      value & opt float 0.08
+      & info [ "tol" ] ~doc:"Relative bracket width the search converges to.")
+  in
+  let max_probes_t =
+    Arg.(
+      value & opt int 14
+      & info [ "max-probes" ] ~doc:"Trial budget for the search.")
+  in
+  let sweep_t =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run the full shard-count x fabric sweep (the bench loadgen \
+             target) instead of a single configuration; --shards/--net etc. \
+             are ignored.")
+  in
+  let smoke_t =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Tiny windows, key space and probe budget (CI parameters).")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "With --sweep: validate and write BENCH_loadgen.json.  \
+             Otherwise: also print the outcome as a JSON object.")
+  in
+  let run mix txn_ratio txn_size keys value_dist shards hosts routers
+      replication wire_mbps max_batch pipeline_depth (fabric, net) duration_ms
+      warmup_ms seed slo_p99 min_completion rate lo tol max_probes sweep smoke
+      json =
+    let mix =
+      match L.Mix.of_string mix with
+      | Ok m -> m
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 2
+    in
+    let mix =
+      if txn_ratio > 0.0 then L.Mix.with_txn mix ~size_hint:txn_size txn_ratio
+      else mix
+    in
+    let value_dist =
+      match L.Dist.of_string value_dist with
+      | Ok d -> d
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          exit 2
+    in
+    let slo = { L.Saturation.p99_ms = slo_p99; min_completion } in
+    (* --smoke clamps toward the CI parameters wherever the flag is
+       still at its default-ish scale. *)
+    let duration_ms = if smoke then min duration_ms 400 else duration_ms in
+    let warmup_ms = if smoke then min warmup_ms 100 else warmup_ms in
+    let keys = if smoke then min keys 200 else keys in
+    let max_probes = if smoke then min max_probes 8 else max_probes in
+    let tol = if smoke then Float.max tol 0.25 else tol in
+    let lo = if smoke then Float.max lo 100.0 else lo in
+    if sweep then begin
+      let params =
+        {
+          L.Report.slo;
+          mix;
+          keys;
+          value_dist;
+          txn_size;
+          duration_ms;
+          warmup_ms;
+          replication;
+          wire_mbps;
+          max_batch;
+          pipeline_depth;
+          lo;
+          tol;
+          max_probes;
+          seed;
+        }
+      in
+      L.Report.print_header ();
+      let rows =
+        L.Report.sweep ~progress:L.Report.print_row ~smoke params
+      in
+      if json then
+        L.Report.write_json ~path:"BENCH_loadgen.json" params rows
+    end
+    else begin
+      let cfg =
+        {
+          L.Driver.shards;
+          hosts;
+          routers;
+          replication;
+          wire_mbps;
+          net = (fabric, net);
+          max_batch;
+          batch_delay_us = 500;
+          pipeline_depth;
+          mix;
+          keys;
+          value_dist;
+          txn_size;
+          duration = Amoeba_sim.Time.ms duration_ms;
+          warmup = Amoeba_sim.Time.ms warmup_ms;
+          seed;
+        }
+      in
+      match rate with
+      | Some rate ->
+          let t = L.Driver.run cfg ~rate in
+          Format.printf "%a@." L.Driver.pp_trial t;
+          if json then
+            print_string
+              (Bench_json.to_string
+                 (Bench_json.Obj
+                    [
+                      ("offered", Bench_json.Float t.L.Driver.offered);
+                      ("attempted", Bench_json.Int t.L.Driver.attempted);
+                      ("completed", Bench_json.Int t.L.Driver.completed);
+                      ("failed", Bench_json.Int t.L.Driver.failed);
+                      ("throughput", Bench_json.Float t.L.Driver.throughput);
+                      ("completion", Bench_json.Float t.L.Driver.completion);
+                      ("p50_ms", Bench_json.Float t.L.Driver.p50_ms);
+                      ("p95_ms", Bench_json.Float t.L.Driver.p95_ms);
+                      ("p99_ms", Bench_json.Float t.L.Driver.p99_ms);
+                    ]))
+      | None ->
+          let measure rate =
+            let t = L.Driver.run cfg ~rate in
+            {
+              L.Saturation.m_p99_ms = t.L.Driver.p99_ms;
+              m_completion = t.L.Driver.completion;
+              m_throughput = t.L.Driver.throughput;
+            }
+          in
+          let o = L.Saturation.search ~lo ~tol ~max_probes ~slo measure in
+          Format.printf "%a@." L.Saturation.pp_outcome o;
+          if json then
+            print_string
+              (Bench_json.to_string
+                 (Bench_json.Obj
+                    [
+                      ("knee_ops_per_sec", Bench_json.Float o.L.Saturation.knee);
+                      ( "throughput_at_knee",
+                        Bench_json.Float o.L.Saturation.throughput_at_knee );
+                      ( "probes",
+                        Bench_json.Int (List.length o.L.Saturation.probes) );
+                      ("converged", Bench_json.Bool o.L.Saturation.converged);
+                    ]))
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "YCSB-style open-loop load generation: drive a mixed workload at a \
+          fixed offered rate, or binary-search the highest rate that meets \
+          a tail-latency SLO (the saturation knee), per configuration or as \
+          a full shard x fabric sweep.")
+    Term.(
+      const run $ mix_t $ txn_ratio_t $ txn_size_t $ keys_t $ value_dist_t
+      $ shards_t $ hosts_t $ routers_t $ replication_t $ wire_t $ max_batch_t
+      $ pipeline_depth_t $ net_t $ duration_t $ warmup_t $ seed_t $ slo_t
+      $ min_completion_t $ rate_t $ lo_t $ tol_t $ max_probes_t $ sweep_t
+      $ smoke_t $ json_t)
+
 let main =
   Cmd.group
     (Cmd.info "amoeba" ~version:"1.0"
@@ -946,6 +1197,7 @@ let main =
       serve_cmd;
       workload_cmd;
       migration_chaos_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

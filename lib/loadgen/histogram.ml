@@ -1,0 +1,96 @@
+(* Range covered at full resolution, in ms: 1 µs to ~3 hours.  Values
+   below land in bucket 0 (underflow); values above clamp to the last
+   bucket.  Sim latencies live well inside this. *)
+let lo_bound = 1e-3
+let hi_bound = 1e7
+
+type t = {
+  gamma : float;
+  log_gamma : float;
+  counts : int array;
+  mutable n : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let create ?(gamma = 1.02) () =
+  if gamma <= 1.0 then invalid_arg "Histogram.create: gamma <= 1";
+  let log_gamma = log gamma in
+  let nb = 2 + int_of_float (ceil (log (hi_bound /. lo_bound) /. log_gamma)) in
+  {
+    gamma;
+    log_gamma;
+    counts = Array.make nb 0;
+    n = 0;
+    vmin = infinity;
+    vmax = neg_infinity;
+  }
+
+let gamma t = t.gamma
+let max_rel_error t = t.gamma -. 1.0
+
+let bucket_of t v =
+  if v <= lo_bound then 0
+  else
+    min
+      (Array.length t.counts - 1)
+      (1 + int_of_float (log (v /. lo_bound) /. t.log_gamma))
+
+(* Upper edge of bucket i: every value in the bucket is <= this and
+   > this/gamma, hence the <= gamma-1 relative error bound. *)
+let repr t i =
+  if i = 0 then lo_bound else lo_bound *. (t.gamma ** float_of_int i)
+
+let add t v =
+  let v = if Float.is_nan v then 0.0 else Float.max v 0.0 in
+  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  t.n <- t.n + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+
+let merge a b =
+  if a.gamma <> b.gamma then invalid_arg "Histogram.merge: gamma mismatch";
+  let counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts in
+  {
+    gamma = a.gamma;
+    log_gamma = a.log_gamma;
+    counts;
+    n = a.n + b.n;
+    vmin = Float.min a.vmin b.vmin;
+    vmax = Float.max a.vmax b.vmax;
+  }
+
+let clamp t v = Float.max t.vmin (Float.min t.vmax v)
+
+let mean t =
+  if t.n = 0 then nan
+  else begin
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i c -> if c > 0 then sum := !sum +. (float_of_int c *. repr t i))
+      t.counts;
+    !sum /. float_of_int t.n
+  end
+
+let min_value t = if t.n = 0 then nan else t.vmin
+let max_value t = if t.n = 0 then nan else t.vmax
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.n)))
+    in
+    let rank = min rank t.n in
+    let acc = ref 0 and found = ref nan and i = ref 0 in
+    while Float.is_nan !found && !i < Array.length t.counts do
+      acc := !acc + t.counts.(!i);
+      if !acc >= rank then found := clamp t (repr t !i);
+      incr i
+    done;
+    !found
+  end
+
+let buckets t = Array.copy t.counts

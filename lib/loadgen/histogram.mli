@@ -1,0 +1,57 @@
+(** A log-bucketed latency histogram (HdrHistogram-style).
+
+    Buckets grow geometrically by a factor [gamma]: bucket [i] covers
+    [(lo·γ^(i-1), lo·γ^i]], so any recorded value is reported with a
+    relative error of at most [γ - 1] (1.02 ⇒ 2 %) whatever its
+    magnitude.  Recording is O(1) — one [log] and an array increment —
+    which is what an open-loop driver needs: the measurement must never
+    backpressure the arrival process, or the histogram itself would
+    reintroduce the coordinated omission it exists to avoid.
+
+    Counts are integers, so {!merge} is exact and associative — the
+    per-worker histograms of a sweep can be combined in any order and
+    every reported figure (including {!mean}, which is derived from the
+    bucket representatives, not a float sum) comes out identical. *)
+
+type t
+
+val create : ?gamma:float -> unit -> t
+(** [gamma] (default 1.02) is the bucket growth factor; must be
+    > 1.  The value range covered with full resolution is
+    [1e-3 .. 1e7] ms (1 µs to ~3 h); values outside clamp to the end
+    buckets. *)
+
+val gamma : t -> float
+
+val max_rel_error : t -> float
+(** [gamma t -. 1.0] — the worst-case relative error of any reported
+    percentile against the exact value. *)
+
+val add : t -> float -> unit
+(** Record one value (ms).  Negative values count as zero. *)
+
+val count : t -> int
+
+val merge : t -> t -> t
+(** Pointwise sum — a new histogram; inputs unchanged.  Associative
+    and commutative (integer counts; min/max fold).  Raises
+    [Invalid_argument] if the gammas differ. *)
+
+val mean : t -> float
+(** Mean of the bucket representatives — within [max_rel_error] of the
+    exact mean, and stable under any merge order.  [nan] when empty. *)
+
+val min_value : t -> float
+(** Exact smallest recorded value ([nan] when empty). *)
+
+val max_value : t -> float
+(** Exact largest recorded value ([nan] when empty). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100]: the upper edge of the bucket
+    holding the value of rank [⌈p/100·count⌉], clamped to the exact
+    observed [[min, max]].  [nan] when empty. *)
+
+val buckets : t -> int array
+(** A copy of the raw bucket counts (index 0 = the underflow bucket) —
+    test hook for the merge-associativity property. *)

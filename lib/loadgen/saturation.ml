@@ -1,0 +1,100 @@
+type slo = { p99_ms : float; min_completion : float }
+
+type measurement = {
+  m_p99_ms : float;
+  m_completion : float;
+  m_throughput : float;
+}
+
+type probe = {
+  rate : float;
+  p99_ms : float;
+  completion : float;
+  throughput : float;
+  pass : bool;
+}
+
+type outcome = {
+  knee : float;
+  throughput_at_knee : float;
+  p99_at_knee : float;
+  completion_at_knee : float;
+  probes : probe list;
+  converged : bool;
+}
+
+let search ?(lo = 50.0) ?(tol = 0.05) ?(max_probes = 14) ~slo:(slo : slo) f =
+  if lo <= 0.0 then invalid_arg "Saturation.search: lo <= 0";
+  if tol <= 0.0 then invalid_arg "Saturation.search: tol <= 0";
+  let probes = ref [] in
+  let eval rate =
+    let m = f rate in
+    let p =
+      {
+        rate;
+        p99_ms = m.m_p99_ms;
+        completion = m.m_completion;
+        throughput = m.m_throughput;
+        pass =
+          (* A nan p99 (no completions at all) must fail, so compare
+             in the passing direction. *)
+          m.m_p99_ms <= slo.p99_ms && m.m_completion >= slo.min_completion;
+      }
+    in
+    probes := p :: !probes;
+    p
+  in
+  let budget () = List.length !probes < max_probes in
+  let finish best converged =
+    match best with
+    | None ->
+        {
+          knee = 0.0;
+          throughput_at_knee = 0.0;
+          p99_at_knee = nan;
+          completion_at_knee = nan;
+          probes = List.rev !probes;
+          converged;
+        }
+    | Some (b : probe) ->
+        {
+          knee = b.rate;
+          throughput_at_knee = b.throughput;
+          p99_at_knee = b.p99_ms;
+          completion_at_knee = b.completion;
+          probes = List.rev !probes;
+          converged;
+        }
+  in
+  (* Phase 2: geometric bisection of a (passing lo, failing hi)
+     bracket. *)
+  let rec bisect lo_r best hi_r =
+    if hi_r /. lo_r <= 1.0 +. tol then finish (Some best) true
+    else if not (budget ()) then finish (Some best) false
+    else
+      let mid = sqrt (lo_r *. hi_r) in
+      let p = eval mid in
+      if p.pass then bisect mid p hi_r else bisect lo_r best mid
+  in
+  (* Phase 1: bracket by doubling from the floor. *)
+  let rec bracket lo_r best doublings =
+    if doublings > 20 then finish (Some best) false
+    else if not (budget ()) then finish (Some best) false
+    else
+      let r = lo_r *. 2.0 in
+      let p = eval r in
+      if p.pass then bracket r p (doublings + 1) else bisect lo_r best r
+  in
+  let p0 = eval lo in
+  if not p0.pass then finish None false else bracket lo p0 0
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "@[<v>%a@,knee %.0f ops/s (throughput %.0f, p99 %.2f ms, \
+              completion %.3f) after %d probes%s@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf p ->
+         Fmt.pf ppf "  probe %8.0f ops/s: p99 %8.2f ms  completion %.3f  %s"
+           p.rate p.p99_ms p.completion
+           (if p.pass then "pass" else "FAIL")))
+    o.probes o.knee o.throughput_at_knee o.p99_at_knee o.completion_at_knee
+    (List.length o.probes)
+    (if o.converged then "" else "  [did not converge]")

@@ -1,0 +1,58 @@
+(** SLO-driven saturation search: the highest offered load a
+    configuration sustains while meeting a tail-latency SLO.
+
+    The search is generic over the measurement function so the policy
+    is testable without a simulator: bracket the knee by doubling the
+    rate until the SLO fails, then bisect the bracket geometrically
+    (probe at [sqrt (lo · hi)] — rates live on a log scale) until
+    [hi / lo <= 1 + tol].  Deterministic given a deterministic
+    measurement function, which {!Driver.run} is under a fixed seed. *)
+
+type slo = {
+  p99_ms : float;  (** the trial's p99 must not exceed this *)
+  min_completion : float;
+      (** and its completed/attempted ratio must reach this (0.95
+          catches a meltdown whose survivors still look fast) *)
+}
+
+type measurement = {
+  m_p99_ms : float;
+  m_completion : float;
+  m_throughput : float;
+}
+
+type probe = {
+  rate : float;
+  p99_ms : float;
+  completion : float;
+  throughput : float;
+  pass : bool;
+}
+
+type outcome = {
+  knee : float;
+      (** highest offered rate that passed the SLO; 0 if even the
+          floor rate failed *)
+  throughput_at_knee : float;
+  p99_at_knee : float;
+  completion_at_knee : float;
+  probes : probe list;  (** in evaluation order *)
+  converged : bool;
+      (** a failing bracket was found and tightened to within [tol]
+          inside the probe budget *)
+}
+
+val search :
+  ?lo:float ->
+  ?tol:float ->
+  ?max_probes:int ->
+  slo:slo ->
+  (float -> measurement) ->
+  outcome
+(** [lo] (default 50.0) is the floor rate the search starts from;
+    [tol] (default 0.05) the relative width the bracket must reach;
+    [max_probes] (default 14) bounds total measurements.  The doubling
+    phase gives up (unconverged) if the SLO still passes at [2^20·lo]
+    — an unsaturable configuration, not a knee. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -46,6 +46,61 @@ let spec_to_string = function
   | Shared -> "ether"
   | Switched p -> Switch.profile_to_string p
 
+(* Named profiles of persistent link conditions.  One table serves the
+   CLI (--net), the adversarial swarm test and the loadgen sweep, so a
+   profile name means the same impairment everywhere.  The bursty-*
+   variants vary Gilbert-Elliott burst severity for the
+   loss-vs-delivery-delay table in EXPERIMENTS.md. *)
+let condition_profiles =
+  let burst p_gb p_bg loss_bad =
+    { clean with gilbert = Some { p_gb; p_bg; loss_good = 0.005; loss_bad } }
+  in
+  [
+    ("clean", clean);
+    ("bursty-light", burst 0.01 0.4 0.3);
+    ("bursty", burst 0.02 0.25 0.6);
+    ("bursty-heavy", burst 0.05 0.15 0.9);
+    ("dup", { clean with dup_prob = 0.05 });
+    ("reorder", { clean with jitter_ns = Amoeba_sim.Time.ms 3 });
+    ("corrupt", { clean with corrupt_prob = 0.02 });
+    ( "adversarial",
+      {
+        gilbert =
+          Some { p_gb = 0.01; p_bg = 0.3; loss_good = 0.002; loss_bad = 0.4 };
+        dup_prob = 0.05;
+        jitter_ns = Amoeba_sim.Time.ms 2;
+        corrupt_prob = 0.01;
+      } );
+  ]
+
+let net_of_string s =
+  let parts = String.split_on_char '+' s in
+  let rec go fabric cond = function
+    | [] -> Ok (fabric, cond)
+    | part :: rest -> (
+        match List.assoc_opt part condition_profiles with
+        | Some c -> go fabric c rest
+        | None -> (
+            match spec_of_string part with
+            | Ok f -> go f cond rest
+            | Error _ ->
+                Error
+                  (Printf.sprintf
+                     "unknown net spec %S (fabric: ether|switch[:SxH@U]; \
+                      profile: %s)"
+                     part
+                     (String.concat "|" (List.map fst condition_profiles)))))
+  in
+  go Shared clean parts
+
+let net_to_string (fabric, c) =
+  let prof =
+    match List.find_opt (fun (_, c') -> c' = c) condition_profiles with
+    | Some (name, _) -> name
+    | None -> "<custom>"
+  in
+  spec_to_string fabric ^ if prof = "clean" then "" else "+" ^ prof
+
 let attach ?id t ~rx =
   match t with
   | Ether e -> Ether_port (Ether.attach ?id e ~rx)

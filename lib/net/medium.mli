@@ -54,6 +54,24 @@ val spec_of_string : string -> (spec, string) result
 
 val spec_to_string : spec -> string
 
+val condition_profiles : (string * conditions) list
+(** Named impairment profiles — [clean], [bursty-light], [bursty],
+    [bursty-heavy] (Gilbert–Elliott loss), [dup], [reorder] (delivery
+    jitter), [corrupt], [adversarial] (all of them, moderate).  The one
+    table behind [--net], the adversarial swarm test and the loadgen
+    sweep. *)
+
+val net_of_string : string -> (spec * conditions, string) result
+(** Parses a full ['+']-separated net description: each component is a
+    fabric (as {!spec_of_string}) or a profile name from
+    {!condition_profiles}.  ["switch:2x48\@10+bursty"] = two 48-port
+    segments, 10x-oversubscribed uplink, bursty loss on every link.
+    Defaults: [Shared] fabric, [clean] conditions. *)
+
+val net_to_string : spec * conditions -> string
+(** Inverse of {!net_of_string} for named profiles; a conditions record
+    matching no profile prints as ["+<custom>"]. *)
+
 val attach : ?id:int -> t -> rx:(Frame.t -> unit) -> port
 
 val port_id : port -> int

@@ -1,0 +1,60 @@
+type dist = Uniform | Zipf of float | Latest of float
+
+(* Zipf by inverse-CDF lookup over precomputed cumulative weights
+   (exact, no rejection loop).  The table is built once per generator;
+   each draw costs one float draw plus a binary search. *)
+type zipf_table = { cum : float array; total : float }
+
+type shape =
+  | S_uniform
+  | S_zipf of zipf_table
+  | S_latest of zipf_table  (* offset back from the frontier *)
+
+type t = { keys : int; shape : shape; mutable frontier : int }
+
+let zipf_table ~keys alpha =
+  let cum = Array.make keys 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to keys - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** alpha));
+    cum.(i) <- !total
+  done;
+  { cum; total = !total }
+
+let create ~keys dist =
+  if keys <= 0 then invalid_arg "Keygen.create: keys <= 0";
+  let shape =
+    match dist with
+    | Uniform -> S_uniform
+    | Zipf alpha -> S_zipf (zipf_table ~keys alpha)
+    | Latest alpha -> S_latest (zipf_table ~keys alpha)
+  in
+  { keys; shape; frontier = keys }
+
+let draw_zipf zt rng =
+  let u = Random.State.float rng zt.total in
+  let lo = ref 0 and hi = ref (Array.length zt.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if zt.cum.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sample t rng =
+  match t.shape with
+  | S_uniform -> Random.State.int rng t.keys
+  | S_zipf zt -> draw_zipf zt rng
+  | S_latest zt ->
+      (* Rank 0 is the newest key.  The table spans the initial key
+         space; a frontier grown past it just shifts which keys the
+         ranks land on, keeping recency-skew without rebuilding. *)
+      let off = draw_zipf zt rng mod t.frontier in
+      t.frontier - 1 - off
+
+let insert t =
+  let k = t.frontier in
+  t.frontier <- t.frontier + 1;
+  k
+
+let frontier t = t.frontier
+let key i = "k" ^ string_of_int i

@@ -21,7 +21,10 @@ type stats = {
   partial_flushes : int;
   batch_retries : int;
   stale_gets : int;
+  txns : int;
 }
+
+type op = Get of string | Put of string * string | Del of string
 
 type shard_state = {
   queue : (Kv.request * reply Ivar.t) Channel.t;
@@ -39,6 +42,7 @@ type shard_state = {
 
 type t = {
   engine : Engine.t;
+  flip : Flip.t;
   map : Shard_map.t;
   shards : shard_state array;
   det : Failure_detector.t;
@@ -47,6 +51,9 @@ type t = {
   max_batch : int;
   batch_delay : Time.t;
   stale_reads : bool;
+  mutable txn_client : Rpc.client option;
+      (* created on first [txn]: an idle client must cost nothing, so
+         a router that never runs transactions stays bit-identical *)
   mutable jseed : int;  (* xorshift state for retry-backoff jitter *)
   mutable s_stale_gets : int;
   mutable s_ops : int;
@@ -58,6 +65,7 @@ type t = {
   mutable s_ops_batched : int;
   mutable s_partial_flushes : int;
   mutable s_batch_retries : int;
+  mutable s_txns : int;
 }
 
 (* Next replica to try: round-robin over the ones not currently
@@ -329,6 +337,7 @@ let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
   let t =
     {
       engine;
+      flip;
       map;
       shards =
         Array.mapi
@@ -352,6 +361,7 @@ let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
       max_batch = max 1 max_batch;
       batch_delay;
       stale_reads;
+      txn_client = None;
       jseed = 0x2545F491;
       s_stale_gets = 0;
       s_ops = 0;
@@ -363,6 +373,7 @@ let create flip ?(pipeline = 4) ?(max_batch = 1) ?(batch_delay = Time.us 500)
       s_ops_batched = 0;
       s_partial_flushes = 0;
       s_batch_retries = 0;
+      s_txns = 0;
     }
   in
   Array.iter
@@ -390,6 +401,50 @@ let get t k =
 
 let put t k v = request t (Kv.Put (k, v))
 let del t k = request t (Kv.Del k)
+
+(* A multi-key single-shard transaction: the whole op list ships as
+   ONE batch RPC, whose writes the replica submits as ONE sequencer
+   round ([Rsm.submit_batch]) — so the writes land contiguously on the
+   shard's totally-ordered stream (atomic: no other client's update
+   interleaves them) and the reads are answered after they applied
+   (the committed post-image).  Bypasses the Nagle gatherer: a
+   transaction must never be split across sequencer rounds nor merged
+   with a stranger's ops.  Failure handling is the batch path's —
+   whole-transaction retry with fresh-uid idempotence. *)
+let txn t ops =
+  match ops with
+  | [] -> Error "empty transaction"
+  | _ -> (
+      let reqs =
+        List.map
+          (function
+            | Get k -> Kv.Get k
+            | Put (k, v) -> Kv.Put (k, v)
+            | Del k -> Kv.Del k)
+          ops
+      in
+      let shard_of r = Shard_map.shard_of_key t.map (Kv.request_key r) in
+      let s0 = shard_of (List.hd reqs) in
+      match List.find_opt (fun r -> shard_of r <> s0) reqs with
+      | Some r ->
+          Error
+            (Printf.sprintf "transaction spans shards (%S on %d, %S on %d)"
+               (Kv.request_key (List.hd reqs))
+               s0 (Kv.request_key r) (shard_of r))
+      | None ->
+          t.s_ops <- t.s_ops + List.length reqs;
+          t.s_txns <- t.s_txns + 1;
+          let client =
+            match t.txn_client with
+            | Some c -> c
+            | None ->
+                let c = Rpc.client t.flip in
+                t.txn_client <- Some c;
+                c
+          in
+          let items = List.map (fun r -> (r, Ivar.create ())) reqs in
+          perform_batch t client t.shards.(s0) items 1;
+          Ok (List.map (fun (_, iv) -> Ivar.read t.engine iv) items))
 
 (* Swap in a fresh endpoint map — the recovery or migration handoff.
    The new sequencer host's pool comes first in each shard's array
@@ -451,4 +506,5 @@ let stats t =
     partial_flushes = t.s_partial_flushes;
     batch_retries = t.s_batch_retries;
     stale_gets = t.s_stale_gets;
+    txns = t.s_txns;
   }

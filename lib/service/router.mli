@@ -70,6 +70,20 @@ val put : t -> string -> string -> reply
 val del : t -> string -> reply
 (** Blocking operations — call from a process. *)
 
+type op = Get of string | Put of string * string | Del of string
+
+val txn : t -> op list -> (reply list, string) result
+(** A multi-key single-shard transaction.  Every key must hash to the
+    same shard ([Error] otherwise, nothing sent).  The whole op list
+    ships as one batch RPC and the replica submits its writes as
+    {e one} sequencer round ({!Amoeba_grouplib.Rsm.submit_batch}), so
+    they occupy contiguous slots of the shard's totally-ordered stream
+    — atomic with respect to every other client.  Reads are answered
+    after the transaction's own writes applied (the committed
+    post-image).  Replies come back positionally, one per op.  Retries
+    replay the remaining transaction whole; the fresh uid each write
+    carries per submission keeps replays idempotent.  Blocking. *)
+
 type stats = {
   ops : int;  (** operations accepted *)
   retries : int;  (** extra attempts on a live replica *)
@@ -83,6 +97,7 @@ type stats = {
           filled *)
   batch_retries : int;  (** whole-batch replays after failure or Busy *)
   stale_gets : int;  (** gets issued as bounded-staleness reads *)
+  txns : int;  (** multi-key transactions accepted (ops counted in [ops]) *)
 }
 
 val stats : t -> stats

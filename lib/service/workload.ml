@@ -1,7 +1,7 @@
 open Amoeba_sim
 open Amoeba_harness
 
-type dist = Uniform | Zipf of float
+type dist = Keygen.dist = Uniform | Zipf of float | Latest of float
 type mode = Closed of int | Open of float
 
 type spec = {
@@ -30,27 +30,11 @@ type result = {
   per_shard : int array;
 }
 
-(* Key popularity: uniform, or Zipf by inverse-CDF lookup over
-   precomputed cumulative weights (exact, no rejection loop). *)
+(* Key popularity lives in {!Keygen} (shared with the loadgen
+   subsystem's generators): one shared table, per-client rngs. *)
 let make_sampler spec =
-  match spec.dist with
-  | Uniform -> fun rng -> Random.State.int rng spec.keys
-  | Zipf alpha ->
-      let cum = Array.make spec.keys 0.0 in
-      let total = ref 0.0 in
-      for i = 0 to spec.keys - 1 do
-        total := !total +. (1.0 /. (float_of_int (i + 1) ** alpha));
-        cum.(i) <- !total
-      done;
-      let total = !total in
-      fun rng ->
-        let u = Random.State.float rng total in
-        let lo = ref 0 and hi = ref (spec.keys - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if cum.(mid) < u then lo := mid + 1 else hi := mid
-        done;
-        !lo
+  let kg = Keygen.create ~keys:spec.keys spec.dist in
+  fun rng -> Keygen.sample kg rng
 
 type acc = {
   stats : Stats.t;

@@ -11,9 +11,13 @@
 open Amoeba_sim
 open Amoeba_harness
 
-type dist =
+type dist = Keygen.dist =
   | Uniform
   | Zipf of float  (** skew exponent; 0.99 is the YCSB default *)
+  | Latest of float
+      (** recency skew: a Zipf-distributed offset back from the newest
+          key (YCSB-D's read-latest popularity); with the fixed key
+          space here the newest key is [keys - 1] *)
 
 type mode =
   | Closed of int  (** this many clients, each one op at a time *)
@@ -27,11 +31,15 @@ type spec = {
   mode : mode;
   duration : Time.t;  (** measurement window *)
   ramp : Time.t;
-      (** closed-loop slow start: client [i] of [n] enters the loop at
-          [i * ramp / (n-1)], so the full herd is running only after
-          [ramp].  Zero (the default everywhere) keeps the historical
-          all-at-once start.  Ignored in open-loop mode, whose Poisson
-          arrivals have no initial stampede to soften. *)
+      (** warmup window: ops issued in the first [ramp] of the run
+          carry real load but are excluded from every reported figure
+          — text and JSON paths share the one accumulator, so the two
+          can never disagree.  In closed-loop mode the ramp also
+          slow-starts the herd: client [i] of [n] enters the loop at
+          [i * ramp / (n-1)], so the full complement is running only
+          after [ramp].  In open-loop mode Poisson arrivals have no
+          stampede to soften, but the warmup exclusion still applies.
+          Zero (the default everywhere) measures from t=0. *)
   seed : int;  (** workload seed (independent of the cluster's) *)
 }
 

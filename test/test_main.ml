@@ -20,4 +20,5 @@ let () =
       Test_service.suite;
       Test_durability.suite;
       Test_migration.suite;
+      Test_loadgen.suite;
     ]
